@@ -1,0 +1,106 @@
+//! Helpers shared by all algorithm implementations.
+
+use mhfl_fl::FederationContext;
+use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
+
+/// Builds the proxy-model configuration a client trains, combining the task's
+/// input shape with the architecture family and width/depth fractions the
+/// constraint case assigned to this client.
+pub fn client_proxy_config(
+    ctx: &FederationContext,
+    client: usize,
+    method: MhflMethod,
+) -> ProxyConfig {
+    let task = ctx.data().task();
+    let assignment = ctx.assignment(client);
+    let with_aux = matches!(method, MhflMethod::DepthFl);
+    ProxyConfig::for_family(
+        assignment.entry.choice.family,
+        task.input_kind(),
+        task.num_classes(),
+        ctx.seed(),
+    )
+    .with_width(assignment.entry.choice.width_fraction)
+    .with_depth(assignment.entry.choice.depth_fraction)
+    .with_aux_heads(with_aux)
+}
+
+/// Builds the configuration of the server's full-size global model: the
+/// largest family appearing in the assignments, at full width and depth.
+pub fn global_proxy_config(ctx: &FederationContext, method: MhflMethod) -> ProxyConfig {
+    let task = ctx.data().task();
+    let largest = ctx
+        .assignments()
+        .iter()
+        .max_by_key(|a| a.entry.stats.params)
+        .expect("context has at least one client");
+    let with_aux = matches!(method, MhflMethod::DepthFl);
+    ProxyConfig::for_family(
+        largest.entry.choice.family,
+        task.input_kind(),
+        task.num_classes(),
+        ctx.seed(),
+    )
+    .with_aux_heads(with_aux)
+}
+
+/// Builds and returns the global proxy model for a context/method.
+///
+/// # Panics
+/// Panics only if the configuration is internally inconsistent, which would
+/// indicate a bug in the constraint-assignment code.
+pub fn build_global_model(ctx: &FederationContext, method: MhflMethod) -> ProxyModel {
+    ProxyModel::new(global_proxy_config(ctx, method)).expect("global proxy config is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_data::{DataTask, FederatedDataset};
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_fl::LocalTrainConfig;
+    use mhfl_models::ModelFamily;
+
+    pub(crate) fn test_context(
+        task: DataTask,
+        base_family: ModelFamily,
+        method: MhflMethod,
+        num_clients: usize,
+    ) -> FederationContext {
+        let data = FederatedDataset::generate(task, num_clients, 16, None, 11);
+        let pool = ModelPool::build(
+            base_family,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::ALL,
+            task.num_classes(),
+        );
+        let case = ConstraintCase::Computation { deadline_secs: 400.0 };
+        let devices = case.build_population(num_clients, 5);
+        let assignments = case.assign_clients(&pool, method, &devices, &CostModel::default());
+        FederationContext::new(data, assignments, LocalTrainConfig::default(), 11).unwrap()
+    }
+
+    #[test]
+    fn client_configs_follow_assignments() {
+        let ctx = test_context(DataTask::Cifar10, ModelFamily::ResNet101, MhflMethod::SHeteroFl, 8);
+        for client in 0..ctx.num_clients() {
+            let cfg = client_proxy_config(&ctx, client, MhflMethod::SHeteroFl);
+            let a = ctx.assignment(client);
+            assert_eq!(cfg.width_fraction, a.entry.choice.width_fraction);
+            assert_eq!(cfg.num_classes, 10);
+            assert!(!cfg.with_aux_heads);
+        }
+        let depth_cfg = client_proxy_config(&ctx, 0, MhflMethod::DepthFl);
+        assert!(depth_cfg.with_aux_heads);
+    }
+
+    #[test]
+    fn global_config_is_full_size() {
+        let ctx = test_context(DataTask::Cifar10, ModelFamily::ResNet101, MhflMethod::FedRolex, 6);
+        let cfg = global_proxy_config(&ctx, MhflMethod::FedRolex);
+        assert_eq!(cfg.width_fraction, 1.0);
+        assert_eq!(cfg.depth_fraction, 1.0);
+        let model = build_global_model(&ctx, MhflMethod::FedRolex);
+        assert!(model.num_parameters() > 0);
+    }
+}

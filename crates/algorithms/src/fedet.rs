@@ -1,0 +1,251 @@
+//! Fed-ET: heterogeneous ensemble knowledge transfer.
+//!
+//! Clients run small heterogeneous models and never upload weights. Instead,
+//! after local training each selected client evaluates the shared *public*
+//! dataset and uploads its logits; the server forms a confidence-weighted
+//! ensemble of those logits and distils it into a large server-side model.
+//! Clients also distil the server's knowledge back into their local models at
+//! the start of their next participation (the "transfer" direction).
+
+use std::collections::BTreeMap;
+
+use mhfl_data::Dataset;
+use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
+use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
+use mhfl_nn::loss::soft_cross_entropy;
+use mhfl_nn::{Layer, Sgd};
+use mhfl_tensor::{SeededRng, Tensor};
+
+/// Number of server distillation steps per round.
+const SERVER_DISTILL_STEPS: usize = 5;
+/// Number of client-side distillation steps from the server ensemble.
+const CLIENT_DISTILL_STEPS: usize = 2;
+/// Distillation temperature.
+const TEMPERATURE: f32 = 2.0;
+
+/// The Fed-ET algorithm.
+pub struct FedEt {
+    server_model: Option<ProxyModel>,
+    client_models: BTreeMap<usize, ProxyModel>,
+    /// Server ensemble predictions on the public set from the previous round.
+    server_public_probs: Option<Tensor>,
+    num_classes: usize,
+}
+
+impl FedEt {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        FedEt {
+            server_model: None,
+            client_models: BTreeMap::new(),
+            server_public_probs: None,
+            num_classes: 0,
+        }
+    }
+
+    fn require_setup(&self) -> FlResult<()> {
+        if self.server_model.is_none() {
+            return Err(FlError::InvalidConfig("algorithm used before setup".into()));
+        }
+        Ok(())
+    }
+
+    fn client_config(ctx: &FederationContext, client: usize) -> ProxyConfig {
+        let task = ctx.data().task();
+        let assignment = ctx.assignment(client);
+        ProxyConfig::for_family(
+            assignment.entry.choice.family,
+            task.input_kind(),
+            task.num_classes(),
+            ctx.seed() + 7 * client as u64,
+        )
+    }
+
+    /// Mean maximum softmax probability — the confidence weight of a client's
+    /// ensemble contribution.
+    fn confidence(probs: &Tensor) -> f32 {
+        let (rows, cols) = (probs.dims()[0], probs.dims()[1]);
+        if rows == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        for r in 0..rows {
+            let row = &probs.as_slice()[r * cols..(r + 1) * cols];
+            total += row.iter().copied().fold(0.0f32, f32::max);
+        }
+        total / rows as f32
+    }
+
+    /// Distils `teacher_probs` (on `inputs`) into `model` for a few steps.
+    fn distill(
+        model: &mut ProxyModel,
+        inputs: &Tensor,
+        teacher_probs: &Tensor,
+        steps: usize,
+        sgd: mhfl_nn::SgdConfig,
+    ) -> FlResult<()> {
+        let mut opt = Sgd::new(sgd);
+        for _ in 0..steps {
+            model.zero_grad();
+            let out = model.forward_detailed(inputs, true)?;
+            let (_, grad) = soft_cross_entropy(&out.logits, teacher_probs, TEMPERATURE)?;
+            model.backward_detailed(&grad, None, &[])?;
+            opt.step(model)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for FedEt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlAlgorithm for FedEt {
+    fn name(&self) -> String {
+        MhflMethod::FedEt.display_name().to_string()
+    }
+
+    fn setup(&mut self, ctx: &FederationContext) -> FlResult<()> {
+        self.num_classes = ctx.data().task().num_classes();
+        let server = ProxyModel::new(crate::common::global_proxy_config(ctx, MhflMethod::FedEt))?;
+        self.server_model = Some(server);
+        Ok(())
+    }
+
+    fn run_round(
+        &mut self,
+        round: usize,
+        selected: &[usize],
+        ctx: &FederationContext,
+    ) -> FlResult<()> {
+        self.require_setup()?;
+        let public = ctx.data().public();
+        let public_batch = public.as_batch();
+        let cfg = *ctx.train_config();
+
+        let mut weighted_probs = Tensor::zeros(&[public_batch.len(), self.num_classes]);
+        let mut total_weight = 0.0f32;
+
+        for &client in selected {
+            if !self.client_models.contains_key(&client) {
+                self.client_models
+                    .insert(client, ProxyModel::new(Self::client_config(ctx, client))?);
+            }
+            let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+            let server_probs = self.server_public_probs.clone();
+            let model = self.client_models.get_mut(&client).expect("just inserted");
+
+            // Transfer direction: absorb the server ensemble before training.
+            if let Some(probs) = &server_probs {
+                Self::distill(model, &public_batch.inputs, probs, CLIENT_DISTILL_STEPS, cfg.sgd)?;
+            }
+            // Local supervised training.
+            local_train_ce(model, ctx.data().client(client), &cfg, &mut rng)?;
+
+            // Upload direction: logits on the public set, confidence-weighted.
+            let out = model.forward_detailed(&public_batch.inputs, false)?;
+            let probs = out.logits.softmax_rows()?;
+            let weight = Self::confidence(&probs).max(1e-3);
+            weighted_probs.axpy(weight, &probs)?;
+            total_weight += weight;
+        }
+
+        if total_weight > 0.0 {
+            let ensemble = weighted_probs.scale(1.0 / total_weight);
+            let server = self.server_model.as_mut().expect("checked");
+            Self::distill(server, &public_batch.inputs, &ensemble, SERVER_DISTILL_STEPS, cfg.sgd)?;
+            self.server_public_probs = Some(ensemble);
+        }
+        Ok(())
+    }
+
+    fn evaluate_global(&mut self, data: &Dataset) -> FlResult<f32> {
+        self.require_setup()?;
+        evaluate_accuracy(self.server_model.as_mut().expect("checked"), data)
+    }
+
+    fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32> {
+        self.require_setup()?;
+        match self.client_models.get_mut(&client) {
+            Some(model) => evaluate_accuracy(model, data),
+            None => Ok(1.0 / self.num_classes.max(1) as f32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_data::{DataTask, FederatedDataset};
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_fl::{EngineConfig, FlEngine, LocalTrainConfig};
+    use mhfl_models::ModelFamily;
+
+    fn context(clients: usize) -> FederationContext {
+        let task = DataTask::UciHar;
+        let data = FederatedDataset::generate(task, clients, 20, None, 5);
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::ALL,
+            task.num_classes(),
+        );
+        let case = ConstraintCase::Memory;
+        let devices = case.build_population(clients, 8);
+        let assignments =
+            case.assign_clients(&pool, MhflMethod::FedEt, &devices, &CostModel::default());
+        FederationContext::new(
+            data,
+            assignments,
+            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fedet_server_model_learns_from_ensemble() {
+        let ctx = context(6);
+        let engine = FlEngine::new(EngineConfig {
+            rounds: 6,
+            sample_ratio: 0.5,
+            eval_every: 6,
+            stability_clients: 3,
+        });
+        let mut alg = FedEt::new();
+        let report = engine.run(&mut alg, &ctx).unwrap();
+        assert!(
+            report.final_accuracy() > 1.0 / 6.0,
+            "Fed-ET server accuracy {} should beat chance",
+            report.final_accuracy()
+        );
+        assert!(alg.server_public_probs.is_some());
+    }
+
+    #[test]
+    fn confidence_is_higher_for_peaked_distributions() {
+        let peaked = Tensor::from_vec(vec![0.9, 0.05, 0.05], &[1, 3]).unwrap();
+        let flat = Tensor::from_vec(vec![0.34, 0.33, 0.33], &[1, 3]).unwrap();
+        assert!(FedEt::confidence(&peaked) > FedEt::confidence(&flat));
+        assert_eq!(FedEt::confidence(&Tensor::zeros(&[0, 3])), 0.0);
+    }
+
+    #[test]
+    fn unknown_clients_report_chance() {
+        let ctx = context(4);
+        let mut alg = FedEt::new();
+        alg.setup(&ctx).unwrap();
+        let acc = alg.evaluate_client(3, ctx.data().test()).unwrap();
+        assert!((acc - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn use_before_setup_errors() {
+        let mut alg = FedEt::new();
+        let data = mhfl_data::generate_dataset(DataTask::UciHar, 4, 0, None);
+        assert!(alg.evaluate_global(&data).is_err());
+    }
+}

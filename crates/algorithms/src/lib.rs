@@ -1,0 +1,71 @@
+//! # mhfl-algorithms
+//!
+//! The model-heterogeneous federated learning algorithms benchmarked by
+//! PracMHBench, all expressed against the [`mhfl_fl::FlAlgorithm`] trait so
+//! the engine, the constraint cases and the metrics are shared.
+//!
+//! | Level | Algorithms | Mechanism |
+//! |---|---|---|
+//! | Width | [`WidthAlgorithm`] (Fjord, SHeteroFL, FedRolex) | nested / rolling channel sub-models + partial aggregation |
+//! | Depth | [`DepthAlgorithm`] (FeDepth, InclusiveFL, DepthFL) | block-prefix sub-models, momentum transfer, self-distillation |
+//! | Topology | [`FedProto`], [`FedEt`] | prototype exchange / public-set logit distillation across distinct architectures |
+//! | Baseline | [`SmallestHomogeneous`] | FedAvg on the smallest model every device can hold |
+//!
+//! Use [`build_algorithm`] to instantiate any method from its
+//! [`mhfl_models::MhflMethod`] tag.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod common;
+mod depth;
+mod fedet;
+mod proto;
+mod width;
+
+pub use baseline::SmallestHomogeneous;
+pub use common::{client_proxy_config, global_proxy_config};
+pub use depth::DepthAlgorithm;
+pub use fedet::FedEt;
+pub use proto::FedProto;
+pub use width::WidthAlgorithm;
+
+use mhfl_fl::FlAlgorithm;
+use mhfl_models::MhflMethod;
+
+/// Instantiates the algorithm implementing `method`.
+pub fn build_algorithm(method: MhflMethod) -> Box<dyn FlAlgorithm> {
+    match method {
+        MhflMethod::Fjord | MhflMethod::SHeteroFl | MhflMethod::FedRolex => {
+            Box::new(WidthAlgorithm::new(method))
+        }
+        MhflMethod::FeDepth | MhflMethod::InclusiveFl | MhflMethod::DepthFl => {
+            Box::new(DepthAlgorithm::new(method))
+        }
+        MhflMethod::FedProto => Box::new(FedProto::new()),
+        MhflMethod::FedEt => Box::new(FedEt::new()),
+        MhflMethod::HomogeneousSmallest => Box::new(SmallestHomogeneous::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_method() {
+        for method in MhflMethod::ALL {
+            let alg = build_algorithm(method);
+            assert!(!alg.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn factory_names_match_methods() {
+        assert_eq!(build_algorithm(MhflMethod::SHeteroFl).name(), "SHeteroFL");
+        assert_eq!(build_algorithm(MhflMethod::DepthFl).name(), "DepthFL");
+        assert_eq!(build_algorithm(MhflMethod::FedProto).name(), "FedProto");
+        assert_eq!(build_algorithm(MhflMethod::FedEt).name(), "Fed-ET");
+    }
+}

@@ -1,0 +1,318 @@
+//! FedProto: federated prototype learning across heterogeneous topologies.
+//!
+//! Clients may run entirely different architectures; the only thing they
+//! exchange with the server is one prototype (mean feature vector) per class.
+//! The server averages prototypes across clients and sends them back; each
+//! client regularises its local training so that its features stay close to
+//! the global prototype of the sample's class.
+
+use std::collections::BTreeMap;
+
+use mhfl_data::Dataset;
+use mhfl_fl::train::evaluate_accuracy;
+use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
+use mhfl_nn::loss::{accuracy, cross_entropy, prototype_loss};
+use mhfl_nn::{Layer, Sgd};
+use mhfl_tensor::{SeededRng, Tensor};
+
+/// Shared prototype dimensionality. FedProto requires every client topology
+/// to produce embeddings in the same space, so all client proxies are built
+/// with this feature width regardless of family.
+const PROTO_DIM: usize = 16;
+/// Weight of the prototype-regularisation term in the local loss.
+const PROTO_LAMBDA: f32 = 1.0;
+/// Number of client models averaged for the "global" evaluation ensemble.
+const ENSEMBLE_SIZE: usize = 8;
+
+/// The FedProto algorithm.
+pub struct FedProto {
+    client_models: BTreeMap<usize, ProxyModel>,
+    prototypes: Tensor,
+    proto_counts: Vec<f32>,
+    num_classes: usize,
+    ready: bool,
+}
+
+impl FedProto {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        FedProto {
+            client_models: BTreeMap::new(),
+            prototypes: Tensor::zeros(&[0, 0]),
+            proto_counts: Vec::new(),
+            num_classes: 0,
+            ready: false,
+        }
+    }
+
+    fn require_setup(&self) -> FlResult<()> {
+        if !self.ready {
+            return Err(FlError::InvalidConfig("algorithm used before setup".into()));
+        }
+        Ok(())
+    }
+
+    fn client_config(ctx: &FederationContext, client: usize) -> ProxyConfig {
+        let task = ctx.data().task();
+        let assignment = ctx.assignment(client);
+        let mut cfg = ProxyConfig::for_family(
+            assignment.entry.choice.family,
+            task.input_kind(),
+            task.num_classes(),
+            ctx.seed() + client as u64,
+        );
+        // All topologies share the prototype embedding width.
+        cfg.base_dim = PROTO_DIM;
+        cfg
+    }
+
+    fn ensure_client_model(&mut self, ctx: &FederationContext, client: usize) -> FlResult<()> {
+        if !self.client_models.contains_key(&client) {
+            let model = ProxyModel::new(Self::client_config(ctx, client))?;
+            self.client_models.insert(client, model);
+        }
+        Ok(())
+    }
+
+    fn has_prototypes(&self) -> Vec<bool> {
+        self.proto_counts.iter().map(|&c| c > 0.0).collect()
+    }
+
+    /// Local training with cross-entropy plus prototype regularisation, then
+    /// returns the client's per-class prototype sums and counts.
+    fn train_client(
+        &mut self,
+        ctx: &FederationContext,
+        client: usize,
+        round: usize,
+    ) -> FlResult<(Tensor, Vec<f32>)> {
+        let cfg = ctx.train_config();
+        let data = ctx.data().client(client).clone();
+        let prototypes = self.prototypes.clone();
+        let has_proto = self.has_prototypes();
+        let num_classes = self.num_classes;
+        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+        let model = self.client_models.get_mut(&client).expect("ensured by caller");
+
+        let mut opt = Sgd::new(cfg.sgd);
+        let mut batches = data.batches(cfg.batch_size, &mut rng);
+        let mut cursor = 0usize;
+        for _ in 0..cfg.local_steps {
+            if batches.is_empty() {
+                break;
+            }
+            if cursor >= batches.len() {
+                batches = data.batches(cfg.batch_size, &mut rng);
+                cursor = 0;
+            }
+            let batch = &batches[cursor];
+            cursor += 1;
+            model.zero_grad();
+            let out = model.forward_detailed(&batch.inputs, true)?;
+            let (_, grad_logits) = cross_entropy(&out.logits, &batch.labels)?;
+            let (_, grad_features) =
+                prototype_loss(&out.features, &batch.labels, &prototypes, &has_proto)?;
+            model.backward_detailed(
+                &grad_logits,
+                Some(&grad_features.scale(PROTO_LAMBDA)),
+                &[],
+            )?;
+            opt.step(model)?;
+        }
+
+        // Compute the client's prototypes on its full shard (evaluation mode).
+        let mut sums = Tensor::zeros(&[num_classes, PROTO_DIM]);
+        let mut counts = vec![0.0f32; num_classes];
+        let batch = data.as_batch();
+        if !batch.is_empty() {
+            let out = model.forward_detailed(&batch.inputs, false)?;
+            for (i, &label) in batch.labels.iter().enumerate() {
+                if label >= num_classes {
+                    continue;
+                }
+                counts[label] += 1.0;
+                for j in 0..PROTO_DIM {
+                    let current = sums.at(&[label, j])?;
+                    sums.set(&[label, j], current + out.features.at(&[i, j])?)?;
+                }
+            }
+        }
+        Ok((sums, counts))
+    }
+}
+
+impl Default for FedProto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlAlgorithm for FedProto {
+    fn name(&self) -> String {
+        MhflMethod::FedProto.display_name().to_string()
+    }
+
+    fn setup(&mut self, ctx: &FederationContext) -> FlResult<()> {
+        self.num_classes = ctx.data().task().num_classes();
+        self.prototypes = Tensor::zeros(&[self.num_classes, PROTO_DIM]);
+        self.proto_counts = vec![0.0; self.num_classes];
+        self.ready = true;
+        Ok(())
+    }
+
+    fn run_round(
+        &mut self,
+        round: usize,
+        selected: &[usize],
+        ctx: &FederationContext,
+    ) -> FlResult<()> {
+        self.require_setup()?;
+        let mut round_sums = Tensor::zeros(&[self.num_classes, PROTO_DIM]);
+        let mut round_counts = vec![0.0f32; self.num_classes];
+        for &client in selected {
+            self.ensure_client_model(ctx, client)?;
+            let (sums, counts) = self.train_client(ctx, client, round)?;
+            round_sums.axpy(1.0, &sums)?;
+            for (acc, c) in round_counts.iter_mut().zip(counts) {
+                *acc += c;
+            }
+        }
+        // Server-side prototype aggregation (weighted mean over contributing
+        // samples); classes unseen this round keep their previous prototype.
+        for class in 0..self.num_classes {
+            if round_counts[class] > 0.0 {
+                for j in 0..PROTO_DIM {
+                    let mean = round_sums.at(&[class, j])? / round_counts[class];
+                    self.prototypes.set(&[class, j], mean)?;
+                }
+                self.proto_counts[class] += round_counts[class];
+            }
+        }
+        Ok(())
+    }
+
+    fn evaluate_global(&mut self, data: &Dataset) -> FlResult<f32> {
+        self.require_setup()?;
+        // FedProto keeps no single global model; the platform evaluates the
+        // ensemble of (up to ENSEMBLE_SIZE) trained client models.
+        if self.client_models.is_empty() || data.is_empty() {
+            return Ok(1.0 / self.num_classes.max(1) as f32);
+        }
+        let clients: Vec<usize> =
+            self.client_models.keys().copied().take(ENSEMBLE_SIZE).collect();
+        let batch = data.as_batch();
+        let mut probs = Tensor::zeros(&[batch.len(), self.num_classes]);
+        for id in clients {
+            let model = self.client_models.get_mut(&id).expect("key from map");
+            let out = model.forward_detailed(&batch.inputs, false)?;
+            probs.axpy(1.0, &out.logits.softmax_rows()?)?;
+        }
+        Ok(accuracy(&probs, &batch.labels)?)
+    }
+
+    fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32> {
+        self.require_setup()?;
+        match self.client_models.get_mut(&client) {
+            Some(model) => evaluate_accuracy(model, data),
+            // A client that never participated deploys an untrained model.
+            None => Ok(1.0 / self.num_classes.max(1) as f32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_data::{DataTask, FederatedDataset};
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_fl::{EngineConfig, FlEngine, LocalTrainConfig};
+    use mhfl_models::ModelFamily;
+
+    fn context(clients: usize) -> FederationContext {
+        let task = DataTask::UciHar;
+        let data = FederatedDataset::generate(task, clients, 20, None, 4);
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::ALL,
+            task.num_classes(),
+        );
+        // A tight compute deadline forces slow devices onto smaller family
+        // members, so the federation is genuinely topology-heterogeneous.
+        let case = ConstraintCase::Computation { deadline_secs: 60.0 };
+        let devices = case.build_population(clients, 6);
+        let assignments =
+            case.assign_clients(&pool, MhflMethod::FedProto, &devices, &CostModel::default());
+        FederationContext::new(
+            data,
+            assignments,
+            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fedproto_learns_above_chance_with_heterogeneous_topologies() {
+        let ctx = context(6);
+        let engine = FlEngine::new(EngineConfig {
+            rounds: 6,
+            sample_ratio: 0.5,
+            eval_every: 6,
+            stability_clients: 3,
+        });
+        let mut alg = FedProto::new();
+        let report = engine.run(&mut alg, &ctx).unwrap();
+        assert!(
+            report.final_accuracy() > 1.0 / 6.0 + 0.05,
+            "FedProto ensemble accuracy {}",
+            report.final_accuracy()
+        );
+        // Prototypes have been populated for at least a few classes.
+        assert!(alg.proto_counts.iter().filter(|&&c| c > 0.0).count() >= 3);
+    }
+
+    #[test]
+    fn clients_keep_distinct_architectures() {
+        // Force an explicitly topology-heterogeneous federation: alternate the
+        // assigned family between the smallest and largest ResNet.
+        let base = context(4);
+        let mut assignments = base.assignments().to_vec();
+        for (i, a) in assignments.iter_mut().enumerate() {
+            a.entry.choice.family = if i % 2 == 0 { ModelFamily::ResNet18 } else { ModelFamily::ResNet101 };
+        }
+        let ctx = FederationContext::new(
+            base.data().clone(),
+            assignments,
+            *base.train_config(),
+            base.seed(),
+        )
+        .unwrap();
+        let mut alg = FedProto::new();
+        alg.setup(&ctx).unwrap();
+        alg.run_round(1, &[0, 1, 2, 3], &ctx).unwrap();
+        let block_counts: Vec<usize> =
+            alg.client_models.values().map(ProxyModel::num_blocks).collect();
+        let mut unique = block_counts.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() >= 2, "expected heterogeneous topologies, got {block_counts:?}");
+    }
+
+    #[test]
+    fn untrained_clients_report_chance_accuracy() {
+        let ctx = context(4);
+        let mut alg = FedProto::new();
+        alg.setup(&ctx).unwrap();
+        let acc = alg.evaluate_client(2, ctx.data().test()).unwrap();
+        assert!((acc - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn use_before_setup_errors() {
+        let mut alg = FedProto::new();
+        let data = mhfl_data::generate_dataset(DataTask::UciHar, 4, 0, None);
+        assert!(alg.evaluate_global(&data).is_err());
+    }
+}

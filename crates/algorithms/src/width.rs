@@ -1,0 +1,247 @@
+//! Width-heterogeneous algorithms: Fjord, SHeteroFL and FedRolex.
+//!
+//! All three follow the sub-model partial-aggregation recipe: the server
+//! holds one full-width global model; each client receives a channel-sliced
+//! sub-model matching its assigned width fraction, trains it locally, and the
+//! server averages every global entry over the clients that covered it. The
+//! algorithms differ only in *which* channels a client receives:
+//!
+//! * **SHeteroFL** — the first `k` channels (static nested sub-networks);
+//! * **Fjord** — also nested prefixes, but each round a client trains at a
+//!   width sampled uniformly from the fractions it can support (ordered
+//!   dropout);
+//! * **FedRolex** — a rolling window whose offset advances with the round
+//!   index, so every global channel is eventually trained by small clients.
+
+use mhfl_data::Dataset;
+use mhfl_fl::submodel::{extract_submodel, ServerAggregator, WidthSelection};
+use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
+use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_models::{MhflMethod, ProxyModel};
+use mhfl_nn::{ParamSpec, StateDict};
+use mhfl_tensor::SeededRng;
+
+use crate::common::{build_global_model, client_proxy_config};
+
+/// The standard width fractions clients may train at.
+const WIDTH_FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// A width-heterogeneity MHFL algorithm (Fjord / SHeteroFL / FedRolex).
+pub struct WidthAlgorithm {
+    method: MhflMethod,
+    global: Option<ProxyModel>,
+    global_sd: StateDict,
+    global_specs: Vec<ParamSpec>,
+    last_round: usize,
+}
+
+impl WidthAlgorithm {
+    /// Creates the algorithm for one of the width-level methods.
+    ///
+    /// # Panics
+    /// Panics if `method` is not a width-level method — selecting the wrong
+    /// variant is a programming error, not a runtime condition.
+    pub fn new(method: MhflMethod) -> Self {
+        assert!(
+            matches!(method, MhflMethod::Fjord | MhflMethod::SHeteroFl | MhflMethod::FedRolex),
+            "{method} is not a width-level method"
+        );
+        WidthAlgorithm {
+            method,
+            global: None,
+            global_sd: StateDict::new(),
+            global_specs: Vec::new(),
+            last_round: 0,
+        }
+    }
+
+    fn selection(&self, round: usize) -> WidthSelection {
+        match self.method {
+            MhflMethod::FedRolex => WidthSelection::Rolling { shift: round },
+            _ => WidthSelection::Prefix,
+        }
+    }
+
+    /// The width a client trains at this round.
+    fn round_width(&self, assigned: f64, rng: &mut SeededRng) -> f64 {
+        match self.method {
+            MhflMethod::Fjord => {
+                let allowed: Vec<f64> =
+                    WIDTH_FRACTIONS.iter().copied().filter(|w| *w <= assigned + 1e-9).collect();
+                if allowed.is_empty() {
+                    assigned
+                } else {
+                    allowed[rng.index(allowed.len())]
+                }
+            }
+            _ => assigned,
+        }
+    }
+
+    fn global_mut(&mut self) -> FlResult<&mut ProxyModel> {
+        self.global
+            .as_mut()
+            .ok_or_else(|| FlError::InvalidConfig("algorithm used before setup".into()))
+    }
+}
+
+impl FlAlgorithm for WidthAlgorithm {
+    fn name(&self) -> String {
+        self.method.display_name().to_string()
+    }
+
+    fn setup(&mut self, ctx: &FederationContext) -> FlResult<()> {
+        let global = build_global_model(ctx, self.method);
+        self.global_sd = global.state_dict();
+        self.global_specs = global.param_specs();
+        self.global = Some(global);
+        Ok(())
+    }
+
+    fn run_round(
+        &mut self,
+        round: usize,
+        selected: &[usize],
+        ctx: &FederationContext,
+    ) -> FlResult<()> {
+        self.last_round = round;
+        let mut aggregator = ServerAggregator::new(self.global_specs.clone());
+        let selection = self.selection(round);
+        for &client in selected {
+            let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+            let assigned = ctx.assignment(client).entry.choice.width_fraction;
+            let width = self.round_width(assigned, &mut rng);
+            let cfg = client_proxy_config(ctx, client, self.method).with_width(width);
+            let mut model = ProxyModel::new(cfg)?;
+            let sub = extract_submodel(
+                &self.global_sd,
+                &self.global_specs,
+                &model.param_specs(),
+                selection,
+            )?;
+            model.load_state_dict(&sub)?;
+            let data = ctx.data().client(client);
+            local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+            aggregator.add_update(&model.state_dict(), selection, data.len().max(1) as f32)?;
+        }
+        self.global_sd = aggregator.finalize(&self.global_sd)?;
+        Ok(())
+    }
+
+    fn evaluate_global(&mut self, data: &Dataset) -> FlResult<f32> {
+        let sd = self.global_sd.clone();
+        let global = self.global_mut()?;
+        global.load_state_dict(&sd)?;
+        evaluate_accuracy(global, data)
+    }
+
+    fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32> {
+        // A client deploys its assigned-width nested sub-model of the final
+        // global parameters (prefix slice, matching how it would run offline).
+        let Some(global) = self.global.as_ref() else {
+            return Err(FlError::InvalidConfig("algorithm used before setup".into()));
+        };
+        let width = WIDTH_FRACTIONS[client % WIDTH_FRACTIONS.len()];
+        let cfg = global.config().with_width(width).with_aux_heads(false);
+        let mut model = ProxyModel::new(cfg)?;
+        let sub = extract_submodel(
+            &self.global_sd,
+            &self.global_specs,
+            &model.param_specs(),
+            WidthSelection::Prefix,
+        )?;
+        model.load_state_dict(&sub)?;
+        evaluate_accuracy(&mut model, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_data::{DataTask, FederatedDataset};
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_fl::{EngineConfig, FlEngine, LocalTrainConfig};
+    use mhfl_models::ModelFamily;
+
+    fn context(task: DataTask, method: MhflMethod, clients: usize) -> FederationContext {
+        let data = FederatedDataset::generate(task, clients, 20, None, 1);
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::ALL,
+            task.num_classes(),
+        );
+        let case = ConstraintCase::Computation { deadline_secs: 350.0 };
+        let devices = case.build_population(clients, 2);
+        let assignments = case.assign_clients(&pool, method, &devices, &CostModel::default());
+        FederationContext::new(
+            data,
+            assignments,
+            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            1,
+        )
+        .unwrap()
+    }
+
+    fn run_method(method: MhflMethod, task: DataTask) -> f32 {
+        let ctx = context(task, method, 6);
+        let engine = FlEngine::new(EngineConfig {
+            rounds: 6,
+            sample_ratio: 0.5,
+            eval_every: 6,
+            stability_clients: 3,
+        });
+        let mut alg = WidthAlgorithm::new(method);
+        let report = engine.run(&mut alg, &ctx).unwrap();
+        report.final_accuracy()
+    }
+
+    #[test]
+    fn shetherofl_learns_above_chance_on_har() {
+        let acc = run_method(MhflMethod::SHeteroFl, DataTask::UciHar);
+        assert!(acc > 1.0 / 6.0 + 0.1, "SHeteroFL accuracy {acc} should beat chance");
+    }
+
+    #[test]
+    fn fedrolex_and_fjord_learn_above_chance_on_har() {
+        let rolex = run_method(MhflMethod::FedRolex, DataTask::UciHar);
+        let fjord = run_method(MhflMethod::Fjord, DataTask::UciHar);
+        assert!(rolex > 1.0 / 6.0 + 0.05, "FedRolex accuracy {rolex}");
+        assert!(fjord > 1.0 / 6.0 + 0.05, "Fjord accuracy {fjord}");
+    }
+
+    #[test]
+    fn selection_strategy_matches_method() {
+        let shetero = WidthAlgorithm::new(MhflMethod::SHeteroFl);
+        assert_eq!(shetero.selection(7), WidthSelection::Prefix);
+        let rolex = WidthAlgorithm::new(MhflMethod::FedRolex);
+        assert_eq!(rolex.selection(7), WidthSelection::Rolling { shift: 7 });
+    }
+
+    #[test]
+    fn fjord_samples_widths_up_to_assignment() {
+        let alg = WidthAlgorithm::new(MhflMethod::Fjord);
+        let mut rng = SeededRng::new(0);
+        for _ in 0..50 {
+            let w = alg.round_width(0.5, &mut rng);
+            assert!(w <= 0.5 + 1e-9);
+            assert!(WIDTH_FRACTIONS.contains(&w));
+        }
+        let shetero = WidthAlgorithm::new(MhflMethod::SHeteroFl);
+        assert_eq!(shetero.round_width(0.75, &mut rng), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a width-level method")]
+    fn wrong_method_is_rejected() {
+        let _ = WidthAlgorithm::new(MhflMethod::DepthFl);
+    }
+
+    #[test]
+    fn evaluate_before_setup_errors() {
+        let mut alg = WidthAlgorithm::new(MhflMethod::SHeteroFl);
+        let data = mhfl_data::generate_dataset(DataTask::UciHar, 8, 0, None);
+        assert!(alg.evaluate_global(&data).is_err());
+        assert!(alg.evaluate_client(0, &data).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmarks server-side partial aggregation of heterogeneous client updates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhfl_fl::submodel::{extract_submodel, ServerAggregator, WidthSelection};
+use mhfl_models::{InputKind, ModelFamily, ProxyConfig, ProxyModel};
+
+fn bench_aggregation(c: &mut Criterion) {
+    let cfg = ProxyConfig::for_family(
+        ModelFamily::ResNet101,
+        InputKind::Image { channels: 3, height: 8, width: 8 },
+        100,
+        0,
+    );
+    let global = ProxyModel::new(cfg).unwrap();
+    let global_sd = global.state_dict();
+    let specs = global.param_specs();
+    // Ten clients at mixed widths.
+    let updates: Vec<_> = (0..10)
+        .map(|i| {
+            let width = [0.25, 0.5, 0.75, 1.0][i % 4];
+            let client_specs = ProxyModel::new(cfg.with_width(width)).unwrap().param_specs();
+            extract_submodel(&global_sd, &specs, &client_specs, WidthSelection::Prefix).unwrap()
+        })
+        .collect();
+
+    c.bench_function("aggregate_10_mixed_width_clients", |b| {
+        b.iter(|| {
+            let mut agg = ServerAggregator::new(specs.clone());
+            for u in &updates {
+                agg.add_update(u, WidthSelection::Prefix, 1.0).unwrap();
+            }
+            black_box(agg.finalize(&global_sd).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks the analytical cost model and constraint-based model-pool
+//! selection (the operations behind Table I, Fig. 3 and client assignment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+use mhfl_models::{MhflMethod, ModelFamily, ModelSpec};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+    c.bench_function("analytical_stats_resnet101", |b| {
+        b.iter(|| black_box(spec.stats(black_box(0.5), black_box(1.0))))
+    });
+
+    let pool = ModelPool::build(
+        ModelFamily::ResNet101,
+        &ModelFamily::RESNET_FAMILY,
+        &MhflMethod::HETEROGENEOUS,
+        100,
+    );
+    let case = ConstraintCase::Computation { deadline_secs: 300.0 };
+    let devices = case.build_population(100, 0);
+    let cost_model = CostModel::default();
+    c.bench_function("assign_100_clients_computation_limited", |b| {
+        b.iter(|| {
+            black_box(case.assign_clients(&pool, MhflMethod::SHeteroFl, &devices, &cost_model))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks one full federated round (local training + aggregation) for a
+//! width-level and a depth-level algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhfl_algorithms::build_algorithm;
+use mhfl_data::{DataTask, FederatedDataset};
+use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+use mhfl_fl::{FederationContext, LocalTrainConfig};
+use mhfl_models::{MhflMethod, ModelFamily};
+
+fn context(method: MhflMethod) -> FederationContext {
+    let task = DataTask::UciHar;
+    let data = FederatedDataset::generate(task, 8, 16, None, 0);
+    let pool = ModelPool::build(
+        ModelFamily::ResNet101,
+        &ModelFamily::RESNET_FAMILY,
+        &MhflMethod::ALL,
+        task.num_classes(),
+    );
+    let case = ConstraintCase::Memory;
+    let devices = case.build_population(8, 0);
+    let assignments = case.assign_clients(&pool, method, &devices, &CostModel::default());
+    FederationContext::new(
+        data,
+        assignments,
+        LocalTrainConfig { local_steps: 2, ..LocalTrainConfig::default() },
+        0,
+    )
+    .unwrap()
+}
+
+fn bench_round(c: &mut Criterion) {
+    for method in [MhflMethod::SHeteroFl, MhflMethod::DepthFl] {
+        let ctx = context(method);
+        c.bench_function(&format!("federated_round_{method}"), |b| {
+            b.iter(|| {
+                let mut alg = build_algorithm(method);
+                alg.setup(&ctx).unwrap();
+                black_box(alg.run_round(1, &[0, 1, 2, 3], &ctx).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks one local SGD step of each proxy-model modality.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhfl_data::{generate_dataset, DataTask};
+use mhfl_fl::train::local_train_ce;
+use mhfl_fl::LocalTrainConfig;
+use mhfl_models::{ProxyConfig, ProxyModel};
+use mhfl_tensor::SeededRng;
+use pracmhbench_core::base_family_for_task;
+
+fn bench_training_step(c: &mut Criterion) {
+    for task in [DataTask::Cifar10, DataTask::AgNews, DataTask::UciHar] {
+        let data = generate_dataset(task, 64, 0, None);
+        let cfg = LocalTrainConfig { local_steps: 1, batch_size: 16, ..LocalTrainConfig::default() };
+        c.bench_function(&format!("local_step_{task}"), |b| {
+            b.iter(|| {
+                let mut model = ProxyModel::new(ProxyConfig::for_family(
+                    base_family_for_task(task),
+                    task.input_kind(),
+                    task.num_classes(),
+                    1,
+                ))
+                .unwrap();
+                let mut rng = SeededRng::new(2);
+                black_box(local_train_ce(&mut model, &data, &cfg, &mut rng).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

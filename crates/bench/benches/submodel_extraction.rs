@@ -1,0 +1,44 @@
+//! Benchmarks width sub-model extraction (prefix and rolling) from a global
+//! proxy model — the per-client cost a server pays every round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhfl_fl::submodel::{extract_submodel, WidthSelection};
+use mhfl_models::{InputKind, ModelFamily, ProxyConfig, ProxyModel};
+
+fn bench_extraction(c: &mut Criterion) {
+    let cfg = ProxyConfig::for_family(
+        ModelFamily::ResNet101,
+        InputKind::Image { channels: 3, height: 8, width: 8 },
+        100,
+        0,
+    );
+    let global = ProxyModel::new(cfg).unwrap();
+    let global_sd = global.state_dict();
+    let global_specs = global.param_specs();
+    let half_specs = ProxyModel::new(cfg.with_width(0.5)).unwrap().param_specs();
+
+    c.bench_function("extract_prefix_half_width", |b| {
+        b.iter(|| {
+            black_box(
+                extract_submodel(&global_sd, &global_specs, &half_specs, WidthSelection::Prefix)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("extract_rolling_half_width", |b| {
+        b.iter(|| {
+            black_box(
+                extract_submodel(
+                    &global_sd,
+                    &global_specs,
+                    &half_specs,
+                    WidthSelection::Rolling { shift: 13 },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Micro-benchmarks of the tensor substrate (matmul, softmax, gather).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhfl_tensor::{SeededRng, Tensor};
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut rng = SeededRng::new(0);
+    let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    let logits = Tensor::randn(&[128, 100], 1.0, &mut rng);
+    c.bench_function("softmax_rows_128x100", |bench| {
+        bench.iter(|| black_box(logits.softmax_rows().unwrap()))
+    });
+    let big = Tensor::randn(&[256, 64], 1.0, &mut rng);
+    let idx: Vec<usize> = (0..128).collect();
+    c.bench_function("gather_axis0_128_of_256", |bench| {
+        bench.iter(|| black_box(big.gather_axis0(&idx).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_tensor_ops);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Fig. 7: accuracy of every method on CIFAR-100 under single and
+//! combined constraints (Comp, Mem, Comm, Mem+Comm, Mem+Comm+Comp).
+
+use mhfl_bench::{print_table, scale_from_args, Table};
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_models::MhflMethod;
+use pracmhbench_core::ExperimentSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_args();
+    let cases = [
+        ConstraintCase::Computation { deadline_secs: 300.0 },
+        ConstraintCase::Memory,
+        ConstraintCase::Communication { budget_secs: 200.0 },
+        ConstraintCase::memory_plus_communication(200.0),
+        ConstraintCase::all_combined(300.0, 200.0),
+    ];
+    let mut table = Table::new(
+        "Fig. 7 — analysis of constraint combinations (CIFAR-100 accuracy)",
+        &["Method", "Comp", "Mem", "Comm", "Mem+Comm", "Mem+Comm+Comp"],
+    );
+    for method in MhflMethod::HETEROGENEOUS {
+        let mut row = vec![method.to_string()];
+        for case in cases {
+            let outcome = ExperimentSpec::new(DataTask::Cifar100, method, case)
+                .with_scale(scale)
+                .run()?;
+            row.push(format!("{:.3}", outcome.summary.global_accuracy));
+        }
+        table.push_row(row);
+    }
+    print_table(&table);
+    Ok(())
+}

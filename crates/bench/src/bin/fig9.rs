@@ -1,0 +1,55 @@
+//! Regenerates Fig. 9: scalability analysis — accuracy and time-to-accuracy
+//! versus the number of clients under the memory-limited constraint on
+//! CIFAR-100.
+
+use mhfl_bench::{print_series, print_table, scale_from_args, Table};
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_models::MhflMethod;
+use pracmhbench_core::{ExperimentSpec, RunScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_args();
+    let client_counts: Vec<usize> = match scale {
+        RunScale::Quick => vec![4, 8, 12],
+        RunScale::Standard => vec![20, 40, 80],
+        RunScale::Paper => vec![100, 200, 500],
+    };
+    let methods = [
+        MhflMethod::Fjord,
+        MhflMethod::SHeteroFl,
+        MhflMethod::FedRolex,
+        MhflMethod::FeDepth,
+        MhflMethod::InclusiveFl,
+        MhflMethod::DepthFl,
+        MhflMethod::FedEt,
+    ];
+    let mut table = Table::new(
+        "Fig. 9 — scalability on memory-limited CIFAR-100",
+        &["Method", "Clients", "Accuracy", "TimeToAcc(h)"],
+    );
+    for method in methods {
+        let mut accs = Vec::new();
+        for &clients in &client_counts {
+            let outcome = ExperimentSpec::new(DataTask::Cifar100, method, ConstraintCase::Memory)
+                .with_scale(scale)
+                .with_num_clients(clients)
+                .with_target_accuracy(0.3)
+                .run()?;
+            accs.push(outcome.summary.global_accuracy as f64);
+            table.push_row(vec![
+                method.to_string(),
+                clients.to_string(),
+                format!("{:.3}", outcome.summary.global_accuracy),
+                outcome
+                    .summary
+                    .time_to_accuracy_secs
+                    .map(|s| format!("{:.2}", s / 3600.0))
+                    .unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        print_series(&format!("{method} accuracy vs clients {client_counts:?}"), &accs);
+    }
+    print_table(&table);
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Command-line handling shared by the regeneration binaries.
+
+pub use pracmhbench_core::RunScale;
+
+/// Parses the run scale from the process arguments / environment.
+///
+/// * `--quick` or `PRACMHBENCH_QUICK=1` → [`RunScale::Quick`] (CI / smoke tests);
+/// * `--paper` → [`RunScale::Paper`] (the paper's full scale);
+/// * otherwise → [`RunScale::Standard`].
+pub fn scale_from_args() -> RunScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--paper") {
+        return RunScale::Paper;
+    }
+    if args.iter().any(|a| a == "--quick")
+        || std::env::var("PRACMHBENCH_QUICK").map_or(false, |v| v == "1")
+    {
+        return RunScale::Quick;
+    }
+    RunScale::Standard
+}

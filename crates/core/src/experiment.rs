@@ -1,0 +1,280 @@
+//! Experiment specification and the evaluation track.
+
+use mhfl_algorithms::build_algorithm;
+use mhfl_data::{DataTask, FederatedDataset, Partition};
+use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+use mhfl_fl::{EngineConfig, FederationContext, FlEngine, FlResult, LocalTrainConfig, MetricsReport};
+use mhfl_models::MhflMethod;
+use serde::{Deserialize, Serialize};
+
+use crate::{base_family_for_task, topology_group_for_task};
+
+/// How large an experiment to run.
+///
+/// `Paper` mirrors the paper's setup (hundreds of clients, 1000 rounds) and
+/// is only practical on a beefy machine; `Quick` is used by the test suite
+/// and the `--quick` mode of the benchmark binaries; `Standard` is the
+/// default for the figure-regeneration harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunScale {
+    /// Tiny runs for CI and smoke tests.
+    Quick,
+    /// Default scale for regenerating figures on a laptop.
+    Standard,
+    /// The paper's own scale (1000 rounds, paper client counts).
+    Paper,
+}
+
+impl RunScale {
+    /// `(num_clients, samples_per_client, rounds, sample_ratio)` for a task.
+    fn parameters(&self, task: DataTask) -> (usize, usize, usize, f64) {
+        match self {
+            RunScale::Quick => (6, 16, 4, 0.5),
+            RunScale::Standard => (20, 30, 20, 0.25),
+            RunScale::Paper => (task.paper_num_clients(), 50, 1000, 0.1),
+        }
+    }
+}
+
+/// Summary of one experiment in terms of the paper's four metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricSummary {
+    /// Metric (i): final global accuracy.
+    pub global_accuracy: f32,
+    /// Metric (ii): simulated seconds to reach the target accuracy
+    /// (`None` if never reached).
+    pub time_to_accuracy_secs: Option<f64>,
+    /// Metric (iii): variance of per-client accuracies (lower = more stable).
+    pub stability: f32,
+    /// Metric (iv): accuracy improvement over the smallest-homogeneous
+    /// baseline (only populated when a baseline accuracy was supplied).
+    pub effectiveness: Option<f32>,
+    /// Total simulated wall-clock time of the run.
+    pub total_time_secs: f64,
+}
+
+/// The result of running one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// The method that was evaluated.
+    pub method: MhflMethod,
+    /// The task it ran on.
+    pub task: DataTask,
+    /// The constraint label (e.g. `"Comp"`).
+    pub constraint: String,
+    /// Four-metric summary.
+    pub summary: MetricSummary,
+    /// The full per-round metric report.
+    pub report: MetricsReport,
+}
+
+/// A fully-specified experiment of the evaluation track (Fig. 1): one data
+/// task, one algorithm, one practical constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// The data task.
+    pub task: DataTask,
+    /// The MHFL algorithm.
+    pub method: MhflMethod,
+    /// The device constraint case.
+    pub constraint: ConstraintCase,
+    /// Run scale.
+    pub scale: RunScale,
+    /// Optional override of the data partition (IID / Dirichlet / by-user).
+    pub partition: Option<Partition>,
+    /// Optional override of the number of clients.
+    pub num_clients: Option<usize>,
+    /// Target accuracy for the time-to-accuracy metric.
+    pub target_accuracy: f32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Creates a specification with standard-scale defaults.
+    pub fn new(task: DataTask, method: MhflMethod, constraint: ConstraintCase) -> Self {
+        ExperimentSpec {
+            task,
+            method,
+            constraint,
+            scale: RunScale::Standard,
+            partition: None,
+            num_clients: None,
+            target_accuracy: 0.5,
+            seed: 42,
+        }
+    }
+
+    /// Sets the run scale.
+    pub fn with_scale(mut self, scale: RunScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the data partition.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Overrides the number of clients (the scalability analysis of Fig. 9).
+    pub fn with_num_clients(mut self, clients: usize) -> Self {
+        self.num_clients = Some(clients);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the time-to-accuracy target.
+    pub fn with_target_accuracy(mut self, target: f32) -> Self {
+        self.target_accuracy = target;
+        self
+    }
+
+    /// Builds the federation context this spec describes.
+    ///
+    /// # Errors
+    /// Returns an error if the context is inconsistent (should not happen for
+    /// specs built through the public API).
+    pub fn build_context(&self) -> FlResult<FederationContext> {
+        let (default_clients, samples_per_client, _rounds, _ratio) =
+            self.scale.parameters(self.task);
+        let num_clients = self.num_clients.unwrap_or(default_clients);
+        let data = FederatedDataset::generate(
+            self.task,
+            num_clients,
+            samples_per_client,
+            self.partition,
+            self.seed,
+        );
+        let pool = ModelPool::build(
+            base_family_for_task(self.task),
+            &topology_group_for_task(self.task),
+            &MhflMethod::ALL,
+            self.task.num_classes(),
+        );
+        let devices = self.constraint.build_population(num_clients, self.seed);
+        let assignments =
+            self.constraint.assign_clients(&pool, self.method, &devices, &CostModel::default());
+        let train = LocalTrainConfig::default();
+        FederationContext::new(data, assignments, train, self.seed)
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    /// Propagates engine/algorithm failures.
+    pub fn run(&self) -> FlResult<ExperimentOutcome> {
+        let (_clients, _spc, rounds, sample_ratio) = self.scale.parameters(self.task);
+        let ctx = self.build_context()?;
+        let engine = FlEngine::new(EngineConfig {
+            rounds,
+            sample_ratio,
+            eval_every: (rounds / 4).max(1),
+            stability_clients: 8,
+        });
+        let mut algorithm = build_algorithm(self.method);
+        let report = engine.run(algorithm.as_mut(), &ctx)?;
+        let summary = MetricSummary {
+            global_accuracy: report.final_accuracy(),
+            time_to_accuracy_secs: report.time_to_accuracy(self.target_accuracy),
+            stability: report.stability(),
+            effectiveness: None,
+            total_time_secs: report.total_sim_time_secs(),
+        };
+        Ok(ExperimentOutcome {
+            method: self.method,
+            task: self.task,
+            constraint: self.constraint.label(),
+            summary,
+            report,
+        })
+    }
+
+    /// Runs a set of methods on this spec's task/constraint, including the
+    /// smallest-homogeneous baseline, and fills in the effectiveness metric
+    /// of every outcome relative to that baseline.
+    ///
+    /// # Errors
+    /// Propagates failures from any individual run.
+    pub fn run_comparison(&self, methods: &[MhflMethod]) -> FlResult<Vec<ExperimentOutcome>> {
+        let baseline = ExperimentSpec { method: MhflMethod::HomogeneousSmallest, ..*self }.run()?;
+        let baseline_acc = baseline.summary.global_accuracy;
+        let mut outcomes = Vec::with_capacity(methods.len() + 1);
+        for &method in methods {
+            let mut outcome = ExperimentSpec { method, ..*self }.run()?;
+            outcome.summary.effectiveness = Some(outcome.summary.global_accuracy - baseline_acc);
+            outcomes.push(outcome);
+        }
+        outcomes.push(baseline);
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_spec_runs_end_to_end() {
+        let spec = ExperimentSpec::new(
+            DataTask::UciHar,
+            MhflMethod::SHeteroFl,
+            ConstraintCase::Computation { deadline_secs: 300.0 },
+        )
+        .with_scale(RunScale::Quick)
+        .with_seed(7);
+        let outcome = spec.run().unwrap();
+        assert_eq!(outcome.method, MhflMethod::SHeteroFl);
+        assert!(outcome.summary.global_accuracy > 0.0);
+        assert!(outcome.summary.total_time_secs > 0.0);
+        assert!(!outcome.report.records.is_empty());
+        assert_eq!(outcome.constraint, "Comp");
+    }
+
+    #[test]
+    fn comparison_fills_effectiveness() {
+        let spec = ExperimentSpec::new(
+            DataTask::UciHar,
+            MhflMethod::FeDepth,
+            ConstraintCase::Memory,
+        )
+        .with_scale(RunScale::Quick)
+        .with_seed(3);
+        let outcomes = spec.run_comparison(&[MhflMethod::FeDepth, MhflMethod::SHeteroFl]).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].summary.effectiveness.is_some());
+        assert!(outcomes[1].summary.effectiveness.is_some());
+        // The baseline row itself has no effectiveness value.
+        assert_eq!(outcomes[2].method, MhflMethod::HomogeneousSmallest);
+        assert!(outcomes[2].summary.effectiveness.is_none());
+    }
+
+    #[test]
+    fn scalability_override_changes_client_count() {
+        let spec = ExperimentSpec::new(
+            DataTask::UciHar,
+            MhflMethod::Fjord,
+            ConstraintCase::Memory,
+        )
+        .with_scale(RunScale::Quick)
+        .with_num_clients(9);
+        let ctx = spec.build_context().unwrap();
+        assert_eq!(ctx.num_clients(), 9);
+    }
+
+    #[test]
+    fn scale_parameters_grow_monotonically() {
+        let (qc, _, qr, _) = RunScale::Quick.parameters(DataTask::Cifar10);
+        let (sc, _, sr, _) = RunScale::Standard.parameters(DataTask::Cifar10);
+        let (pc, _, pr, _) = RunScale::Paper.parameters(DataTask::Cifar10);
+        assert!(qc < sc && sc < pc);
+        assert!(qr < sr && sr < pr);
+        assert_eq!(pc, 100);
+        assert_eq!(pr, 1000);
+    }
+}

@@ -1,0 +1,106 @@
+//! Static platform inventory (the paper's Table II) and task→model mapping.
+
+use mhfl_data::DataTask;
+use mhfl_models::{HeterogeneityLevel, MhflMethod, ModelFamily};
+use serde::{Deserialize, Serialize};
+
+/// The base architecture family the paper pairs with each data task for
+/// width/depth-heterogeneous experiments.
+pub fn base_family_for_task(task: DataTask) -> ModelFamily {
+    match task {
+        // The paper uses ResNet-101 on CIFAR-100 and MobileNetV2 on CIFAR-10.
+        DataTask::Cifar100 => ModelFamily::ResNet101,
+        DataTask::Cifar10 => ModelFamily::MobileNetV2,
+        // ALBERT on Stack Overflow, a customised transformer on AG-News.
+        DataTask::StackOverflow => ModelFamily::AlbertBase,
+        DataTask::AgNews => ModelFamily::CustomTransformer,
+        // Customised CNNs for both HAR tasks.
+        DataTask::HarBox | DataTask::UciHar => ModelFamily::HarCnn,
+    }
+}
+
+/// The family group used for topology-heterogeneous experiments on a task
+/// (ResNet family on CIFAR-100, MobileNet family on CIFAR-10, ALBERT family
+/// on Stack Overflow; single-family groups elsewhere).
+pub fn topology_group_for_task(task: DataTask) -> Vec<ModelFamily> {
+    match task {
+        DataTask::Cifar100 => ModelFamily::RESNET_FAMILY.to_vec(),
+        DataTask::Cifar10 => ModelFamily::MOBILENET_FAMILY.to_vec(),
+        DataTask::StackOverflow => ModelFamily::ALBERT_FAMILY.to_vec(),
+        DataTask::AgNews => vec![ModelFamily::CustomTransformer],
+        DataTask::HarBox | DataTask::UciHar => vec![ModelFamily::HarCnn],
+    }
+}
+
+/// One row of the platform inventory (Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformInventory {
+    /// Heterogeneity level.
+    pub level: HeterogeneityLevel,
+    /// Algorithm.
+    pub method: MhflMethod,
+    /// CV models/datasets paired with the algorithm.
+    pub cv: String,
+    /// NLP models/datasets (empty when the paper omits the combination).
+    pub nlp: String,
+    /// HAR models/datasets.
+    pub har: String,
+}
+
+impl PlatformInventory {
+    /// The full inventory, one row per heterogeneous algorithm.
+    pub fn rows() -> Vec<PlatformInventory> {
+        MhflMethod::HETEROGENEOUS
+            .iter()
+            .map(|&method| PlatformInventory {
+                level: method.level(),
+                method,
+                cv: "ResNet-101 / MobileNetV2 variants on CIFAR-100 / CIFAR-10".to_string(),
+                nlp: if method.supports_nlp() {
+                    "ALBERT / custom transformer variants on Stack Overflow / AG-News".to_string()
+                } else {
+                    "—".to_string()
+                },
+                har: "Customised CNN on HAR-BOX / UCI-HAR".to_string(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_task_has_a_base_family_of_matching_modality() {
+        for task in DataTask::ALL {
+            let family = base_family_for_task(task);
+            match task.modality() {
+                mhfl_data::Modality::Cv => assert!(family.is_vision()),
+                mhfl_data::Modality::Nlp => assert!(family.is_language()),
+                mhfl_data::Modality::Har => assert!(family.is_har()),
+            }
+        }
+    }
+
+    #[test]
+    fn topology_groups_contain_the_base_family_modality() {
+        for task in DataTask::ALL {
+            let group = topology_group_for_task(task);
+            assert!(!group.is_empty());
+        }
+        assert_eq!(topology_group_for_task(DataTask::Cifar100).len(), 4);
+        assert_eq!(topology_group_for_task(DataTask::Cifar10).len(), 3);
+        assert_eq!(topology_group_for_task(DataTask::StackOverflow).len(), 3);
+    }
+
+    #[test]
+    fn inventory_has_eight_rows_and_marks_nlp_gaps() {
+        let rows = PlatformInventory::rows();
+        assert_eq!(rows.len(), 8);
+        let fedet = rows.iter().find(|r| r.method == MhflMethod::FedEt).unwrap();
+        assert_eq!(fedet.nlp, "—");
+        let fjord = rows.iter().find(|r| r.method == MhflMethod::Fjord).unwrap();
+        assert_ne!(fjord.nlp, "—");
+    }
+}

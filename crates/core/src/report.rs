@@ -1,0 +1,121 @@
+//! Plain-text result tables for the benchmark harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ExperimentOutcome;
+
+/// One printable row of a method-comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Method name.
+    pub method: String,
+    /// Heterogeneity level.
+    pub level: String,
+    /// Final global accuracy.
+    pub global_accuracy: f32,
+    /// Time-to-accuracy in simulated hours (`None` if the target was not reached).
+    pub time_to_accuracy_hours: Option<f64>,
+    /// Stability (variance of client accuracies).
+    pub stability: f32,
+    /// Effectiveness over the homogeneous baseline.
+    pub effectiveness: Option<f32>,
+}
+
+impl ComparisonRow {
+    /// Builds a row from an experiment outcome.
+    pub fn from_outcome(outcome: &ExperimentOutcome) -> Self {
+        ComparisonRow {
+            method: outcome.method.display_name().to_string(),
+            level: outcome.method.level().to_string(),
+            global_accuracy: outcome.summary.global_accuracy,
+            time_to_accuracy_hours: outcome.summary.time_to_accuracy_secs.map(|s| s / 3600.0),
+            stability: outcome.summary.stability,
+            effectiveness: outcome.summary.effectiveness,
+        }
+    }
+}
+
+/// Formats rows of strings into an aligned plain-text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let format_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = format_row(&header_cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricSummary;
+    use mhfl_data::DataTask;
+    use mhfl_fl::MetricsReport;
+    use mhfl_models::MhflMethod;
+
+    #[test]
+    fn comparison_row_converts_units() {
+        let outcome = ExperimentOutcome {
+            method: MhflMethod::SHeteroFl,
+            task: DataTask::Cifar100,
+            constraint: "Comp".into(),
+            summary: MetricSummary {
+                global_accuracy: 0.61,
+                time_to_accuracy_secs: Some(7200.0),
+                stability: 0.002,
+                effectiveness: Some(0.05),
+                total_time_secs: 9000.0,
+            },
+            report: MetricsReport::new("SHeteroFL"),
+        };
+        let row = ComparisonRow::from_outcome(&outcome);
+        assert_eq!(row.method, "SHeteroFL");
+        assert_eq!(row.level, "width");
+        assert_eq!(row.time_to_accuracy_hours, Some(2.0));
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let table = format_table(
+            &["Method", "Acc"],
+            &[
+                vec!["SHeteroFL".into(), "0.61".into()],
+                vec!["Fjord".into(), "0.55".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].contains("SHeteroFL"));
+        // Columns are aligned: "Acc" column starts at the same offset in every row.
+        let offset = lines[0].find("Acc").unwrap();
+        assert_eq!(&lines[2][offset..offset + 4], "0.61");
+    }
+
+    #[test]
+    fn empty_rows_still_produce_header() {
+        let table = format_table(&["A", "B"], &[]);
+        assert!(table.starts_with("A"));
+        assert_eq!(table.lines().count(), 2);
+    }
+}

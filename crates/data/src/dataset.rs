@@ -1,0 +1,192 @@
+//! In-memory labelled datasets and mini-batching.
+
+use mhfl_tensor::{SeededRng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// One mini-batch: inputs stacked along axis 0 plus the matching labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input tensor whose leading dimension is the batch size.
+    pub inputs: Tensor,
+    /// One label per sample.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A labelled dataset held fully in memory.
+///
+/// Inputs are stored as a single tensor whose leading dimension indexes
+/// samples; the per-sample shape depends on the task modality
+/// (`[3, 8, 8]` images, `[seq]` token ids, `[dim]` feature vectors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from stacked inputs and labels.
+    ///
+    /// # Panics
+    /// Panics if the number of labels differs from the leading input
+    /// dimension — that indicates a bug in a generator, not a user error.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(
+            inputs.dims().first().copied().unwrap_or(0),
+            labels.len(),
+            "inputs and labels must describe the same number of samples"
+        );
+        Dataset { inputs, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of label classes the task defines (not the number of classes
+    /// present in this particular shard).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The stacked input tensor.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            if l < self.num_classes {
+                hist[l] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Extracts the samples at `indices` into a new dataset.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range (generator bug).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let inputs = self.inputs.gather_axis0(indices).expect("indices must be valid");
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset { inputs, labels, num_classes: self.num_classes }
+    }
+
+    /// Returns the whole dataset as a single batch.
+    pub fn as_batch(&self) -> Batch {
+        Batch { inputs: self.inputs.clone(), labels: self.labels.clone() }
+    }
+
+    /// Splits sample indices into shuffled mini-batches of at most
+    /// `batch_size` samples and materialises each as a [`Batch`].
+    pub fn batches(&self, batch_size: usize, rng: &mut SeededRng) -> Vec<Batch> {
+        let batch_size = batch_size.max(1);
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut indices);
+        indices
+            .chunks(batch_size)
+            .map(|chunk| {
+                let inputs = self.inputs.gather_axis0(chunk).expect("indices in range");
+                let labels = chunk.iter().map(|&i| self.labels[i]).collect();
+                Batch { inputs, labels }
+            })
+            .collect()
+    }
+
+    /// Splits the dataset into two parts: the first `count` samples and the
+    /// rest (used to carve a public/proxy dataset for Fed-ET off the test set).
+    pub fn split_at(&self, count: usize) -> (Dataset, Dataset) {
+        let count = count.min(self.len());
+        let first: Vec<usize> = (0..count).collect();
+        let second: Vec<usize> = (count..self.len()).collect();
+        (self.subset(&first), self.subset(&second))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let inputs = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[6, 2]).unwrap();
+        Dataset::new(inputs, vec![0, 1, 0, 1, 2, 2], 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.class_histogram(), vec![2, 2, 2]);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of samples")]
+    fn mismatched_labels_panics() {
+        let inputs = Tensor::zeros(&[3, 2]);
+        let _ = Dataset::new(inputs, vec![0, 1], 2);
+    }
+
+    #[test]
+    fn subset_selects_rows_and_labels() {
+        let ds = toy();
+        let sub = ds.subset(&[0, 4]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[0, 2]);
+        assert_eq!(sub.inputs().as_slice(), &[0.0, 1.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let ds = toy();
+        let mut rng = SeededRng::new(0);
+        let batches = ds.batches(4, &mut rng);
+        assert_eq!(batches.len(), 2);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, ds.len());
+        let mut label_count = 0;
+        for b in &batches {
+            assert_eq!(b.inputs.dims()[0], b.len());
+            label_count += b.len();
+        }
+        assert_eq!(label_count, 6);
+    }
+
+    #[test]
+    fn split_at_partitions_dataset() {
+        let ds = toy();
+        let (a, b) = ds.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 4);
+        let (all, none) = ds.split_at(100);
+        assert_eq!(all.len(), 6);
+        assert!(none.is_empty());
+    }
+}

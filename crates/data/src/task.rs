@@ -1,0 +1,186 @@
+//! The six data tasks of the benchmark.
+
+use mhfl_models::InputKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Application domain of a task (paper §III, "Data Tasks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modality {
+    /// Computer vision.
+    Cv,
+    /// Natural language processing.
+    Nlp,
+    /// Human activity recognition.
+    Har,
+}
+
+impl fmt::Display for Modality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Modality::Cv => write!(f, "CV"),
+            Modality::Nlp => write!(f, "NLP"),
+            Modality::Har => write!(f, "HAR"),
+        }
+    }
+}
+
+/// The six data tasks evaluated by PracMHBench (two per modality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum DataTask {
+    Cifar10,
+    Cifar100,
+    AgNews,
+    StackOverflow,
+    HarBox,
+    UciHar,
+}
+
+impl DataTask {
+    /// All tasks in the paper's presentation order.
+    pub const ALL: [DataTask; 6] = [
+        DataTask::Cifar10,
+        DataTask::Cifar100,
+        DataTask::AgNews,
+        DataTask::StackOverflow,
+        DataTask::HarBox,
+        DataTask::UciHar,
+    ];
+
+    /// The task's modality.
+    pub fn modality(&self) -> Modality {
+        match self {
+            DataTask::Cifar10 | DataTask::Cifar100 => Modality::Cv,
+            DataTask::AgNews | DataTask::StackOverflow => Modality::Nlp,
+            DataTask::HarBox | DataTask::UciHar => Modality::Har,
+        }
+    }
+
+    /// Number of label classes. CIFAR-100 is reduced from 100 to 20 classes
+    /// (its coarse super-classes) to keep the proxy-scale task learnable by
+    /// design; the relative difficulty ordering CIFAR-100 > CIFAR-10 is
+    /// preserved.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            DataTask::Cifar10 => 10,
+            DataTask::Cifar100 => 20,
+            DataTask::AgNews => 4,
+            DataTask::StackOverflow => 10,
+            DataTask::HarBox => 5,
+            DataTask::UciHar => 6,
+        }
+    }
+
+    /// The input shape fed to the proxy models.
+    pub fn input_kind(&self) -> InputKind {
+        match self {
+            DataTask::Cifar10 | DataTask::Cifar100 => {
+                InputKind::Image { channels: 3, height: 8, width: 8 }
+            }
+            DataTask::AgNews => InputKind::Tokens { vocab: 64, seq_len: 12 },
+            DataTask::StackOverflow => InputKind::Tokens { vocab: 96, seq_len: 12 },
+            DataTask::HarBox => InputKind::Features { dim: 27 },
+            DataTask::UciHar => InputKind::Features { dim: 36 },
+        }
+    }
+
+    /// Whether the paper partitions this task naturally by user id
+    /// (Stack Overflow, HAR-BOX, UCI-HAR) rather than IID.
+    pub fn naturally_non_iid(&self) -> bool {
+        matches!(self, DataTask::StackOverflow | DataTask::HarBox | DataTask::UciHar)
+    }
+
+    /// The client population the paper uses for this task
+    /// (100, 100, 50, 500, 100, 30).
+    pub fn paper_num_clients(&self) -> usize {
+        match self {
+            DataTask::Cifar10 | DataTask::Cifar100 | DataTask::HarBox => 100,
+            DataTask::AgNews => 50,
+            DataTask::StackOverflow => 500,
+            DataTask::UciHar => 30,
+        }
+    }
+
+    /// How separable the synthetic classes are (distance between class
+    /// templates relative to noise). Calibrated so that CV tasks are harder
+    /// than HAR tasks and CIFAR-100 is harder than CIFAR-10, mirroring the
+    /// relative accuracy levels in the paper.
+    pub fn class_separation(&self) -> f32 {
+        match self {
+            DataTask::Cifar10 => 1.2,
+            DataTask::Cifar100 => 0.8,
+            DataTask::AgNews => 1.5,
+            DataTask::StackOverflow => 1.0,
+            DataTask::HarBox => 2.0,
+            DataTask::UciHar => 1.8,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            DataTask::Cifar10 => "CIFAR-10",
+            DataTask::Cifar100 => "CIFAR-100",
+            DataTask::AgNews => "AG-News",
+            DataTask::StackOverflow => "Stack Overflow",
+            DataTask::HarBox => "HAR-BOX",
+            DataTask::UciHar => "UCI-HAR",
+        }
+    }
+}
+
+impl fmt::Display for DataTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tasks_per_modality() {
+        for modality in [Modality::Cv, Modality::Nlp, Modality::Har] {
+            let count = DataTask::ALL.iter().filter(|t| t.modality() == modality).count();
+            assert_eq!(count, 2, "{modality} should have two tasks");
+        }
+    }
+
+    #[test]
+    fn paper_client_counts() {
+        assert_eq!(DataTask::Cifar10.paper_num_clients(), 100);
+        assert_eq!(DataTask::AgNews.paper_num_clients(), 50);
+        assert_eq!(DataTask::StackOverflow.paper_num_clients(), 500);
+        assert_eq!(DataTask::UciHar.paper_num_clients(), 30);
+    }
+
+    #[test]
+    fn natural_noniid_tasks_match_paper() {
+        assert!(!DataTask::Cifar10.naturally_non_iid());
+        assert!(!DataTask::Cifar100.naturally_non_iid());
+        assert!(!DataTask::AgNews.naturally_non_iid());
+        assert!(DataTask::StackOverflow.naturally_non_iid());
+        assert!(DataTask::HarBox.naturally_non_iid());
+        assert!(DataTask::UciHar.naturally_non_iid());
+    }
+
+    #[test]
+    fn input_kinds_match_modalities() {
+        for task in DataTask::ALL {
+            match (task.modality(), task.input_kind()) {
+                (Modality::Cv, InputKind::Image { .. })
+                | (Modality::Nlp, InputKind::Tokens { .. })
+                | (Modality::Har, InputKind::Features { .. }) => {}
+                other => panic!("unexpected input kind for {task}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cifar100_is_harder_than_cifar10() {
+        assert!(DataTask::Cifar100.class_separation() < DataTask::Cifar10.class_separation());
+        assert!(DataTask::Cifar100.num_classes() > DataTask::Cifar10.num_classes());
+    }
+}

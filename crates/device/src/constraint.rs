@@ -1,0 +1,283 @@
+//! The practical device-constraint cases (paper §IV).
+
+use mhfl_models::MhflMethod;
+use mhfl_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CostModel, DeviceCapability, DeviceProfile, ImaPopulation, ModelPool, PoolEntry, RoundCost};
+
+/// A practical resource-constraint case under which MHFL is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintCase {
+    /// Computation-limited MHFL (Definition IV.1): every client must finish
+    /// local training within the same deadline, so slower devices get
+    /// smaller models.
+    Computation {
+        /// Per-round local-training deadline in seconds.
+        deadline_secs: f64,
+    },
+    /// Communication-limited MHFL (Definition IV.2): every client must
+    /// complete its upload/download within the same time budget.
+    Communication {
+        /// Per-round communication budget in seconds (the paper uses 200 s).
+        budget_secs: f64,
+    },
+    /// Memory-limited MHFL (Definition IV.3): the model must fit in the
+    /// client device's training memory.
+    Memory,
+    /// A combination of the above (paper Fig. 7 evaluates Mem+Comm and
+    /// Mem+Comm+Comp).
+    Combined {
+        /// Optional training deadline in seconds.
+        deadline_secs: Option<f64>,
+        /// Optional communication budget in seconds.
+        comm_budget_secs: Option<f64>,
+        /// Whether the memory constraint is active.
+        memory: bool,
+    },
+}
+
+impl ConstraintCase {
+    /// The Mem+Comm combination from Fig. 7.
+    pub fn memory_plus_communication(comm_budget_secs: f64) -> Self {
+        ConstraintCase::Combined {
+            deadline_secs: None,
+            comm_budget_secs: Some(comm_budget_secs),
+            memory: true,
+        }
+    }
+
+    /// The Mem+Comm+Comp combination from Fig. 7.
+    pub fn all_combined(deadline_secs: f64, comm_budget_secs: f64) -> Self {
+        ConstraintCase::Combined {
+            deadline_secs: Some(deadline_secs),
+            comm_budget_secs: Some(comm_budget_secs),
+            memory: true,
+        }
+    }
+
+    /// Short name used in tables and figures.
+    pub fn label(&self) -> String {
+        match self {
+            ConstraintCase::Computation { .. } => "Comp".to_string(),
+            ConstraintCase::Communication { .. } => "Comm".to_string(),
+            ConstraintCase::Memory => "Mem".to_string(),
+            ConstraintCase::Combined { deadline_secs, comm_budget_secs, memory } => {
+                let mut parts = Vec::new();
+                if *memory {
+                    parts.push("Mem");
+                }
+                if comm_budget_secs.is_some() {
+                    parts.push("Comm");
+                }
+                if deadline_secs.is_some() {
+                    parts.push("Comp");
+                }
+                parts.join("+")
+            }
+        }
+    }
+
+    /// Builds the per-client device population appropriate for this case.
+    ///
+    /// * Computation/communication-limited cases draw from the IMA-like
+    ///   smartphone population.
+    /// * The memory-limited case samples the three device classes of
+    ///   Table III (16 GB / 4 GB / CPU-only) with proportions following the
+    ///   real-world RAM distribution the paper cites (roughly 25 % high-end,
+    ///   50 % mid-range, 25 % low-end).
+    /// * Combined cases use the IMA population (which carries memory tiers).
+    pub fn build_population(&self, num_clients: usize, seed: u64) -> Vec<DeviceCapability> {
+        match self {
+            ConstraintCase::Memory => {
+                let classes = DeviceProfile::memory_classes();
+                let weights = [0.25f64, 0.50, 0.25];
+                let mut rng = SeededRng::new(seed);
+                (0..num_clients)
+                    .map(|_| DeviceCapability::from(&classes[rng.weighted_index(&weights)]))
+                    .collect()
+            }
+            _ => {
+                let pop = ImaPopulation::generate(num_clients.max(1), seed);
+                (0..num_clients).map(|i| pop.device_for_client(i)).collect()
+            }
+        }
+    }
+
+    /// Whether a model with per-round cost `cost` is feasible on `device`
+    /// under this constraint.
+    pub fn is_feasible(&self, cost: &RoundCost, device: &DeviceCapability) -> bool {
+        match self {
+            ConstraintCase::Computation { deadline_secs } => cost.train_time_secs <= *deadline_secs,
+            ConstraintCase::Communication { budget_secs } => cost.comm_time_secs <= *budget_secs,
+            ConstraintCase::Memory => cost.memory_bytes <= device.memory_bytes,
+            ConstraintCase::Combined { deadline_secs, comm_budget_secs, memory } => {
+                deadline_secs.map_or(true, |d| cost.train_time_secs <= d)
+                    && comm_budget_secs.map_or(true, |b| cost.comm_time_secs <= b)
+                    && (!memory || cost.memory_bytes <= device.memory_bytes)
+            }
+        }
+    }
+
+    /// Assigns every client the largest model from the pool that its device
+    /// can handle under this constraint (paper §IV: "the largest trainable
+    /// model is assigned to the client").
+    pub fn assign_clients(
+        &self,
+        pool: &ModelPool,
+        method: MhflMethod,
+        devices: &[DeviceCapability],
+        cost_model: &CostModel,
+    ) -> Vec<ClientAssignment> {
+        devices
+            .iter()
+            .enumerate()
+            .map(|(client_id, device)| {
+                let entry = pool
+                    .select_largest_feasible(method, |e| {
+                        let cost = cost_model.round_cost(&e.stats, method, device);
+                        self.is_feasible(&cost, device)
+                    })
+                    .expect("pool contains at least one entry per method");
+                let cost = cost_model.round_cost(&entry.stats, method, device);
+                ClientAssignment { client_id, device: *device, entry, cost }
+            })
+            .collect()
+    }
+}
+
+/// The model and cost assigned to one client under a constraint case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientAssignment {
+    /// Index of the client in the federation.
+    pub client_id: usize,
+    /// The client's device capability.
+    pub device: DeviceCapability,
+    /// The pool entry (model choice + stats) selected for the client.
+    pub entry: PoolEntry,
+    /// The per-round cost of that choice on the client's device.
+    pub cost: RoundCost,
+}
+
+impl ClientAssignment {
+    /// The width fraction of the assigned model.
+    pub fn width_fraction(&self) -> f64 {
+        self.entry.choice.width_fraction
+    }
+
+    /// The depth fraction of the assigned model.
+    pub fn depth_fraction(&self) -> f64 {
+        self.entry.choice.depth_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_models::ModelFamily;
+
+    fn pool() -> ModelPool {
+        ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::HETEROGENEOUS,
+            100,
+        )
+    }
+
+    #[test]
+    fn computation_constraint_gives_slow_devices_smaller_models() {
+        let pool = pool();
+        let cost_model = CostModel::default();
+        let case = ConstraintCase::Computation { deadline_secs: 300.0 };
+        let slow = DeviceCapability { compute_gflops: 5.0, bandwidth_mbps: 50.0, memory_bytes: 1 << 33 };
+        let fast = DeviceCapability { compute_gflops: 500.0, bandwidth_mbps: 50.0, memory_bytes: 1 << 33 };
+        let assignments =
+            case.assign_clients(&pool, MhflMethod::SHeteroFl, &[slow, fast], &cost_model);
+        assert!(assignments[0].entry.stats.params <= assignments[1].entry.stats.params);
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[1].client_id, 1);
+    }
+
+    #[test]
+    fn communication_constraint_reacts_to_bandwidth() {
+        let pool = pool();
+        let cost_model = CostModel::default();
+        let case = ConstraintCase::Communication { budget_secs: 200.0 };
+        let narrow = DeviceCapability { compute_gflops: 100.0, bandwidth_mbps: 1.0, memory_bytes: 1 << 33 };
+        let wide = DeviceCapability { compute_gflops: 100.0, bandwidth_mbps: 300.0, memory_bytes: 1 << 33 };
+        let a = case.assign_clients(&pool, MhflMethod::FedRolex, &[narrow, wide], &cost_model);
+        assert!(a[0].entry.stats.params <= a[1].entry.stats.params);
+        // The wide-bandwidth client can afford the full model within 200 s.
+        assert!((a[1].width_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_constraint_penalises_depthfl_more() {
+        // Under the same 4 GB device, DepthFL's memory overhead forces a
+        // smaller model than SHeteroFL — the mechanism behind the paper's
+        // Fig. 6 observations.
+        let pool = pool();
+        let cost_model = CostModel::default();
+        let case = ConstraintCase::Memory;
+        let device = DeviceCapability::from(&DeviceProfile::jetson_tx2_nx());
+        let shetero =
+            case.assign_clients(&pool, MhflMethod::SHeteroFl, &[device], &cost_model)[0];
+        let depthfl = case.assign_clients(&pool, MhflMethod::DepthFl, &[device], &cost_model)[0];
+        assert!(
+            depthfl.entry.stats.params <= shetero.entry.stats.params,
+            "DepthFL should be forced to a smaller model under memory pressure"
+        );
+    }
+
+    #[test]
+    fn combined_constraints_are_at_least_as_restrictive() {
+        let pool = pool();
+        let cost_model = CostModel::default();
+        let devices = ConstraintCase::Memory.build_population(20, 3);
+        let single = ConstraintCase::Memory;
+        let combined = ConstraintCase::all_combined(200.0, 100.0);
+        for method in [MhflMethod::SHeteroFl, MhflMethod::DepthFl, MhflMethod::FedRolex] {
+            let a_single = single.assign_clients(&pool, method, &devices, &cost_model);
+            let a_comb = combined.assign_clients(&pool, method, &devices, &cost_model);
+            for (s, c) in a_single.iter().zip(&a_comb) {
+                assert!(c.entry.stats.params <= s.entry.stats.params);
+            }
+        }
+    }
+
+    #[test]
+    fn populations_match_case_semantics() {
+        let mem_pop = ConstraintCase::Memory.build_population(50, 1);
+        // Memory populations only contain the three Table III classes.
+        let classes: Vec<u64> =
+            DeviceProfile::memory_classes().iter().map(|p| p.memory_bytes).collect();
+        assert!(mem_pop.iter().all(|d| classes.contains(&d.memory_bytes)));
+
+        let comp_pop =
+            ConstraintCase::Computation { deadline_secs: 100.0 }.build_population(50, 1);
+        assert_eq!(comp_pop.len(), 50);
+        // Reproducible.
+        let comp_pop2 =
+            ConstraintCase::Computation { deadline_secs: 100.0 }.build_population(50, 1);
+        assert_eq!(comp_pop, comp_pop2);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(ConstraintCase::Computation { deadline_secs: 1.0 }.label(), "Comp");
+        assert_eq!(ConstraintCase::Memory.label(), "Mem");
+        assert_eq!(ConstraintCase::memory_plus_communication(200.0).label(), "Mem+Comm");
+        assert_eq!(ConstraintCase::all_combined(100.0, 200.0).label(), "Mem+Comm+Comp");
+    }
+
+    #[test]
+    fn infeasible_everywhere_falls_back_to_smallest() {
+        let pool = pool();
+        let cost_model = CostModel::default();
+        let case = ConstraintCase::Computation { deadline_secs: 1e-9 };
+        let device = DeviceCapability { compute_gflops: 1.0, bandwidth_mbps: 1.0, memory_bytes: 1 << 30 };
+        let a = case.assign_clients(&pool, MhflMethod::Fjord, &[device], &cost_model);
+        assert!((a[0].width_fraction() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic stand-in for the IMA smartphone-capability dataset.
+//!
+//! The paper builds its computation- and communication-limited cases from
+//! the IMA dataset (Yang et al., WWW'21), which records the compute power
+//! and network bandwidth of more than 1,000 real smartphones. That dataset
+//! is not redistributable here, so [`ImaPopulation`] samples a population
+//! with the same qualitative properties: long-tailed compute capability
+//! (flagships ≫ entry-level phones), long-tailed bandwidth (Wi-Fi vs.
+//! congested cellular), and weak correlation between the two.
+
+use mhfl_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::GIB;
+
+/// The resources of one simulated participant device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCapability {
+    /// Sustained training throughput in GFLOP/s.
+    pub compute_gflops: f64,
+    /// Uplink bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Memory available for training, in bytes.
+    pub memory_bytes: u64,
+}
+
+/// A seeded population of heterogeneous device capabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImaPopulation {
+    devices: Vec<DeviceCapability>,
+    seed: u64,
+}
+
+impl ImaPopulation {
+    /// Generates a population of `size` devices from `seed`.
+    ///
+    /// Compute capability and bandwidth are log-normally distributed;
+    /// memory is drawn from the discrete RAM tiers reported by the
+    /// ScientiaMobile smartphone survey the paper cites (2/4/6/8/12 GB),
+    /// weighted toward the mid-range.
+    pub fn generate(size: usize, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let ram_tiers: [(u64, f64); 5] =
+            [(2 * GIB, 0.10), (4 * GIB, 0.30), (6 * GIB, 0.30), (8 * GIB, 0.22), (12 * GIB, 0.08)];
+        let weights: Vec<f64> = ram_tiers.iter().map(|(_, w)| *w).collect();
+        let devices = (0..size)
+            .map(|_| {
+                // Median ≈ 25 GFLOP/s with a heavy upper tail (flagship SoCs).
+                let compute = (rng.log_normal(3.2, 0.7) as f64).clamp(2.0, 600.0);
+                // Median ≈ 20 Mbps uplink, between slow cellular and fast Wi-Fi.
+                let bandwidth = (rng.log_normal(3.0, 0.8) as f64).clamp(1.0, 400.0);
+                let memory_bytes = ram_tiers[rng.weighted_index(&weights)].0;
+                DeviceCapability { compute_gflops: compute, bandwidth_mbps: bandwidth, memory_bytes }
+            })
+            .collect();
+        ImaPopulation { devices, seed }
+    }
+
+    /// Number of devices in the population.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The seed the population was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[DeviceCapability] {
+        &self.devices
+    }
+
+    /// The device assigned to client `index` (wraps around if the federation
+    /// has more clients than the population).
+    pub fn device_for_client(&self, index: usize) -> DeviceCapability {
+        self.devices[index % self.devices.len()]
+    }
+
+    /// Population percentile (0–100) of compute capability.
+    pub fn compute_percentile(&self, pct: f64) -> f64 {
+        percentile(self.devices.iter().map(|d| d.compute_gflops), pct)
+    }
+
+    /// Population percentile (0–100) of bandwidth.
+    pub fn bandwidth_percentile(&self, pct: f64) -> f64 {
+        percentile(self.devices.iter().map(|d| d.bandwidth_mbps), pct)
+    }
+}
+
+fn percentile(values: impl Iterator<Item = f64>, pct: f64) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = (pct.clamp(0.0, 100.0) / 100.0 * (v.len() - 1) as f64).round() as usize;
+    v[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_reproducible_and_sized() {
+        let a = ImaPopulation::generate(200, 42);
+        let b = ImaPopulation::generate(200, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        let c = ImaPopulation::generate(200, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn capability_spread_is_heterogeneous() {
+        let pop = ImaPopulation::generate(500, 7);
+        let p10 = pop.compute_percentile(10.0);
+        let p90 = pop.compute_percentile(90.0);
+        assert!(p90 / p10 > 3.0, "compute spread should be wide: p10={p10}, p90={p90}");
+        let b10 = pop.bandwidth_percentile(10.0);
+        let b90 = pop.bandwidth_percentile(90.0);
+        assert!(b90 / b10 > 3.0, "bandwidth spread should be wide: p10={b10}, p90={b90}");
+    }
+
+    #[test]
+    fn memory_comes_from_discrete_tiers() {
+        let pop = ImaPopulation::generate(300, 9);
+        for d in pop.devices() {
+            let gib = d.memory_bytes / GIB;
+            assert!([2, 4, 6, 8, 12].contains(&gib), "unexpected RAM tier {gib} GiB");
+        }
+    }
+
+    #[test]
+    fn client_assignment_wraps_around() {
+        let pop = ImaPopulation::generate(10, 1);
+        assert_eq!(pop.device_for_client(3).compute_gflops, pop.device_for_client(13).compute_gflops);
+    }
+
+    #[test]
+    fn values_are_within_physical_bounds() {
+        let pop = ImaPopulation::generate(1000, 3);
+        for d in pop.devices() {
+            assert!(d.compute_gflops >= 2.0 && d.compute_gflops <= 600.0);
+            assert!(d.bandwidth_mbps >= 1.0 && d.bandwidth_mbps <= 400.0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Named edge-device profiles (paper Table III plus the Jetson Nano of Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// A class of edge device with its resource envelope.
+///
+/// The numbers are effective training figures, not peak datasheet numbers:
+/// `gflops` is sustained training throughput, `memory_bytes` the RAM usable
+/// for training and `bandwidth_mbps` the uplink available during federated
+/// rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Sustained training throughput in GFLOP/s.
+    pub gflops: f64,
+    /// Memory usable for training, in bytes.
+    pub memory_bytes: u64,
+    /// Network bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Whether the device has a usable GPU.
+    pub has_gpu: bool,
+}
+
+impl DeviceProfile {
+    /// Creates a profile.
+    pub fn new(
+        name: impl Into<String>,
+        gflops: f64,
+        memory_bytes: u64,
+        bandwidth_mbps: f64,
+        has_gpu: bool,
+    ) -> Self {
+        DeviceProfile { name: name.into(), gflops, memory_bytes, bandwidth_mbps, has_gpu }
+    }
+
+    /// NVIDIA Jetson Orin NX: 1024-core Ampere GPU, 16 GB (Table III).
+    pub fn jetson_orin_nx() -> Self {
+        DeviceProfile::new("Jetson Orin NX", 1200.0, 16 * GIB, 100.0, true)
+    }
+
+    /// NVIDIA Jetson TX2 NX: 256-core Pascal GPU, 4 GB (Table III).
+    pub fn jetson_tx2_nx() -> Self {
+        DeviceProfile::new("Jetson TX2 NX", 350.0, 4 * GIB, 80.0, true)
+    }
+
+    /// NVIDIA Jetson Nano: the slower reference device of Table I (≈2× the
+    /// Orin NX's per-round training time in the paper's measurements).
+    pub fn jetson_nano() -> Self {
+        DeviceProfile::new("Jetson Nano", 550.0, 4 * GIB, 60.0, true)
+    }
+
+    /// Raspberry Pi 4B: quad-core Cortex-A72, no GPU (Table III).
+    pub fn raspberry_pi_4b() -> Self {
+        DeviceProfile::new("Raspberry Pi 4B", 12.0, 4 * GIB, 40.0, false)
+    }
+
+    /// The device classes used by the memory-limited case: 16 GB GPU, 4 GB
+    /// GPU and CPU-only (paper §IV-C).
+    pub fn memory_classes() -> Vec<DeviceProfile> {
+        vec![Self::jetson_orin_nx(), Self::jetson_tx2_nx(), Self::raspberry_pi_4b()]
+    }
+
+    /// All named profiles.
+    pub fn all() -> Vec<DeviceProfile> {
+        vec![
+            Self::jetson_orin_nx(),
+            Self::jetson_tx2_nx(),
+            Self::jetson_nano(),
+            Self::raspberry_pi_4b(),
+        ]
+    }
+
+    /// Memory capacity in gibibytes.
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / GIB as f64
+    }
+}
+
+/// One gibibyte in bytes.
+pub(crate) const GIB: u64 = 1024 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_devices_have_expected_memory() {
+        assert_eq!(DeviceProfile::jetson_orin_nx().memory_gib(), 16.0);
+        assert_eq!(DeviceProfile::jetson_tx2_nx().memory_gib(), 4.0);
+        assert!(!DeviceProfile::raspberry_pi_4b().has_gpu);
+        assert!(DeviceProfile::jetson_orin_nx().has_gpu);
+    }
+
+    #[test]
+    fn orin_is_faster_than_nano_is_faster_than_pi() {
+        let orin = DeviceProfile::jetson_orin_nx();
+        let nano = DeviceProfile::jetson_nano();
+        let pi = DeviceProfile::raspberry_pi_4b();
+        assert!(orin.gflops > nano.gflops);
+        assert!(nano.gflops > pi.gflops);
+    }
+
+    #[test]
+    fn memory_classes_cover_three_tiers() {
+        let classes = DeviceProfile::memory_classes();
+        assert_eq!(classes.len(), 3);
+        assert!(classes[0].memory_bytes > classes[1].memory_bytes);
+        assert!(!classes[2].has_gpu);
+    }
+}

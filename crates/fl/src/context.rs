@@ -1,0 +1,149 @@
+//! The shared context of one federated experiment.
+
+use mhfl_data::FederatedDataset;
+use mhfl_device::ClientAssignment;
+use mhfl_nn::SgdConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::{FlError, FlResult};
+
+/// Hyper-parameters of a client's local optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of local SGD steps per round.
+    pub local_steps: usize,
+    /// Optimiser configuration.
+    pub sgd: SgdConfig,
+}
+
+impl Default for LocalTrainConfig {
+    fn default() -> Self {
+        LocalTrainConfig { batch_size: 16, local_steps: 5, sgd: SgdConfig::default() }
+    }
+}
+
+/// Everything an algorithm needs to know about the federation it runs in:
+/// the per-client data shards, the per-client device/model assignments
+/// produced by a [`mhfl_device::ConstraintCase`], and the local training
+/// hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct FederationContext {
+    data: FederatedDataset,
+    assignments: Vec<ClientAssignment>,
+    train: LocalTrainConfig,
+    seed: u64,
+}
+
+impl FederationContext {
+    /// Assembles a context, validating that data and assignments agree.
+    ///
+    /// # Errors
+    /// Returns [`FlError::InvalidConfig`] if the number of assignments does
+    /// not match the number of clients or the federation is empty.
+    pub fn new(
+        data: FederatedDataset,
+        assignments: Vec<ClientAssignment>,
+        train: LocalTrainConfig,
+        seed: u64,
+    ) -> FlResult<Self> {
+        if data.num_clients() == 0 {
+            return Err(FlError::InvalidConfig("federation has no clients".into()));
+        }
+        if assignments.len() != data.num_clients() {
+            return Err(FlError::InvalidConfig(format!(
+                "{} assignments for {} clients",
+                assignments.len(),
+                data.num_clients()
+            )));
+        }
+        Ok(FederationContext { data, assignments, train, seed })
+    }
+
+    /// The federated dataset (client shards, test set, public set).
+    pub fn data(&self) -> &FederatedDataset {
+        &self.data
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.data.num_clients()
+    }
+
+    /// The device/model assignment of a client.
+    pub fn assignment(&self, client: usize) -> &ClientAssignment {
+        &self.assignments[client]
+    }
+
+    /// All assignments.
+    pub fn assignments(&self) -> &[ClientAssignment] {
+        &self.assignments
+    }
+
+    /// Local training hyper-parameters.
+    pub fn train_config(&self) -> &LocalTrainConfig {
+        &self.train
+    }
+
+    /// The experiment seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The index of the client with the smallest assigned model (used by the
+    /// homogeneous baseline, which trains "the smallest model across all
+    /// heterogeneous devices").
+    pub fn smallest_assignment(&self) -> &ClientAssignment {
+        self.assignments
+            .iter()
+            .min_by_key(|a| a.entry.stats.params)
+            .expect("validated: at least one client")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_data::DataTask;
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_models::{MhflMethod, ModelFamily};
+
+    fn context() -> FederationContext {
+        let data = FederatedDataset::generate(DataTask::Cifar10, 6, 12, None, 0);
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::HETEROGENEOUS,
+            10,
+        );
+        let case = ConstraintCase::Memory;
+        let devices = case.build_population(6, 0);
+        let assignments =
+            case.assign_clients(&pool, MhflMethod::SHeteroFl, &devices, &CostModel::default());
+        FederationContext::new(data, assignments, LocalTrainConfig::default(), 1).unwrap()
+    }
+
+    #[test]
+    fn context_exposes_clients_and_assignments() {
+        let ctx = context();
+        assert_eq!(ctx.num_clients(), 6);
+        assert_eq!(ctx.assignments().len(), 6);
+        assert_eq!(ctx.assignment(3).client_id, 3);
+        assert_eq!(ctx.seed(), 1);
+    }
+
+    #[test]
+    fn smallest_assignment_is_minimal() {
+        let ctx = context();
+        let smallest = ctx.smallest_assignment();
+        assert!(ctx.assignments().iter().all(|a| a.entry.stats.params >= smallest.entry.stats.params));
+    }
+
+    #[test]
+    fn mismatched_assignments_are_rejected() {
+        let data = FederatedDataset::generate(DataTask::Cifar10, 4, 10, None, 0);
+        let err = FederationContext::new(data, Vec::new(), LocalTrainConfig::default(), 0);
+        assert!(matches!(err, Err(FlError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the federated engine.
+
+use std::fmt;
+
+use mhfl_nn::NnError;
+use mhfl_tensor::TensorError;
+
+/// Errors produced while running a federated experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The experiment configuration is inconsistent (e.g. no clients).
+    InvalidConfig(String),
+    /// An algorithm was asked about a client it does not manage.
+    UnknownClient(usize),
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "neural network error: {e}"),
+            FlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FlError::InvalidConfig(msg) => write!(f, "invalid federated configuration: {msg}"),
+            FlError::UnknownClient(id) => write!(f, "unknown client id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            FlError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+impl From<TensorError> for FlError {
+    fn from(e: TensorError) -> Self {
+        FlError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlError::InvalidConfig("no clients".into());
+        assert!(e.to_string().contains("no clients"));
+        let e = FlError::UnknownClient(7);
+        assert!(e.to_string().contains('7'));
+        let nn: FlError = NnError::MissingParam("x".into()).into();
+        assert!(nn.to_string().contains('x'));
+    }
+}

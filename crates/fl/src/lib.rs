@@ -1,0 +1,36 @@
+//! # mhfl-fl
+//!
+//! The federated-learning simulation engine of the PracMHBench reproduction.
+//!
+//! The crate is algorithm-agnostic: it owns the round loop, client sampling,
+//! the simulated wall clock (driven by the device cost model) and the four
+//! evaluation metrics of the paper — global accuracy, time-to-accuracy,
+//! stability and effectiveness. Concrete MHFL algorithms implement the
+//! [`FlAlgorithm`] trait (see the `mhfl-algorithms` crate) and are driven by
+//! [`FlEngine::run`].
+//!
+//! Shared machinery the algorithms build on lives here too:
+//!
+//! * [`submodel`] — width/depth sub-model extraction and overlap-aware
+//!   aggregation over [`mhfl_nn::StateDict`]s,
+//! * [`train`] — plain local SGD training and evaluation of a proxy model,
+//! * [`FederationContext`] — the data shards, per-client device assignments
+//!   and training hyper-parameters for one experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod engine;
+mod error;
+mod metrics;
+pub mod submodel;
+pub mod train;
+
+pub use context::{FederationContext, LocalTrainConfig};
+pub use engine::{EngineConfig, FlAlgorithm, FlEngine};
+pub use error::FlError;
+pub use metrics::{MetricsReport, RoundRecord};
+
+/// Crate-wide result alias.
+pub type FlResult<T> = std::result::Result<T, FlError>;

@@ -1,0 +1,162 @@
+//! The four evaluation metrics of the benchmark.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements recorded at one evaluation point of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Federated round index (1-based; round 0 is the initial state).
+    pub round: usize,
+    /// Simulated wall-clock time elapsed since the start of training, in
+    /// seconds (each synchronous round costs the maximum of the selected
+    /// clients' compute + communication time).
+    pub sim_time_secs: f64,
+    /// Accuracy of the global model on the held-out global test set.
+    pub global_accuracy: f32,
+    /// Accuracy of each client's deployed model on the global test set.
+    pub per_client_accuracy: Vec<f32>,
+}
+
+/// The full metric record of one experiment, from which the paper's four
+/// metrics are derived.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Evaluation records in round order.
+    pub records: Vec<RoundRecord>,
+    /// Name of the algorithm that produced the report.
+    pub algorithm: String,
+}
+
+impl MetricsReport {
+    /// Creates an empty report for an algorithm.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        MetricsReport { records: Vec::new(), algorithm: algorithm.into() }
+    }
+
+    /// Appends an evaluation record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// Metric (i): final global accuracy (last evaluation point).
+    pub fn final_accuracy(&self) -> f32 {
+        self.records.last().map_or(0.0, |r| r.global_accuracy)
+    }
+
+    /// Best global accuracy seen at any evaluation point.
+    pub fn best_accuracy(&self) -> f32 {
+        self.records.iter().map(|r| r.global_accuracy).fold(0.0, f32::max)
+    }
+
+    /// Metric (ii): time-to-accuracy — the simulated wall-clock time at which
+    /// the global model first reached `target` accuracy, or `None` if it
+    /// never did.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.global_accuracy >= target)
+            .map(|r| r.sim_time_secs)
+    }
+
+    /// Metric (iii): stability — the variance of the final per-client
+    /// accuracies (lower is more stable across heterogeneous devices).
+    pub fn stability(&self) -> f32 {
+        let Some(last) = self.records.last() else { return 0.0 };
+        variance(&last.per_client_accuracy)
+    }
+
+    /// Metric (iv): effectiveness — the improvement of the final global
+    /// accuracy over the resource-aware homogeneous baseline's accuracy.
+    pub fn effectiveness(&self, baseline_accuracy: f32) -> f32 {
+        self.final_accuracy() - baseline_accuracy
+    }
+
+    /// Total simulated training time of the run.
+    pub fn total_sim_time_secs(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.sim_time_secs)
+    }
+
+    /// The global-accuracy learning curve as `(sim_time, accuracy)` points.
+    pub fn accuracy_curve(&self) -> Vec<(f64, f32)> {
+        self.records.iter().map(|r| (r.sim_time_secs, r.global_accuracy)).collect()
+    }
+}
+
+fn variance(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MetricsReport {
+        let mut r = MetricsReport::new("TestAlg");
+        r.push(RoundRecord {
+            round: 1,
+            sim_time_secs: 10.0,
+            global_accuracy: 0.2,
+            per_client_accuracy: vec![0.2, 0.2],
+        });
+        r.push(RoundRecord {
+            round: 2,
+            sim_time_secs: 20.0,
+            global_accuracy: 0.5,
+            per_client_accuracy: vec![0.4, 0.6],
+        });
+        r.push(RoundRecord {
+            round: 3,
+            sim_time_secs: 30.0,
+            global_accuracy: 0.45,
+            per_client_accuracy: vec![0.5, 0.4],
+        });
+        r
+    }
+
+    #[test]
+    fn final_and_best_accuracy() {
+        let r = report();
+        assert_eq!(r.final_accuracy(), 0.45);
+        assert_eq!(r.best_accuracy(), 0.5);
+        assert_eq!(r.total_sim_time_secs(), 30.0);
+        assert_eq!(r.accuracy_curve().len(), 3);
+    }
+
+    #[test]
+    fn time_to_accuracy_finds_first_crossing() {
+        let r = report();
+        assert_eq!(r.time_to_accuracy(0.4), Some(20.0));
+        assert_eq!(r.time_to_accuracy(0.19), Some(10.0));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn stability_is_variance_of_last_round() {
+        let r = report();
+        let expected = {
+            let vals = [0.5f32, 0.4];
+            let mean = 0.45;
+            ((vals[0] - mean).powi(2) + (vals[1] - mean).powi(2)) / 2.0
+        };
+        assert!((r.stability() - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn effectiveness_compares_to_baseline() {
+        let r = report();
+        assert!((r.effectiveness(0.30) - 0.15).abs() < 1e-6);
+        assert!(r.effectiveness(0.50) < 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = MetricsReport::new("Empty");
+        assert_eq!(r.final_accuracy(), 0.0);
+        assert_eq!(r.stability(), 0.0);
+        assert_eq!(r.time_to_accuracy(0.1), None);
+    }
+}

@@ -1,0 +1,415 @@
+//! Width/depth sub-model extraction and overlap-aware aggregation.
+//!
+//! These are the two primitives every partial-aggregation MHFL algorithm is
+//! built from:
+//!
+//! * [`extract_submodel`] slices a client-sized state dict out of the global
+//!   model, choosing channel indices per width-scalable axis according to a
+//!   [`WidthSelection`] (contiguous prefix for HeteroFL/Fjord, a rolling
+//!   window for FedRolex). Depth-heterogeneous clients simply request fewer
+//!   parameter names — the same code path handles them.
+//! * [`ServerAggregator`] accumulates client updates back into the global
+//!   coordinate space and averages every global entry by how many clients
+//!   actually covered it, keeping the previous global value for uncovered
+//!   entries (HeteroFL-style partial averaging).
+
+use std::collections::BTreeMap;
+
+use mhfl_nn::{AxisRole, ParamSpec, StateDict};
+use mhfl_tensor::Tensor;
+
+use crate::{FlError, FlResult};
+
+/// How width-scalable axes choose which global channels a sub-model keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidthSelection {
+    /// The first `k` channels (nested sub-networks; HeteroFL, Fjord).
+    Prefix,
+    /// A window of `k` consecutive channels starting at `shift` (mod the full
+    /// width), advanced every round (FedRolex).
+    Rolling {
+        /// Window offset, typically the round index.
+        shift: usize,
+    },
+}
+
+impl WidthSelection {
+    /// The global indices a client axis of length `client_len` maps to, for a
+    /// global axis of length `global_len`.
+    pub fn indices(&self, global_len: usize, client_len: usize) -> Vec<usize> {
+        match *self {
+            WidthSelection::Prefix => (0..client_len.min(global_len)).collect(),
+            WidthSelection::Rolling { shift } => (0..client_len.min(global_len))
+                .map(|i| (shift + i) % global_len.max(1))
+                .collect(),
+        }
+    }
+}
+
+/// Computes, for one parameter, the global index list of every axis of the
+/// client tensor.
+///
+/// Axes whose client extent equals the global extent map to the identity;
+/// width-scalable axes (`OutFeatures`/`InFeatures`) use `selection`; a size
+/// mismatch on a `Fixed` axis is an error.
+///
+/// # Errors
+/// Returns [`FlError::InvalidConfig`] when a fixed axis disagrees in size or
+/// the ranks differ.
+pub fn axis_indices(
+    global_shape: &[usize],
+    client_shape: &[usize],
+    roles: &[AxisRole],
+    selection: WidthSelection,
+) -> FlResult<Vec<Vec<usize>>> {
+    if global_shape.len() != client_shape.len() || roles.len() != global_shape.len() {
+        return Err(FlError::InvalidConfig(format!(
+            "rank mismatch: global {global_shape:?}, client {client_shape:?}"
+        )));
+    }
+    global_shape
+        .iter()
+        .zip(client_shape.iter())
+        .zip(roles.iter())
+        .map(|((&g, &c), role)| {
+            if c == g {
+                Ok((0..g).collect())
+            } else if c < g && matches!(role, AxisRole::OutFeatures | AxisRole::InFeatures) {
+                Ok(selection.indices(g, c))
+            } else {
+                Err(FlError::InvalidConfig(format!(
+                    "axis with role {role:?} cannot map client extent {c} onto global extent {g}"
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Extracts the client-sized sub-model from the global state dict.
+///
+/// `client_specs` lists the parameters (names, shapes, roles) of the client's
+/// model; every one of them must exist in `global_specs`/`global` with a
+/// compatible shape.
+///
+/// # Errors
+/// Returns an error if a client parameter is missing from the global model or
+/// the shapes cannot be mapped.
+pub fn extract_submodel(
+    global: &StateDict,
+    global_specs: &[ParamSpec],
+    client_specs: &[ParamSpec],
+    selection: WidthSelection,
+) -> FlResult<StateDict> {
+    let spec_index: BTreeMap<&str, &ParamSpec> =
+        global_specs.iter().map(|s| (s.name.as_str(), s)).collect();
+    let mut out = StateDict::new();
+    for spec in client_specs {
+        let global_spec = spec_index
+            .get(spec.name.as_str())
+            .ok_or_else(|| FlError::InvalidConfig(format!("global model lacks {}", spec.name)))?;
+        let tensor = global.require(&spec.name)?;
+        let indices = axis_indices(&global_spec.shape, &spec.shape, &global_spec.roles, selection)?;
+        let mut sliced = tensor.clone();
+        for (axis, idx) in indices.iter().enumerate() {
+            if idx.len() != sliced.dims()[axis] || idx.iter().enumerate().any(|(i, &v)| i != v) {
+                sliced = sliced.gather_axis(axis, idx)?;
+            }
+        }
+        out.insert(spec.name.clone(), sliced);
+    }
+    Ok(out)
+}
+
+/// Accumulates heterogeneous client updates into the global coordinate space
+/// and produces the HeteroFL-style partial average.
+#[derive(Debug, Clone)]
+pub struct ServerAggregator {
+    sums: BTreeMap<String, Tensor>,
+    counts: BTreeMap<String, Tensor>,
+    global_specs: Vec<ParamSpec>,
+}
+
+impl ServerAggregator {
+    /// Creates an aggregator for a global model described by `global_specs`.
+    pub fn new(global_specs: Vec<ParamSpec>) -> Self {
+        let sums = global_specs
+            .iter()
+            .map(|s| (s.name.clone(), Tensor::zeros(&s.shape)))
+            .collect();
+        let counts = global_specs
+            .iter()
+            .map(|s| (s.name.clone(), Tensor::zeros(&s.shape)))
+            .collect();
+        ServerAggregator { sums, counts, global_specs }
+    }
+
+    /// Adds one client's updated sub-model, weighted by `weight`
+    /// (typically the client's sample count or 1.0).
+    ///
+    /// # Errors
+    /// Returns an error if a client tensor cannot be mapped onto the global
+    /// coordinate space.
+    pub fn add_update(
+        &mut self,
+        client_update: &StateDict,
+        selection: WidthSelection,
+        weight: f32,
+    ) -> FlResult<()> {
+        let spec_index: BTreeMap<&str, &ParamSpec> =
+            self.global_specs.iter().map(|s| (s.name.as_str(), s)).collect();
+        for (name, client_tensor) in client_update.iter() {
+            let Some(spec) = spec_index.get(name.as_str()) else {
+                // Parameters the global model does not track (e.g. client-only
+                // personalisation heads) are simply skipped.
+                continue;
+            };
+            let indices =
+                axis_indices(&spec.shape, client_tensor.dims(), &spec.roles, selection)?;
+            let sums = self.sums.get_mut(name).expect("initialised with all specs");
+            let counts = self.counts.get_mut(name).expect("initialised with all specs");
+            accumulate_mapped(sums, counts, client_tensor, &indices, weight)?;
+        }
+        Ok(())
+    }
+
+    /// Number of parameters that received at least one contribution.
+    pub fn covered_params(&self) -> usize {
+        self.counts.values().filter(|c| c.as_slice().iter().any(|&v| v > 0.0)).count()
+    }
+
+    /// Produces the new global state dict: covered entries become the
+    /// weighted average of contributions, uncovered entries keep the previous
+    /// global value.
+    pub fn finalize(&self, previous_global: &StateDict) -> FlResult<StateDict> {
+        let mut out = StateDict::new();
+        for spec in &self.global_specs {
+            let prev = previous_global.require(&spec.name)?;
+            let sums = &self.sums[&spec.name];
+            let counts = &self.counts[&spec.name];
+            let data: Vec<f32> = prev
+                .as_slice()
+                .iter()
+                .zip(sums.as_slice())
+                .zip(counts.as_slice())
+                .map(|((&p, &s), &c)| if c > 0.0 { s / c } else { p })
+                .collect();
+            out.insert(spec.name.clone(), Tensor::from_vec(data, &spec.shape)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Adds `weight * client` into `sums` (and `weight` into `counts`) at the
+/// global positions described by the per-axis index lists.
+fn accumulate_mapped(
+    sums: &mut Tensor,
+    counts: &mut Tensor,
+    client: &Tensor,
+    indices: &[Vec<usize>],
+    weight: f32,
+) -> FlResult<()> {
+    let client_dims = client.dims().to_vec();
+    let global_dims = sums.dims().to_vec();
+    let global_strides = {
+        let mut s = vec![1usize; global_dims.len()];
+        for i in (0..global_dims.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * global_dims[i + 1];
+        }
+        s
+    };
+    let total: usize = client_dims.iter().product();
+    let mut coord = vec![0usize; client_dims.len()];
+    let client_data = client.as_slice();
+    let sums_data = sums.as_mut_slice();
+    let counts_data = counts.as_mut_slice();
+    for flat in 0..total {
+        // Decode the client coordinate.
+        let mut rem = flat;
+        for (axis, &dim) in client_dims.iter().enumerate().rev() {
+            coord[axis] = rem % dim;
+            rem /= dim;
+        }
+        // Map to the global flat offset.
+        let mut offset = 0usize;
+        for (axis, &c) in coord.iter().enumerate() {
+            let mapped = *indices
+                .get(axis)
+                .and_then(|idx| idx.get(c))
+                .ok_or_else(|| FlError::InvalidConfig("index mapping out of range".into()))?;
+            offset += mapped * global_strides[axis];
+        }
+        sums_data[offset] += weight * client_data[flat];
+        counts_data[offset] += weight;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_models::{InputKind, ModelFamily, ProxyConfig, ProxyModel};
+
+    fn cifar_cfg() -> ProxyConfig {
+        ProxyConfig::for_family(
+            ModelFamily::ResNet50,
+            InputKind::Image { channels: 3, height: 8, width: 8 },
+            10,
+            0,
+        )
+    }
+
+    #[test]
+    fn prefix_and_rolling_indices() {
+        assert_eq!(WidthSelection::Prefix.indices(8, 4), vec![0, 1, 2, 3]);
+        assert_eq!(WidthSelection::Rolling { shift: 6 }.indices(8, 4), vec![6, 7, 0, 1]);
+        assert_eq!(WidthSelection::Rolling { shift: 0 }.indices(8, 2), vec![0, 1]);
+        // Client wider than global is clamped.
+        assert_eq!(WidthSelection::Prefix.indices(2, 5), vec![0, 1]);
+    }
+
+    #[test]
+    fn axis_indices_validate_roles() {
+        let roles = vec![AxisRole::OutFeatures, AxisRole::Fixed];
+        let ok = axis_indices(&[8, 10], &[4, 10], &roles, WidthSelection::Prefix).unwrap();
+        assert_eq!(ok[0], vec![0, 1, 2, 3]);
+        assert_eq!(ok[1].len(), 10);
+        // Shrinking a Fixed axis is rejected.
+        assert!(axis_indices(&[8, 10], &[8, 5], &roles, WidthSelection::Prefix).is_err());
+        // Rank mismatch is rejected.
+        assert!(axis_indices(&[8, 10], &[8], &roles, WidthSelection::Prefix).is_err());
+    }
+
+    #[test]
+    fn extract_submodel_loads_into_smaller_proxy() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let mut client = ProxyModel::new(cifar_cfg().with_width(0.5)).unwrap();
+        let sub = extract_submodel(
+            &global.state_dict(),
+            &global.param_specs(),
+            &client.param_specs(),
+            WidthSelection::Prefix,
+        )
+        .unwrap();
+        client.load_state_dict(&sub).unwrap();
+        // The client's head weight equals the first columns of the global head.
+        let g_head = global.state_dict().get("head.weight").unwrap().clone();
+        let c_head = client.state_dict().get("head.weight").unwrap().clone();
+        assert_eq!(c_head.dims()[0], g_head.dims()[0]);
+        assert!(c_head.dims()[1] < g_head.dims()[1]);
+        for r in 0..c_head.dims()[0] {
+            for c in 0..c_head.dims()[1] {
+                assert_eq!(c_head.at(&[r, c]).unwrap(), g_head.at(&[r, c]).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_extraction_differs_from_prefix() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let client_specs = ProxyModel::new(cifar_cfg().with_width(0.5)).unwrap().param_specs();
+        let prefix = extract_submodel(
+            &global.state_dict(),
+            &global.param_specs(),
+            &client_specs,
+            WidthSelection::Prefix,
+        )
+        .unwrap();
+        let rolled = extract_submodel(
+            &global.state_dict(),
+            &global.param_specs(),
+            &client_specs,
+            WidthSelection::Rolling { shift: 3 },
+        )
+        .unwrap();
+        assert!(prefix.l2_distance_sq(&rolled) > 0.0);
+    }
+
+    #[test]
+    fn depth_submodel_is_name_subset() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let shallow = ProxyModel::new(cifar_cfg().with_depth(0.5)).unwrap();
+        let sub = extract_submodel(
+            &global.state_dict(),
+            &global.param_specs(),
+            &shallow.param_specs(),
+            WidthSelection::Prefix,
+        )
+        .unwrap();
+        assert!(sub.len() < global.state_dict().len());
+        assert_eq!(sub.len(), shallow.param_specs().len());
+    }
+
+    #[test]
+    fn aggregation_round_trip_recovers_average() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let global_sd = global.state_dict();
+
+        // Two full-width clients with constant updates 1.0 and 3.0.
+        let mut agg = ServerAggregator::new(specs.clone());
+        let mut u1 = global_sd.clone();
+        for (_, t) in u1.iter_mut() {
+            *t = Tensor::full(t.dims(), 1.0);
+        }
+        let mut u2 = global_sd.clone();
+        for (_, t) in u2.iter_mut() {
+            *t = Tensor::full(t.dims(), 3.0);
+        }
+        agg.add_update(&u1, WidthSelection::Prefix, 1.0).unwrap();
+        agg.add_update(&u2, WidthSelection::Prefix, 1.0).unwrap();
+        let merged = agg.finalize(&global_sd).unwrap();
+        for (_, t) in merged.iter() {
+            for &v in t.as_slice() {
+                assert!((v - 2.0).abs() < 1e-6);
+            }
+        }
+        assert_eq!(agg.covered_params(), specs.len());
+    }
+
+    #[test]
+    fn uncovered_entries_keep_previous_values() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let global_sd = global.state_dict();
+        let half_specs = ProxyModel::new(cifar_cfg().with_width(0.5)).unwrap().param_specs();
+
+        let mut half_update = extract_submodel(&global_sd, &specs, &half_specs, WidthSelection::Prefix).unwrap();
+        for (_, t) in half_update.iter_mut() {
+            *t = Tensor::full(t.dims(), 5.0);
+        }
+        let mut agg = ServerAggregator::new(specs);
+        agg.add_update(&half_update, WidthSelection::Prefix, 1.0).unwrap();
+        let merged = agg.finalize(&global_sd).unwrap();
+
+        // Covered prefix entries become 5.0; the uncovered tail keeps old values.
+        let head_new = merged.get("head.weight").unwrap();
+        let head_old = global_sd.get("head.weight").unwrap();
+        let half_cols = half_update.get("head.weight").unwrap().dims()[1];
+        assert_eq!(head_new.at(&[0, 0]).unwrap(), 5.0);
+        assert_eq!(
+            head_new.at(&[0, half_cols + 1]).unwrap(),
+            head_old.at(&[0, half_cols + 1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn weighted_aggregation_respects_weights() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let global_sd = global.state_dict();
+        let mut u1 = global_sd.clone();
+        for (_, t) in u1.iter_mut() {
+            *t = Tensor::full(t.dims(), 0.0);
+        }
+        let mut u2 = global_sd.clone();
+        for (_, t) in u2.iter_mut() {
+            *t = Tensor::full(t.dims(), 4.0);
+        }
+        let mut agg = ServerAggregator::new(specs);
+        agg.add_update(&u1, WidthSelection::Prefix, 3.0).unwrap();
+        agg.add_update(&u2, WidthSelection::Prefix, 1.0).unwrap();
+        let merged = agg.finalize(&global_sd).unwrap();
+        // Weighted mean = (3*0 + 1*4) / 4 = 1.0
+        assert!((merged.get("head.bias").unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Model families, input kinds and heterogeneity levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three heterogeneity levels PracMHBench evaluates (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeterogeneityLevel {
+    /// Same topology, different channel counts per layer.
+    Width,
+    /// Same topology, different number of layers.
+    Depth,
+    /// Entirely different architectures per client.
+    Topology,
+}
+
+impl fmt::Display for HeterogeneityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeterogeneityLevel::Width => write!(f, "width"),
+            HeterogeneityLevel::Depth => write!(f, "depth"),
+            HeterogeneityLevel::Topology => write!(f, "topology"),
+        }
+    }
+}
+
+/// The kind of input a model consumes, which determines the stem of the
+/// proxy model and the shape of the synthetic data task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputKind {
+    /// Images: `[batch, channels, height, width]`.
+    Image {
+        /// Number of input channels.
+        channels: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Image width in pixels.
+        width: usize,
+    },
+    /// Token sequences: `[batch, seq_len]` of ids drawn from a vocabulary.
+    Tokens {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Sequence length.
+        seq_len: usize,
+    },
+    /// Flat feature vectors (sensor windows): `[batch, dim]`.
+    Features {
+        /// Feature dimension.
+        dim: usize,
+    },
+}
+
+impl InputKind {
+    /// Number of scalar values per sample.
+    pub fn numel(&self) -> usize {
+        match *self {
+            InputKind::Image { channels, height, width } => channels * height * width,
+            InputKind::Tokens { seq_len, .. } => seq_len,
+            InputKind::Features { dim } => dim,
+        }
+    }
+}
+
+/// The concrete architectures named in the paper (Table II): the ResNet and
+/// MobileNet families for CV, the ALBERT family and a custom transformer for
+/// NLP, and a customised CNN for HAR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ModelFamily {
+    ResNet18,
+    ResNet34,
+    ResNet50,
+    ResNet101,
+    MobileNetV2,
+    MobileNetV3Small,
+    MobileNetV3Large,
+    AlbertBase,
+    AlbertLarge,
+    AlbertXxlarge,
+    CustomTransformer,
+    HarCnn,
+}
+
+impl ModelFamily {
+    /// All families known to the platform.
+    pub const ALL: [ModelFamily; 12] = [
+        ModelFamily::ResNet18,
+        ModelFamily::ResNet34,
+        ModelFamily::ResNet50,
+        ModelFamily::ResNet101,
+        ModelFamily::MobileNetV2,
+        ModelFamily::MobileNetV3Small,
+        ModelFamily::MobileNetV3Large,
+        ModelFamily::AlbertBase,
+        ModelFamily::AlbertLarge,
+        ModelFamily::AlbertXxlarge,
+        ModelFamily::CustomTransformer,
+        ModelFamily::HarCnn,
+    ];
+
+    /// The CV "ResNet family" used for topology-heterogeneous experiments.
+    pub const RESNET_FAMILY: [ModelFamily; 4] =
+        [ModelFamily::ResNet18, ModelFamily::ResNet34, ModelFamily::ResNet50, ModelFamily::ResNet101];
+
+    /// The CV "MobileNet family" used for topology-heterogeneous experiments.
+    pub const MOBILENET_FAMILY: [ModelFamily; 3] =
+        [ModelFamily::MobileNetV2, ModelFamily::MobileNetV3Small, ModelFamily::MobileNetV3Large];
+
+    /// The NLP "ALBERT family" used for topology-heterogeneous experiments.
+    pub const ALBERT_FAMILY: [ModelFamily; 3] =
+        [ModelFamily::AlbertBase, ModelFamily::AlbertLarge, ModelFamily::AlbertXxlarge];
+
+    /// Returns `true` if the family processes images.
+    pub fn is_vision(&self) -> bool {
+        matches!(
+            self,
+            ModelFamily::ResNet18
+                | ModelFamily::ResNet34
+                | ModelFamily::ResNet50
+                | ModelFamily::ResNet101
+                | ModelFamily::MobileNetV2
+                | ModelFamily::MobileNetV3Small
+                | ModelFamily::MobileNetV3Large
+        )
+    }
+
+    /// Returns `true` if the family processes token sequences.
+    pub fn is_language(&self) -> bool {
+        matches!(
+            self,
+            ModelFamily::AlbertBase
+                | ModelFamily::AlbertLarge
+                | ModelFamily::AlbertXxlarge
+                | ModelFamily::CustomTransformer
+        )
+    }
+
+    /// Returns `true` if the family processes sensor feature windows.
+    pub fn is_har(&self) -> bool {
+        matches!(self, ModelFamily::HarCnn)
+    }
+
+    /// Human-readable name matching the paper's notation.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ModelFamily::ResNet18 => "ResNet-18",
+            ModelFamily::ResNet34 => "ResNet-34",
+            ModelFamily::ResNet50 => "ResNet-50",
+            ModelFamily::ResNet101 => "ResNet-101",
+            ModelFamily::MobileNetV2 => "MobileNetV2",
+            ModelFamily::MobileNetV3Small => "MobileNetV3-small",
+            ModelFamily::MobileNetV3Large => "MobileNetV3-large",
+            ModelFamily::AlbertBase => "ALBERT-base",
+            ModelFamily::AlbertLarge => "ALBERT-large",
+            ModelFamily::AlbertXxlarge => "ALBERT-xxlarge",
+            ModelFamily::CustomTransformer => "Custom Transformer",
+            ModelFamily::HarCnn => "HAR CNN",
+        }
+    }
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_groupings_are_consistent() {
+        for fam in ModelFamily::RESNET_FAMILY {
+            assert!(fam.is_vision());
+        }
+        for fam in ModelFamily::ALBERT_FAMILY {
+            assert!(fam.is_language());
+        }
+        assert!(ModelFamily::HarCnn.is_har());
+        // Exactly one modality per family.
+        for fam in ModelFamily::ALL {
+            let modalities =
+                [fam.is_vision(), fam.is_language(), fam.is_har()].iter().filter(|&&b| b).count();
+            assert_eq!(modalities, 1, "{fam} belongs to exactly one modality");
+        }
+    }
+
+    #[test]
+    fn input_kind_numel() {
+        assert_eq!(InputKind::Image { channels: 3, height: 8, width: 8 }.numel(), 192);
+        assert_eq!(InputKind::Tokens { vocab: 100, seq_len: 16 }.numel(), 16);
+        assert_eq!(InputKind::Features { dim: 12 }.numel(), 12);
+    }
+
+    #[test]
+    fn display_names_cover_all() {
+        for fam in ModelFamily::ALL {
+            assert!(!fam.display_name().is_empty());
+        }
+        assert_eq!(HeterogeneityLevel::Width.to_string(), "width");
+    }
+}

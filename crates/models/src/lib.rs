@@ -1,0 +1,74 @@
+//! # mhfl-models
+//!
+//! Model families for the PracMHBench reproduction, in two complementary
+//! representations:
+//!
+//! * **Analytical specs** ([`ModelSpec`], [`ModelFamily`]): closed-form
+//!   descriptions of the real architectures the paper benchmarks (ResNet,
+//!   MobileNet, ALBERT, a custom transformer and a HAR CNN). They compute
+//!   parameter counts, forward FLOPs and training memory at any width and
+//!   depth fraction, and feed the device cost model used by the practical
+//!   constraint cases (Table I, Table III, Fig. 3 of the paper).
+//!
+//! * **Trainable proxies** ([`ProxyModel`], [`ProxyConfig`]): small
+//!   from-scratch networks with the same *structural handles* — named
+//!   parameters, width-scalable channels, stackable depth blocks, optional
+//!   auxiliary classifiers, distinct topologies per family — that the MHFL
+//!   algorithms actually train during simulation. The paper's algorithms
+//!   only manipulate structure (channel slices, block prefixes, logits and
+//!   prototypes), so exercising them on proxies preserves the comparisons
+//!   while staying laptop-fast.
+//!
+//! The width/depth scaling rules are shared between the two representations
+//! through [`scale_width`] and [`scale_depth`], so a client whose analytical
+//! model is "ResNet-101 at ×0.5 width" trains a proxy that is also at ×0.5
+//! width.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod family;
+mod method;
+mod proxy;
+mod spec;
+
+pub use blocks::{BlockKind, ProxyBlock};
+pub use family::{HeterogeneityLevel, InputKind, ModelFamily};
+pub use method::MhflMethod;
+pub use proxy::{ForwardOutput, ProxyConfig, ProxyModel};
+pub use spec::{ModelSpec, ModelStats};
+
+/// Scales a channel/feature count by a width fraction, never dropping below
+/// a minimum of 2 channels (so normalisation and attention stay well-defined).
+pub fn scale_width(base: usize, fraction: f64) -> usize {
+    ((base as f64 * fraction).round() as usize).max(2)
+}
+
+/// Scales a block count by a depth fraction, never dropping below one block.
+pub fn scale_depth(base: usize, fraction: f64) -> usize {
+    ((base as f64 * fraction).round() as usize).clamp(1, base.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_scaling_rounds_and_clamps() {
+        assert_eq!(scale_width(64, 1.0), 64);
+        assert_eq!(scale_width(64, 0.5), 32);
+        assert_eq!(scale_width(64, 0.25), 16);
+        assert_eq!(scale_width(3, 0.25), 2);
+        assert_eq!(scale_width(10, 0.75), 8);
+    }
+
+    #[test]
+    fn depth_scaling_rounds_and_clamps() {
+        assert_eq!(scale_depth(8, 1.0), 8);
+        assert_eq!(scale_depth(8, 0.5), 4);
+        assert_eq!(scale_depth(8, 0.25), 2);
+        assert_eq!(scale_depth(2, 0.1), 1);
+        assert_eq!(scale_depth(8, 2.0), 8, "cannot exceed the full depth");
+    }
+}

@@ -1,0 +1,142 @@
+//! The model-heterogeneous FL algorithms the platform benchmarks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::HeterogeneityLevel;
+
+/// The eight MHFL algorithms evaluated by the paper plus the resource-aware
+/// homogeneous baseline used to measure *effectiveness*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MhflMethod {
+    /// Fjord (ordered dropout): width heterogeneity with nested prefixes and
+    /// per-step width sampling \[Horvath et al., NeurIPS'21\].
+    Fjord,
+    /// HeteroFL with static sub-networks (the paper calls it SHeteroFL)
+    /// \[Diao et al., ICLR'21\].
+    SHeteroFl,
+    /// FedRolex: rolling sub-model extraction \[Alam et al., NeurIPS'22\].
+    FedRolex,
+    /// FeDepth: memory-adaptive depth-wise training \[Zhang et al., 2023\].
+    FeDepth,
+    /// InclusiveFL: layer pruning from the top with momentum knowledge
+    /// transfer to shallow clients \[Liu et al., KDD'22\].
+    InclusiveFl,
+    /// DepthFL: depth-wise federated learning with self-distillation among
+    /// intermediate classifiers \[Kim et al., ICLR'23\].
+    DepthFl,
+    /// FedProto: prototype exchange across heterogeneous topologies
+    /// \[Tan et al., AAAI'22\].
+    FedProto,
+    /// Fed-ET: ensemble knowledge transfer via a public proxy dataset
+    /// \[Cho et al., IJCAI'22\].
+    FedEt,
+    /// Resource-aware homogeneous baseline: FedAvg over the smallest model
+    /// that fits every device (the reference for the effectiveness metric).
+    HomogeneousSmallest,
+}
+
+impl MhflMethod {
+    /// The eight heterogeneous methods in the paper's presentation order.
+    pub const HETEROGENEOUS: [MhflMethod; 8] = [
+        MhflMethod::Fjord,
+        MhflMethod::SHeteroFl,
+        MhflMethod::FedRolex,
+        MhflMethod::FeDepth,
+        MhflMethod::InclusiveFl,
+        MhflMethod::DepthFl,
+        MhflMethod::FedEt,
+        MhflMethod::FedProto,
+    ];
+
+    /// All methods including the homogeneous baseline.
+    pub const ALL: [MhflMethod; 9] = [
+        MhflMethod::Fjord,
+        MhflMethod::SHeteroFl,
+        MhflMethod::FedRolex,
+        MhflMethod::FeDepth,
+        MhflMethod::InclusiveFl,
+        MhflMethod::DepthFl,
+        MhflMethod::FedEt,
+        MhflMethod::FedProto,
+        MhflMethod::HomogeneousSmallest,
+    ];
+
+    /// The heterogeneity level the method belongs to (paper Table II).
+    pub fn level(&self) -> HeterogeneityLevel {
+        match self {
+            MhflMethod::Fjord | MhflMethod::SHeteroFl | MhflMethod::FedRolex => {
+                HeterogeneityLevel::Width
+            }
+            MhflMethod::FeDepth | MhflMethod::InclusiveFl | MhflMethod::DepthFl => {
+                HeterogeneityLevel::Depth
+            }
+            MhflMethod::FedProto | MhflMethod::FedEt => HeterogeneityLevel::Topology,
+            MhflMethod::HomogeneousSmallest => HeterogeneityLevel::Width,
+        }
+    }
+
+    /// Whether the method supports NLP tasks (the paper omits some
+    /// method/task combinations; knowledge-distillation methods need a
+    /// shared logit space which its NLP setup does not provide for Fed-ET).
+    pub fn supports_nlp(&self) -> bool {
+        !matches!(self, MhflMethod::FedEt)
+    }
+
+    /// Display name matching the paper.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            MhflMethod::Fjord => "Fjord",
+            MhflMethod::SHeteroFl => "SHeteroFL",
+            MhflMethod::FedRolex => "FedRolex",
+            MhflMethod::FeDepth => "FeDepth",
+            MhflMethod::InclusiveFl => "InclusiveFL",
+            MhflMethod::DepthFl => "DepthFL",
+            MhflMethod::FedProto => "FedProto",
+            MhflMethod::FedEt => "Fed-ET",
+            MhflMethod::HomogeneousSmallest => "Smallest-Homogeneous",
+        }
+    }
+}
+
+impl fmt::Display for MhflMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_paper_table2() {
+        assert_eq!(MhflMethod::Fjord.level(), HeterogeneityLevel::Width);
+        assert_eq!(MhflMethod::SHeteroFl.level(), HeterogeneityLevel::Width);
+        assert_eq!(MhflMethod::FedRolex.level(), HeterogeneityLevel::Width);
+        assert_eq!(MhflMethod::FeDepth.level(), HeterogeneityLevel::Depth);
+        assert_eq!(MhflMethod::InclusiveFl.level(), HeterogeneityLevel::Depth);
+        assert_eq!(MhflMethod::DepthFl.level(), HeterogeneityLevel::Depth);
+        assert_eq!(MhflMethod::FedProto.level(), HeterogeneityLevel::Topology);
+        assert_eq!(MhflMethod::FedEt.level(), HeterogeneityLevel::Topology);
+    }
+
+    #[test]
+    fn eight_heterogeneous_methods() {
+        assert_eq!(MhflMethod::HETEROGENEOUS.len(), 8);
+        assert_eq!(MhflMethod::ALL.len(), 9);
+        let widths =
+            MhflMethod::HETEROGENEOUS.iter().filter(|m| m.level() == HeterogeneityLevel::Width).count();
+        let depths =
+            MhflMethod::HETEROGENEOUS.iter().filter(|m| m.level() == HeterogeneityLevel::Depth).count();
+        let topos =
+            MhflMethod::HETEROGENEOUS.iter().filter(|m| m.level() == HeterogeneityLevel::Topology).count();
+        assert_eq!((widths, depths, topos), (3, 3, 2));
+    }
+
+    #[test]
+    fn display_names_are_paper_names() {
+        assert_eq!(MhflMethod::SHeteroFl.to_string(), "SHeteroFL");
+        assert_eq!(MhflMethod::FedEt.to_string(), "Fed-ET");
+    }
+}

@@ -1,0 +1,482 @@
+//! Analytical architecture descriptions.
+//!
+//! These closed-form models of the paper's real architectures drive the
+//! device cost model: they answer "how many parameters / FLOPs / bytes of
+//! training memory does ResNet-101 at ×0.5 width have" without ever
+//! materialising the network. The numbers are calibrated to match the
+//! published sizes of the full models (ResNet-101 ≈ 44 M parameters,
+//! ALBERT-base ≈ 12 M, MobileNetV2 ≈ 3 M, ...), which is what Table I and
+//! Fig. 3 of the paper report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{scale_depth, scale_width, ModelFamily};
+
+/// One layer of an analytical architecture description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum LayerDesc {
+    /// 2-D convolution producing a `spatial × spatial` output map.
+    Conv { c_in: usize, c_out: usize, kernel: usize, spatial: usize, depth_unit: bool, shared_group: Option<u8> },
+    /// Fully-connected layer.
+    Dense { d_in: usize, d_out: usize, depth_unit: bool, shared_group: Option<u8> },
+    /// Token embedding table.
+    Embedding { vocab: usize, dim: usize },
+    /// Self-attention over a sequence.
+    Attention { dim: usize, seq: usize, depth_unit: bool, shared_group: Option<u8> },
+    /// Final classifier (its output dimension never scales with width).
+    Classifier { d_in: usize, classes: usize },
+}
+
+/// System statistics of a model at a particular width/depth configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ModelStats {
+    /// Number of trainable parameters.
+    pub params: u64,
+    /// Forward-pass floating point operations per sample.
+    pub flops_per_sample: u64,
+    /// Bytes occupied by the parameters (f32).
+    pub weight_bytes: u64,
+    /// Bytes of activations stored per sample during training.
+    pub activation_bytes_per_sample: u64,
+}
+
+impl ModelStats {
+    /// Parameters in millions (the unit used by the paper's Table I).
+    pub fn params_millions(&self) -> f64 {
+        self.params as f64 / 1.0e6
+    }
+
+    /// Forward GFLOPs per sample (the unit used by Fig. 3).
+    pub fn gflops(&self) -> f64 {
+        self.flops_per_sample as f64 / 1.0e9
+    }
+
+    /// Training FLOPs per sample: forward plus roughly 2× for the backward pass.
+    pub fn training_flops_per_sample(&self) -> u64 {
+        self.flops_per_sample * 3
+    }
+
+    /// Estimated peak training memory in bytes for a given batch size:
+    /// parameters + gradients + optimiser state, plus stored activations.
+    pub fn training_memory_bytes(&self, batch_size: usize) -> u64 {
+        self.weight_bytes * 3 + self.activation_bytes_per_sample * batch_size as u64 * 2
+    }
+
+    /// Serialized payload size when a full copy of the parameters is
+    /// uploaded or downloaded (f32, no compression).
+    pub fn payload_bytes(&self) -> u64 {
+        self.weight_bytes
+    }
+}
+
+/// An analytical description of one [`ModelFamily`].
+///
+/// ```
+/// use mhfl_models::{ModelFamily, ModelSpec};
+/// let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+/// let full = spec.stats(1.0, 1.0);
+/// let half = spec.stats(0.5, 1.0);
+/// assert!(full.params_millions() > 38.0 && full.params_millions() < 50.0);
+/// assert!(half.params < full.params / 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    family: ModelFamily,
+    num_classes: usize,
+}
+
+impl ModelSpec {
+    /// Creates a spec for a family with the given number of output classes.
+    pub fn new(family: ModelFamily, num_classes: usize) -> Self {
+        ModelSpec { family, num_classes }
+    }
+
+    /// The described family.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// The number of classes the classifier produces.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Builds the layer list at a width fraction (depth still full).
+    fn layers_at(&self, width: f64) -> Vec<LayerDesc> {
+        let w = |c: usize| scale_width(c, width);
+        let classes = self.num_classes;
+        match self.family {
+            ModelFamily::ResNet18 => resnet_layers(&[2, 2, 2, 2], 1, w, classes),
+            ModelFamily::ResNet34 => resnet_layers(&[3, 4, 6, 3], 1, w, classes),
+            ModelFamily::ResNet50 => resnet_layers(&[3, 4, 6, 3], 4, w, classes),
+            ModelFamily::ResNet101 => resnet_layers(&[3, 4, 23, 3], 4, w, classes),
+            ModelFamily::MobileNetV2 => mobilenet_layers(&MOBILENET_V2_STAGES, 1280, w, classes),
+            ModelFamily::MobileNetV3Small => mobilenet_layers(&MOBILENET_V3_SMALL_STAGES, 1024, w, classes),
+            ModelFamily::MobileNetV3Large => mobilenet_layers(&MOBILENET_V3_LARGE_STAGES, 1280, w, classes),
+            ModelFamily::AlbertBase => albert_layers(30_000, 128, 768, 12, true, w, classes),
+            ModelFamily::AlbertLarge => albert_layers(30_000, 128, 1024, 24, true, w, classes),
+            ModelFamily::AlbertXxlarge => albert_layers(30_000, 128, 4096, 12, true, w, classes),
+            ModelFamily::CustomTransformer => albert_layers(20_000, 128, 256, 4, false, w, classes),
+            ModelFamily::HarCnn => har_cnn_layers(w, classes),
+        }
+    }
+
+    /// Computes the statistics of the architecture at the given width and
+    /// depth fractions (both in `(0, 1]`; values are clamped to sane ranges).
+    pub fn stats(&self, width_fraction: f64, depth_fraction: f64) -> ModelStats {
+        let width = width_fraction.clamp(0.05, 1.0);
+        let depth = depth_fraction.clamp(0.05, 1.0);
+        let layers = self.layers_at(width);
+
+        // Depth scaling keeps the first `k` of the depth-unit layers.
+        let depth_units: Vec<usize> = layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| is_depth_unit(l))
+            .map(|(i, _)| i)
+            .collect();
+        let keep = scale_depth(depth_units.len().max(1), depth);
+        let dropped: std::collections::HashSet<usize> =
+            depth_units.iter().skip(keep).copied().collect();
+
+        let mut stats = ModelStats::default();
+        let mut counted_groups: std::collections::HashSet<u8> = std::collections::HashSet::new();
+        for (i, layer) in layers.iter().enumerate() {
+            if dropped.contains(&i) {
+                continue;
+            }
+            let (params, flops, act) = layer_cost(layer);
+            let count_params = match shared_group(layer) {
+                Some(g) => counted_groups.insert(g),
+                None => true,
+            };
+            if count_params {
+                stats.params += params;
+            }
+            stats.flops_per_sample += flops;
+            stats.activation_bytes_per_sample += act;
+        }
+        stats.weight_bytes = stats.params * 4;
+        stats
+    }
+}
+
+fn is_depth_unit(layer: &LayerDesc) -> bool {
+    matches!(
+        layer,
+        LayerDesc::Conv { depth_unit: true, .. }
+            | LayerDesc::Dense { depth_unit: true, .. }
+            | LayerDesc::Attention { depth_unit: true, .. }
+    )
+}
+
+fn shared_group(layer: &LayerDesc) -> Option<u8> {
+    match layer {
+        LayerDesc::Conv { shared_group, .. }
+        | LayerDesc::Dense { shared_group, .. }
+        | LayerDesc::Attention { shared_group, .. } => *shared_group,
+        _ => None,
+    }
+}
+
+/// Returns `(params, forward flops, activation bytes)` for one layer.
+fn layer_cost(layer: &LayerDesc) -> (u64, u64, u64) {
+    match *layer {
+        LayerDesc::Conv { c_in, c_out, kernel, spatial, .. } => {
+            let params = (c_in * c_out * kernel * kernel + c_out) as u64;
+            let flops = 2 * (c_in * c_out * kernel * kernel * spatial * spatial) as u64;
+            let act = (c_out * spatial * spatial * 4) as u64;
+            (params, flops, act)
+        }
+        LayerDesc::Dense { d_in, d_out, .. } => {
+            let params = (d_in * d_out + d_out) as u64;
+            let flops = 2 * (d_in * d_out) as u64;
+            let act = (d_out * 4) as u64;
+            (params, flops, act)
+        }
+        LayerDesc::Embedding { vocab, dim } => {
+            let params = (vocab * dim) as u64;
+            let flops = dim as u64;
+            let act = (dim * 4) as u64;
+            (params, flops, act)
+        }
+        LayerDesc::Attention { dim, seq, .. } => {
+            let params = (4 * dim * dim) as u64;
+            let flops = (8 * seq * dim * dim + 4 * seq * seq * dim) as u64;
+            let act = (3 * seq * dim * 4 + seq * seq * 4) as u64;
+            (params, flops, act)
+        }
+        LayerDesc::Classifier { d_in, classes } => {
+            let params = (d_in * classes + classes) as u64;
+            let flops = 2 * (d_in * classes) as u64;
+            let act = (classes * 4) as u64;
+            (params, flops, act)
+        }
+    }
+}
+
+/// CIFAR-style ResNet: 3×3 stem, four stages at 32/16/8/4 spatial resolution.
+fn resnet_layers(
+    blocks: &[usize; 4],
+    expansion: usize,
+    w: impl Fn(usize) -> usize,
+    classes: usize,
+) -> Vec<LayerDesc> {
+    let stage_channels = [64usize, 128, 256, 512];
+    let spatials = [32usize, 16, 8, 4];
+    let mut layers = vec![LayerDesc::Conv {
+        c_in: 3,
+        c_out: w(64),
+        kernel: 3,
+        spatial: 32,
+        depth_unit: false,
+        shared_group: None,
+    }];
+    let mut prev = w(64);
+    for (stage, (&count, (&base_c, &spatial))) in
+        blocks.iter().zip(stage_channels.iter().zip(spatials.iter())).enumerate()
+    {
+        let c = w(base_c);
+        let c_out = c * expansion;
+        for b in 0..count {
+            let c_in = if b == 0 { prev } else { c_out };
+            if expansion == 1 {
+                // Basic block: two 3×3 convolutions.
+                layers.push(LayerDesc::Conv { c_in, c_out: c, kernel: 3, spatial, depth_unit: true, shared_group: None });
+                layers.push(LayerDesc::Conv { c_in: c, c_out: c, kernel: 3, spatial, depth_unit: true, shared_group: None });
+            } else {
+                // Bottleneck block: 1×1 reduce, 3×3, 1×1 expand.
+                layers.push(LayerDesc::Conv { c_in, c_out: c, kernel: 1, spatial, depth_unit: true, shared_group: None });
+                layers.push(LayerDesc::Conv { c_in: c, c_out: c, kernel: 3, spatial, depth_unit: true, shared_group: None });
+                layers.push(LayerDesc::Conv { c_in: c, c_out, kernel: 1, spatial, depth_unit: true, shared_group: None });
+            }
+            if b == 0 && c_in != c_out {
+                // Projection shortcut.
+                layers.push(LayerDesc::Conv { c_in, c_out, kernel: 1, spatial, depth_unit: false, shared_group: None });
+            }
+        }
+        prev = c_out;
+        let _ = stage;
+    }
+    layers.push(LayerDesc::Classifier { d_in: prev, classes });
+    layers
+}
+
+/// `(expansion, channels, repeats, spatial)` stages of the MobileNet variants.
+const MOBILENET_V2_STAGES: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 32),
+    (6, 24, 2, 16),
+    (6, 32, 3, 16),
+    (6, 64, 4, 8),
+    (6, 96, 3, 8),
+    (6, 160, 3, 4),
+    (6, 320, 1, 4),
+];
+
+const MOBILENET_V3_SMALL_STAGES: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 16),
+    (4, 24, 2, 8),
+    (4, 40, 3, 8),
+    (6, 48, 2, 4),
+    (6, 96, 3, 4),
+    (6, 96, 1, 4),
+    (6, 96, 1, 4),
+];
+
+const MOBILENET_V3_LARGE_STAGES: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 2, 32),
+    (4, 24, 2, 16),
+    (4, 40, 3, 16),
+    (6, 80, 4, 8),
+    (6, 112, 2, 8),
+    (6, 160, 3, 4),
+    (6, 160, 1, 4),
+];
+
+/// MobileNet-style inverted residual stack.
+fn mobilenet_layers(
+    stages: &[(usize, usize, usize, usize)],
+    head_dim: usize,
+    w: impl Fn(usize) -> usize,
+    classes: usize,
+) -> Vec<LayerDesc> {
+    let mut layers = vec![LayerDesc::Conv {
+        c_in: 3,
+        c_out: w(32),
+        kernel: 3,
+        spatial: 32,
+        depth_unit: false,
+        shared_group: None,
+    }];
+    let mut prev = w(32);
+    for &(expansion, channels, repeats, spatial) in stages {
+        let c = w(channels);
+        for r in 0..repeats {
+            let c_in = if r == 0 { prev } else { c };
+            let hidden = c_in * expansion;
+            // Expand (1×1), depthwise (3×3, cost ≈ hidden·k², modelled with c_in=1), project (1×1).
+            layers.push(LayerDesc::Conv { c_in, c_out: hidden, kernel: 1, spatial, depth_unit: true, shared_group: None });
+            layers.push(LayerDesc::Conv { c_in: 1, c_out: hidden, kernel: 3, spatial, depth_unit: true, shared_group: None });
+            layers.push(LayerDesc::Conv { c_in: hidden, c_out: c, kernel: 1, spatial, depth_unit: true, shared_group: None });
+        }
+        prev = c;
+    }
+    let head = w(head_dim);
+    layers.push(LayerDesc::Conv { c_in: prev, c_out: head, kernel: 1, spatial: 4, depth_unit: false, shared_group: None });
+    layers.push(LayerDesc::Classifier { d_in: head, classes });
+    layers
+}
+
+/// ALBERT / transformer encoder: embedding (+ factorised projection), a stack
+/// of attention + FFN layers (optionally parameter-shared), classifier.
+fn albert_layers(
+    vocab: usize,
+    emb_dim: usize,
+    hidden: usize,
+    num_layers: usize,
+    share_params: bool,
+    w: impl Fn(usize) -> usize,
+    classes: usize,
+) -> Vec<LayerDesc> {
+    let seq = 64usize;
+    let h = w(hidden);
+    let e = w(emb_dim);
+    let mut layers = vec![
+        LayerDesc::Embedding { vocab, dim: e },
+        LayerDesc::Dense { d_in: e, d_out: h, depth_unit: false, shared_group: None },
+    ];
+    for layer_idx in 0..num_layers {
+        let group = if share_params { Some(1u8) } else { None };
+        let group_ffn = if share_params { Some(2u8) } else { None };
+        let _ = layer_idx;
+        layers.push(LayerDesc::Attention { dim: h, seq, depth_unit: true, shared_group: group });
+        layers.push(LayerDesc::Dense { d_in: h, d_out: 4 * h, depth_unit: true, shared_group: group_ffn });
+        layers.push(LayerDesc::Dense { d_in: 4 * h, d_out: h, depth_unit: true, shared_group: group_ffn.map(|g| g + 1) });
+    }
+    layers.push(LayerDesc::Classifier { d_in: h, classes });
+    layers
+}
+
+/// The customised HAR CNN from the paper's HAR tasks: a small feature
+/// extractor over flattened sensor windows.
+fn har_cnn_layers(w: impl Fn(usize) -> usize, classes: usize) -> Vec<LayerDesc> {
+    let input_dim = 900usize; // 9 channels × 100-sample window
+    let c1 = w(196);
+    let c2 = w(196);
+    let c3 = w(128);
+    vec![
+        LayerDesc::Dense { d_in: input_dim, d_out: c1, depth_unit: false, shared_group: None },
+        LayerDesc::Dense { d_in: c1, d_out: c2, depth_unit: true, shared_group: None },
+        LayerDesc::Dense { d_in: c2, d_out: c2, depth_unit: true, shared_group: None },
+        LayerDesc::Dense { d_in: c2, d_out: c3, depth_unit: true, shared_group: None },
+        LayerDesc::Classifier { d_in: c3, classes },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet101_full_size_matches_published_ballpark() {
+        let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+        let stats = spec.stats(1.0, 1.0);
+        let m = stats.params_millions();
+        assert!(m > 38.0 && m < 50.0, "ResNet-101 ≈ 44 M params, got {m}");
+    }
+
+    #[test]
+    fn resnet101_half_width_matches_table1() {
+        // Paper Table I: ×0.5 ResNet-101 has ≈ 10.3–10.8 M parameters.
+        let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+        let half = spec.stats(0.5, 1.0);
+        let m = half.params_millions();
+        assert!(m > 8.0 && m < 14.0, "×0.5 ResNet-101 ≈ 10.5 M params, got {m}");
+    }
+
+    #[test]
+    fn albert_family_ordering() {
+        let base = ModelSpec::new(ModelFamily::AlbertBase, 10).stats(1.0, 1.0);
+        let large = ModelSpec::new(ModelFamily::AlbertLarge, 10).stats(1.0, 1.0);
+        let xxl = ModelSpec::new(ModelFamily::AlbertXxlarge, 10).stats(1.0, 1.0);
+        assert!(base.params < large.params && large.params < xxl.params);
+        // ALBERT-base ≈ 12 M.
+        let m = base.params_millions();
+        assert!(m > 8.0 && m < 16.0, "ALBERT-base ≈ 12 M params, got {m}");
+    }
+
+    #[test]
+    fn albert_depth_scaling_keeps_params_but_cuts_flops() {
+        // ALBERT shares parameters across layers, so depth scaling should not
+        // change the parameter count much but should cut compute.
+        let spec = ModelSpec::new(ModelFamily::AlbertBase, 10);
+        let full = spec.stats(1.0, 1.0);
+        let half = spec.stats(1.0, 0.5);
+        assert_eq!(full.params, half.params);
+        assert!(half.flops_per_sample < full.flops_per_sample);
+    }
+
+    #[test]
+    fn width_scaling_is_roughly_quadratic() {
+        let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+        let full = spec.stats(1.0, 1.0).params as f64;
+        let half = spec.stats(0.5, 1.0).params as f64;
+        let ratio = full / half;
+        assert!(ratio > 3.0 && ratio < 5.0, "quadratic shrinkage expected, ratio {ratio}");
+    }
+
+    #[test]
+    fn depth_scaling_reduces_params_for_non_shared_models() {
+        let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+        let full = spec.stats(1.0, 1.0);
+        let half = spec.stats(1.0, 0.5);
+        let quarter = spec.stats(1.0, 0.25);
+        assert!(half.params < full.params);
+        assert!(quarter.params < half.params);
+        assert!(quarter.flops_per_sample < half.flops_per_sample);
+    }
+
+    #[test]
+    fn mobilenets_are_much_smaller_than_resnets() {
+        let r = ModelSpec::new(ModelFamily::ResNet50, 10).stats(1.0, 1.0);
+        let m = ModelSpec::new(ModelFamily::MobileNetV2, 10).stats(1.0, 1.0);
+        assert!(m.params * 4 < r.params);
+        let small = ModelSpec::new(ModelFamily::MobileNetV3Small, 10).stats(1.0, 1.0);
+        let large = ModelSpec::new(ModelFamily::MobileNetV3Large, 10).stats(1.0, 1.0);
+        assert!(small.params < large.params);
+    }
+
+    #[test]
+    fn training_memory_grows_with_batch_size() {
+        let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+        let s = spec.stats(1.0, 1.0);
+        assert!(s.training_memory_bytes(16) > s.training_memory_bytes(1));
+        assert!(s.training_memory_bytes(1) > s.weight_bytes);
+    }
+
+    #[test]
+    fn resnet_family_is_monotone_in_depth_label() {
+        let sizes: Vec<u64> = ModelFamily::RESNET_FAMILY
+            .iter()
+            .map(|f| ModelSpec::new(*f, 100).stats(1.0, 1.0).params)
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "R18 < R34 < R50 < R101: {sizes:?}");
+    }
+
+    #[test]
+    fn har_cnn_is_tiny() {
+        let s = ModelSpec::new(ModelFamily::HarCnn, 5).stats(1.0, 1.0);
+        assert!(s.params_millions() < 1.0);
+    }
+
+    #[test]
+    fn stats_are_deterministic_and_clamped() {
+        let spec = ModelSpec::new(ModelFamily::ResNet18, 10);
+        assert_eq!(spec.stats(0.5, 0.5), spec.stats(0.5, 0.5));
+        // Out-of-range fractions are clamped rather than panicking.
+        let tiny = spec.stats(0.0, 0.0);
+        assert!(tiny.params > 0);
+        let over = spec.stats(2.0, 2.0);
+        assert_eq!(over, spec.stats(1.0, 1.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! Parameter-free activation layers.
+
+use mhfl_tensor::Tensor;
+
+use crate::{Layer, NnError, Param, Result};
+
+/// Rectified linear unit: `y = max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache("Relu".into()))?;
+        Ok(grad_output.zip_with(input, |g, x| if x > 0.0 { g } else { 0.0 })?)
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Param)) {}
+    fn visit_params_mut(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Param)) {}
+}
+
+/// Gaussian error linear unit (tanh approximation), used by the transformer
+/// and ALBERT proxy models.
+#[derive(Debug, Default)]
+pub struct Gelu {
+    cached_input: Option<Tensor>,
+}
+
+impl Gelu {
+    /// Creates a new GELU layer.
+    pub fn new() -> Self {
+        Gelu { cached_input: None }
+    }
+
+    fn gelu(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+    }
+
+    fn gelu_grad(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6;
+        let inner = C * (x + 0.044_715 * x * x * x);
+        let t = inner.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(Self::gelu))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache("Gelu".into()))?;
+        Ok(grad_output.zip_with(input, |g, x| g * Self::gelu_grad(x))?)
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Param)) {}
+    fn visit_params_mut(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Param)) {}
+}
+
+/// Hyperbolic tangent activation, used by the HAR CNN proxy.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a new Tanh layer.
+    pub fn new() -> Self {
+        Tanh { cached_output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache("Tanh".into()))?;
+        Ok(grad_output.zip_with(out, |g, y| g * (1.0 - y * y))?)
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Param)) {}
+    fn visit_params_mut(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhfl_tensor::SeededRng;
+
+    fn finite_diff(layer: &mut dyn Layer, x: &Tensor, idx: usize) -> f32 {
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] -= eps;
+        let fp = layer.forward(&xp, true).unwrap().sum();
+        let fm = layer.forward(&xm, true).unwrap().sum();
+        (fp - fm) / (2.0 * eps)
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = relu.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = relu.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[1])).is_err());
+        let mut gelu = Gelu::new();
+        assert!(gelu.backward(&Tensor::ones(&[1])).is_err());
+        let mut tanh = Tanh::new();
+        assert!(tanh.backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    fn gelu_gradient_check() {
+        let mut rng = SeededRng::new(0);
+        let x = Tensor::randn(&[6], 1.0, &mut rng);
+        let mut gelu = Gelu::new();
+        gelu.forward(&x, true).unwrap();
+        let dx = gelu.backward(&Tensor::ones(&[6])).unwrap();
+        for i in 0..x.len() {
+            let numeric = finite_diff(&mut gelu, &x, i);
+            assert!((dx.as_slice()[i] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::randn(&[5], 1.0, &mut rng);
+        let mut tanh = Tanh::new();
+        tanh.forward(&x, true).unwrap();
+        let dx = tanh.backward(&Tensor::ones(&[5])).unwrap();
+        for i in 0..x.len() {
+            let numeric = finite_diff(&mut tanh, &x, i);
+            assert!((dx.as_slice()[i] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let relu = Relu::new();
+        let mut count = 0;
+        relu.visit_params("", &mut |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+}

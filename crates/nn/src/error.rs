@@ -1,0 +1,72 @@
+//! Error type for the neural-network crate.
+
+use std::fmt;
+
+use mhfl_tensor::TensorError;
+
+/// Errors produced by layer construction, forward/backward passes and
+/// state-dict manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input of unexpected shape.
+    BadInput {
+        /// The layer reporting the problem.
+        layer: String,
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The shape actually received.
+        got: Vec<usize>,
+    },
+    /// `backward` was called before `forward` (no cached activations).
+    MissingForwardCache(String),
+    /// A state dict is missing a parameter the model expects.
+    MissingParam(String),
+    /// A state-dict tensor has the wrong shape for the target parameter.
+    ParamShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape expected by the model.
+        expected: Vec<usize>,
+        /// Shape found in the state dict.
+        got: Vec<usize>,
+    },
+    /// A configuration value was invalid (zero sizes, bad fractions, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, expected, got } => {
+                write!(f, "layer {layer} expected {expected}, got shape {got:?}")
+            }
+            NnError::MissingForwardCache(layer) => {
+                write!(f, "backward called on {layer} before forward")
+            }
+            NnError::MissingParam(name) => write!(f, "state dict is missing parameter {name}"),
+            NnError::ParamShapeMismatch { name, expected, got } => write!(
+                f,
+                "parameter {name} expects shape {expected:?}, state dict provides {got:?}"
+            ),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The supplied data length does not match the product of the shape.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors participating in a binary operation have incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An element or slice index was out of bounds.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The length of the dimension being indexed.
+        len: usize,
+    },
+    /// The operation requires a specific rank (e.g. matmul requires rank 2).
+    RankMismatch {
+        /// The required rank.
+        expected: usize,
+        /// The actual rank.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A reshape target has a different number of elements.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Target element count.
+        to: usize,
+    },
+    /// A tensor was empty where a non-empty tensor was required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "incompatible shapes {left:?} and {right:?} for {op}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension of length {len}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "{op} requires rank {expected}, got rank {actual}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape tensor of {from} elements into {to} elements")
+            }
+            TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

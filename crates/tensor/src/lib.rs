@@ -1,0 +1,44 @@
+//! # mhfl-tensor
+//!
+//! A deliberately small, dependency-light CPU tensor library that underpins
+//! the PracMHBench reproduction. It provides exactly what the federated
+//! learning substrate needs:
+//!
+//! * an n-dimensional `f32` [`Tensor`] with row-major storage,
+//! * elementwise arithmetic with simple broadcasting,
+//! * 2-D matrix multiplication and transposition,
+//! * reductions, softmax, argmax,
+//! * axis slicing and index-based gathering (used by width/depth sub-model
+//!   extraction),
+//! * seeded random initialisation so every experiment is reproducible.
+//!
+//! The library intentionally avoids `unsafe`, SIMD and GPU support: the
+//! proxy models used by the benchmark are tiny, and determinism plus clarity
+//! matter more than raw throughput here.
+//!
+//! ```
+//! use mhfl_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok::<(), mhfl_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use rng::SeededRng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

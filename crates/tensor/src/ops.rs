@@ -1,0 +1,427 @@
+//! Arithmetic, linear algebra and reduction operations on [`Tensor`].
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.as_slice().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, self.dims()).expect("map preserves shape")
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.as_mut_slice().iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn zip_with(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.dims() != rhs.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "zip_with",
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims())
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication.
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * rhs` (the AXPY kernel used by SGD and by
+    /// server-side aggregation).
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
+        if self.dims() != rhs.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, value: f32) -> Tensor {
+        self.map(|x| x + value)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, value: f32) -> Tensor {
+        self.map(|x| x * value)
+    }
+
+    /// Multiplies every element by a scalar in place.
+    pub fn scale_inplace(&mut self, value: f32) {
+        self.map_inplace(|x| x * value);
+    }
+
+    /// Adds `bias` (a rank-1 tensor of length equal to the trailing
+    /// dimension) to every row of a rank-2 tensor.
+    ///
+    /// # Errors
+    /// Returns an error for rank/shape mismatches.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || bias.rank() != 1 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: bias.dims().to_vec(),
+                op: "add_row_broadcast",
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if bias.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: bias.dims().to_vec(),
+                op: "add_row_broadcast",
+            });
+        }
+        let mut out = self.clone();
+        let b = bias.as_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                out.as_mut_slice()[r * cols + c] += b[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank-2 or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "matmul" });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: rhs.rank(), op: "matmul" });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "matmul",
+            });
+        }
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the inner loop contiguous over both `b` and `out`.
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not rank-2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "transpose" });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = src[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols, rows])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    /// Returns an error for empty tensors.
+    pub fn max(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
+            .ok_or(TensorError::Empty("max"))
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.as_slice().iter().map(|x| x * x).sum()
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Per-row sums of a rank-2 tensor.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not rank-2.
+    pub fn row_sums(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "row_sums" });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let data: Vec<f32> = (0..rows)
+            .map(|r| self.as_slice()[r * cols..(r + 1) * cols].iter().sum())
+            .collect();
+        Tensor::from_vec(data, &[rows])
+    }
+
+    /// Per-column means of a rank-2 tensor.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not rank-2 or has zero rows.
+    pub fn col_means(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "col_means" });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if rows == 0 {
+            return Err(TensorError::Empty("col_means"));
+        }
+        let mut data = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                data[c] += self.as_slice()[r * cols + c];
+            }
+        }
+        data.iter_mut().for_each(|x| *x /= rows as f32);
+        Tensor::from_vec(data, &[cols])
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not rank-2.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "softmax_rows" });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&x| (x - maxv).exp()).collect();
+            let denom: f32 = exps.iter().sum::<f32>().max(f32::EPSILON);
+            for c in 0..cols {
+                out[r * cols + c] = exps[c] / denom;
+            }
+        }
+        Tensor::from_vec(out, &[rows, cols])
+    }
+
+    /// Row-wise argmax of a rank-2 tensor (predicted class per sample).
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not rank-2 or has zero columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "argmax_rows" });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if cols == 0 {
+            return Err(TensorError::Empty("argmax_rows"));
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (c, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Clips every element into `[-limit, limit]`.
+    pub fn clamp_abs(&self, limit: f32) -> Tensor {
+        self.map(|x| x.clamp(-limit, limit))
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.as_slice().iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(&[5.0, 6.0, 7.0, 8.0], 2, 2);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+        let c = t2(&[1.0, 2.0], 1, 2);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut acc = Tensor::zeros(&[3]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        acc.axpy(0.5, &g).unwrap();
+        acc.axpy(0.5, &g).unwrap();
+        assert_eq!(acc.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = t2(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let c = a.matmul(&Tensor::eye(2)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = t2(&[1.0, 2.0], 1, 2);
+        let b = t2(&[1.0, 2.0, 3.0], 3, 1);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max().unwrap(), 4.0);
+        assert!((a.norm() - (30.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(a.row_sums().unwrap().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.col_means().unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let a = t2(&[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], 2, 3);
+        let s = a.softmax_rows().unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Stable on large inputs.
+        assert!(!s.has_non_finite());
+        // Monotone: larger logits get larger probability.
+        assert!(s.at(&[0, 2]).unwrap() > s.at(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let a = t2(&[0.1, 0.9, 0.0, 0.7, 0.2, 0.1], 2, 3);
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn broadcast_bias_add() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let c = a.add_row_broadcast(&b).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn clamp_and_finite_checks() {
+        let a = Tensor::from_vec(vec![-5.0, 0.5, 7.0], &[3]).unwrap();
+        assert_eq!(a.clamp_abs(1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+        assert!(!a.has_non_finite());
+        let bad = Tensor::from_vec(vec![f32::NAN], &[1]).unwrap();
+        assert!(bad.has_non_finite());
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic random number generation for reproducible experiments.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator shared by data generation and model
+/// initialisation so entire experiments are reproducible from a single seed.
+///
+/// ```
+/// use mhfl_tensor::SeededRng;
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a child generator whose stream is independent of, but fully
+    /// determined by, this generator's seed and the supplied `stream` label.
+    ///
+    /// Used to hand out per-client, per-round generators that do not depend
+    /// on the order in which clients are simulated.
+    pub fn derive(&self, stream: u64) -> SeededRng {
+        // SplitMix64-style mixing keeps derived seeds well distributed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SeededRng::new(z ^ (z >> 31))
+    }
+
+    /// Samples a standard-normal value scaled to mean `mean` and standard
+    /// deviation `std` (Box–Muller transform; avoids extra dependencies).
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    pub fn uniform(&mut self, low: f32, high: f32) -> f32 {
+        if (high - low).abs() < f32::EPSILON {
+            return low;
+        }
+        Uniform::new(low, high).sample(&mut self.inner)
+    }
+
+    /// Samples an integer uniformly from `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Samples `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Draws a sample from a symmetric Dirichlet distribution with
+    /// concentration `alpha` over `k` categories, via normalised Gamma
+    /// samples (Marsaglia–Tsang for alpha >= 1, boosting otherwise).
+    pub fn dirichlet(&mut self, alpha: f64, k: usize) -> Vec<f64> {
+        assert!(k > 0, "dirichlet requires at least one category");
+        let mut draws: Vec<f64> = (0..k).map(|_| self.gamma(alpha)).collect();
+        let sum: f64 = draws.iter().sum();
+        if sum <= f64::EPSILON {
+            // Degenerate case: fall back to a one-hot on a random category.
+            let hot = self.index(k);
+            draws = vec![0.0; k];
+            draws[hot] = 1.0;
+            return draws;
+        }
+        draws.iter_mut().for_each(|d| *d /= sum);
+        draws
+    }
+
+    /// Samples from a Gamma(shape, 1) distribution.
+    fn gamma(&mut self, shape: f64) -> f64 {
+        if shape < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}
+            let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+            return self.gamma(shape + 1.0) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = {
+                let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = self.inner.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+
+    /// Samples from a log-normal distribution with the given parameters of
+    /// the underlying normal (used by the synthetic IMA device population).
+    pub fn log_normal(&mut self, mu: f32, sigma: f32) -> f32 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Chooses `count` distinct indices from `[0, n)` uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `count > n`.
+    pub fn choose_indices(&mut self, n: usize, count: usize) -> Vec<usize> {
+        assert!(count <= n, "cannot choose {count} items from {n}");
+        let mut indices: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut indices);
+        indices.truncate(count);
+        indices.sort_unstable();
+        indices
+    }
+
+    /// Samples an index according to the (non-negative, not necessarily
+    /// normalised) weights. Falls back to uniform if all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index requires weights");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= f64::EPSILON {
+            return self.index(weights.len());
+        }
+        let mut target = self.inner.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.normal(0.0, 1.0).to_bits(), b.normal(0.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let base = SeededRng::new(42);
+        let mut a = base.derive(1);
+        let mut b = base.derive(2);
+        let va: Vec<f32> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
+        let vb: Vec<f32> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derived_streams_reproducible() {
+        let base = SeededRng::new(7);
+        let mut a = base.derive(5);
+        let mut b = SeededRng::new(7).derive(5);
+        assert_eq!(a.index(1000), b.index(1000));
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = SeededRng::new(3);
+        for &alpha in &[0.1, 0.5, 1.0, 5.0] {
+            let draw = rng.dirichlet(alpha, 10);
+            let sum: f64 = draw.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha={alpha} sum={sum}");
+            assert!(draw.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn dirichlet_concentration_effect() {
+        // Small alpha should produce more skewed distributions on average.
+        let mut rng = SeededRng::new(11);
+        let avg_max = |alpha: f64, rng: &mut SeededRng| -> f64 {
+            (0..200)
+                .map(|_| {
+                    rng.dirichlet(alpha, 10)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let skewed = avg_max(0.1, &mut rng);
+        let flat = avg_max(10.0, &mut rng);
+        assert!(skewed > flat, "skewed={skewed} flat={flat}");
+    }
+
+    #[test]
+    fn choose_indices_distinct_sorted() {
+        let mut rng = SeededRng::new(5);
+        let picked = rng.choose_indices(100, 10);
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = SeededRng::new(13);
+        let n = 5000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.2, "mean={mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.3, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weight() {
+        let mut rng = SeededRng::new(21);
+        let weights = [0.01, 0.01, 10.0, 0.01];
+        let hits = (0..500).filter(|_| rng.weighted_index(&weights) == 2).count();
+        assert!(hits > 400, "hits={hits}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SeededRng::new(1);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+}

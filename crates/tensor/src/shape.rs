@@ -1,0 +1,190 @@
+//! Shape and stride helpers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of every dimension in row-major order.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that adds stride and index
+/// arithmetic used throughout the crate.
+///
+/// ```
+/// use mhfl_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Total number of elements described by the shape.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape describes zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+    }
+
+    /// Row-major strides for the shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    /// Returns an error if the index rank differs from the shape rank or any
+    /// coordinate is out of bounds.
+    pub fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+                op: "flat_index",
+            });
+        }
+        let strides = self.strides();
+        let mut offset = 0;
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, len: d });
+            }
+            offset += i * strides[axis];
+        }
+        Ok(offset)
+    }
+
+    /// Returns `true` if two shapes are compatible for elementwise ops with
+    /// trailing broadcasting (identical, or the right shape matches a suffix
+    /// of the left with all leading dimensions broadcast).
+    pub fn broadcastable_from(&self, rhs: &Shape) -> bool {
+        if self.0 == rhs.0 {
+            return true;
+        }
+        if rhs.rank() > self.rank() {
+            return false;
+        }
+        let offset = self.rank() - rhs.rank();
+        self.0[offset..]
+            .iter()
+            .zip(rhs.0.iter())
+            .all(|(&l, &r)| l == r || r == 1)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[5]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn flat_index_valid() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.flat_index(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.flat_index(&[1, 2]).unwrap(), 5);
+    }
+
+    #[test]
+    fn flat_index_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.flat_index(&[2, 0]).is_err());
+        assert!(s.flat_index(&[0]).is_err());
+    }
+
+    #[test]
+    fn broadcast_compat() {
+        let a = Shape::new(&[4, 3]);
+        let b = Shape::new(&[3]);
+        assert!(a.broadcastable_from(&b));
+        assert!(a.broadcastable_from(&a));
+        let c = Shape::new(&[4]);
+        assert!(!a.broadcastable_from(&c));
+        assert!(!b.broadcastable_from(&a));
+    }
+
+    #[test]
+    fn dim_errors() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.dim(1).unwrap(), 3);
+        assert!(s.dim(2).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Computation-limited MHFL: compare every algorithm under a per-round
+//! training deadline derived from a heterogeneous device population
+//! (the scenario of the paper's Fig. 4, at reduced scale).
+//!
+//! ```bash
+//! cargo run --release --example computation_limited
+//! ```
+
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_models::MhflMethod;
+use pracmhbench_core::{format_table, ComparisonRow, ExperimentSpec, RunScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = DataTask::UciHar;
+    let constraint = ConstraintCase::Computation { deadline_secs: 200.0 };
+    let spec = ExperimentSpec::new(task, MhflMethod::SHeteroFl, constraint)
+        .with_scale(RunScale::Quick)
+        .with_seed(11);
+
+    println!("Computation-limited MHFL on {task} (quick scale)\n");
+    let outcomes = spec.run_comparison(&MhflMethod::HETEROGENEOUS)?;
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            let row = ComparisonRow::from_outcome(o);
+            vec![
+                row.method,
+                row.level,
+                format!("{:.3}", row.global_accuracy),
+                row.time_to_accuracy_hours
+                    .map(|h| format!("{h:.2}"))
+                    .unwrap_or_else(|| "—".to_string()),
+                format!("{:.5}", row.stability),
+                row.effectiveness.map(|e| format!("{e:+.3}")).unwrap_or_else(|| "—".to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Method", "Level", "GlobalAcc", "TimeToAcc(h)", "Stability", "Effectiveness"],
+            &rows
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Model-pool explorer: print the analytical statistics of the ResNet-101
+//! scaling pool (parameters, GFLOPs, memory, training time) on a Jetson
+//! Orin NX — the data behind the paper's Fig. 3 and Table I.
+//!
+//! ```bash
+//! cargo run --release --example model_pool_explorer
+//! ```
+
+use mhfl_device::{CostModel, DeviceCapability, DeviceProfile};
+use mhfl_models::{MhflMethod, ModelFamily, ModelSpec};
+use pracmhbench_core::format_table;
+
+fn main() {
+    let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
+    let cost_model = CostModel::default();
+    let orin = DeviceCapability::from(&DeviceProfile::jetson_orin_nx());
+    let nano = DeviceCapability::from(&DeviceProfile::jetson_nano());
+
+    println!("ResNet-101 width-scaling pool (analytical, per Fig. 3)\n");
+    let mut rows = Vec::new();
+    for &fraction in &[1.0, 0.75, 0.5, 0.25] {
+        let stats = spec.stats(fraction, 1.0);
+        let cost = cost_model.round_cost(&stats, MhflMethod::SHeteroFl, &orin);
+        rows.push(vec![
+            format!("R101 x{fraction}"),
+            format!("{:.2}", stats.params_millions()),
+            format!("{:.2}", stats.gflops()),
+            format!("{:.0}", cost.memory_bytes as f64 / 1e6),
+            format!("{:.1}", cost.train_time_secs),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["Model", "Params(M)", "GFLOPs", "Memory(MB)", "Train time Orin (s)"], &rows)
+    );
+
+    println!("Method overheads at x0.5 (per Table I)\n");
+    let half = spec.stats(0.5, 1.0);
+    let mut rows = Vec::new();
+    for method in [
+        MhflMethod::SHeteroFl,
+        MhflMethod::DepthFl,
+        MhflMethod::FedRolex,
+        MhflMethod::FeDepth,
+    ] {
+        let orin_cost = cost_model.round_cost(&half, method, &orin);
+        let nano_cost = cost_model.round_cost(&half, method, &nano);
+        rows.push(vec![
+            method.to_string(),
+            format!("{:.2}", cost_model.effective_params(&half, method) as f64 / 1e6),
+            format!("{:.1}", nano_cost.train_time_secs),
+            format!("{:.1}", orin_cost.train_time_secs),
+            format!("{:.0}", orin_cost.memory_bytes as f64 / 1e6),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["Method", "Params(M)", "Train time Nano (s)", "Train time Orin (s)", "Memory(MB)"],
+            &rows
+        )
+    );
+}

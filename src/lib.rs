@@ -1,0 +1,14 @@
+//! Top-level convenience re-exports for the PracMHBench reproduction workspace.
+//!
+//! The actual functionality lives in the member crates; this package exists so
+//! the repository-level `examples/` and `tests/` directories can build against
+//! a single dependency.
+
+pub use mhfl_algorithms as algorithms;
+pub use mhfl_data as data;
+pub use mhfl_device as device;
+pub use mhfl_fl as fl;
+pub use mhfl_models as models;
+pub use mhfl_nn as nn;
+pub use mhfl_tensor as tensor;
+pub use pracmhbench_core as platform;

@@ -1,0 +1,127 @@
+//! Property-based tests on the core invariants of the platform.
+
+use mhfl_data::{generate_dataset, DataTask, Partition};
+use mhfl_device::{ConstraintCase, CostModel, DeviceCapability, ModelPool};
+use mhfl_fl::submodel::{axis_indices, extract_submodel, ServerAggregator, WidthSelection};
+use mhfl_models::{InputKind, MhflMethod, ModelFamily, ModelSpec, ProxyConfig, ProxyModel};
+use mhfl_nn::AxisRole;
+use mhfl_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Analytical model statistics are monotone in the width fraction.
+    #[test]
+    fn spec_params_monotone_in_width(w1 in 0.1f64..1.0, w2 in 0.1f64..1.0) {
+        let spec = ModelSpec::new(ModelFamily::ResNet50, 100);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(spec.stats(lo, 1.0).params <= spec.stats(hi, 1.0).params);
+    }
+
+    /// Rolling and prefix index selections always produce valid, distinct
+    /// global indices of the requested length.
+    #[test]
+    fn width_selection_indices_are_valid(global in 2usize..64, shift in 0usize..100) {
+        let client = (global / 2).max(1);
+        for selection in [WidthSelection::Prefix, WidthSelection::Rolling { shift }] {
+            let idx = selection.indices(global, client);
+            prop_assert_eq!(idx.len(), client);
+            prop_assert!(idx.iter().all(|&i| i < global));
+            let mut dedup = idx.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), client, "indices must be distinct");
+        }
+    }
+
+    /// Extraction followed by aggregation of an unmodified sub-model leaves
+    /// the covered global entries unchanged.
+    #[test]
+    fn extract_then_aggregate_is_identity_on_coverage(width in 0.25f64..1.0, seed in 0u64..50) {
+        let cfg = ProxyConfig::for_family(
+            ModelFamily::ResNet34,
+            InputKind::Features { dim: 8 },
+            5,
+            seed,
+        );
+        let global = ProxyModel::new(cfg).unwrap();
+        let global_sd = global.state_dict();
+        let specs = global.param_specs();
+        let client_specs = ProxyModel::new(cfg.with_width(width)).unwrap().param_specs();
+        let sub = extract_submodel(&global_sd, &specs, &client_specs, WidthSelection::Prefix).unwrap();
+        let mut agg = ServerAggregator::new(specs);
+        agg.add_update(&sub, WidthSelection::Prefix, 1.0).unwrap();
+        let merged = agg.finalize(&global_sd).unwrap();
+        // Aggregating the extracted (unchanged) sub-model must reproduce the
+        // original global values everywhere.
+        prop_assert!(merged.l2_distance_sq(&global_sd) < 1e-8);
+    }
+
+    /// Every partition strategy assigns every sample exactly once.
+    #[test]
+    fn partitions_are_exact_covers(clients in 2usize..12, alpha in 0.1f64..10.0) {
+        let ds = generate_dataset(DataTask::Cifar10, 120, 3, None);
+        let mut rng = SeededRng::new(9);
+        for partition in [
+            Partition::Iid,
+            Partition::Dirichlet { alpha },
+            Partition::ByUser { dominant_classes: 3 },
+        ] {
+            let shards = partition.split(&ds, clients, &mut rng);
+            let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all.len(), ds.len());
+            all.dedup();
+            prop_assert_eq!(all.len(), ds.len());
+        }
+    }
+
+    /// Constraint-based assignment always yields a feasible-or-smallest model
+    /// and never a model larger than the unconstrained choice.
+    #[test]
+    fn assignments_respect_memory_budgets(mem_gib in 1u64..32, gflops in 5.0f64..500.0) {
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::HETEROGENEOUS,
+            100,
+        );
+        let device = DeviceCapability {
+            compute_gflops: gflops,
+            bandwidth_mbps: 50.0,
+            memory_bytes: mem_gib * 1024 * 1024 * 1024,
+        };
+        let cost_model = CostModel::default();
+        let case = ConstraintCase::Memory;
+        let a = case.assign_clients(&pool, MhflMethod::SHeteroFl, &[device], &cost_model)[0];
+        let smallest = pool
+            .entries_for_method(MhflMethod::SHeteroFl)
+            .last()
+            .unwrap()
+            .stats
+            .params;
+        // Either the assignment fits the device, or it is the smallest model.
+        prop_assert!(a.cost.memory_bytes <= device.memory_bytes || a.entry.stats.params == smallest);
+    }
+
+    /// Axis-index planning never silently changes fixed axes.
+    #[test]
+    fn fixed_axes_reject_shrinkage(global in 3usize..32) {
+        let roles = vec![AxisRole::Fixed, AxisRole::InFeatures];
+        let result = axis_indices(&[global, 16], &[global - 1, 8], &roles, WidthSelection::Prefix);
+        prop_assert!(result.is_err());
+    }
+
+    /// Softmax rows remain probability distributions for arbitrary logits.
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-50.0f32..50.0, 12)) {
+        let t = Tensor::from_vec(values, &[3, 4]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for r in 0..3 {
+            let row_sum: f32 = s.as_slice()[r * 4..(r + 1) * 4].iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(!s.has_non_finite());
+    }
+}
