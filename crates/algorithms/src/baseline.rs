@@ -9,7 +9,7 @@
 use mhfl_data::Dataset;
 use mhfl_fl::submodel::{ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
-use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::{ParamSpec, StateDict};
 use mhfl_tensor::SeededRng;
@@ -71,26 +71,50 @@ impl FlAlgorithm for SmallestHomogeneous {
         Ok(())
     }
 
-    fn run_round(
-        &mut self,
+    fn client_update(
+        &self,
         round: usize,
-        selected: &[usize],
+        client: usize,
         ctx: &FederationContext,
-    ) -> FlResult<()> {
+    ) -> FlResult<ClientUpdate> {
         self.require_setup()?;
         let cfg = self.config.expect("set during setup");
+        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+        let mut model = ProxyModel::new(cfg)?;
+        model.load_state_dict(&self.global_sd)?;
+        let data = ctx.data().client(client);
+        local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+        Ok(ClientUpdate::new(
+            client,
+            data.len(),
+            ClientPayload::SubModel {
+                state: model.state_dict(),
+                selection: WidthSelection::Prefix,
+                num_blocks: model.num_blocks(),
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        updates: Vec<ClientUpdate>,
+        _ctx: &FederationContext,
+    ) -> FlResult<()> {
+        self.require_setup()?;
         let mut aggregator = ServerAggregator::new(self.global_specs.clone());
-        for &client in selected {
-            let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
-            let mut model = ProxyModel::new(cfg)?;
-            model.load_state_dict(&self.global_sd)?;
-            let data = ctx.data().client(client);
-            local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
-            aggregator.add_update(
-                &model.state_dict(),
-                WidthSelection::Prefix,
-                data.len().max(1) as f32,
-            )?;
+        for update in &updates {
+            let ClientPayload::SubModel {
+                state, selection, ..
+            } = &update.payload
+            else {
+                return Err(FlError::InvalidConfig(format!(
+                    "baseline aggregation expects sub-model payloads, got {} from client {}",
+                    update.payload.kind(),
+                    update.client
+                )));
+            };
+            aggregator.add_update(state, *selection, update.weight())?;
         }
         self.global_sd = aggregator.finalize(&self.global_sd)?;
         Ok(())
@@ -138,7 +162,10 @@ mod tests {
         FederationContext::new(
             data,
             assignments,
-            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            LocalTrainConfig {
+                local_steps: 4,
+                ..LocalTrainConfig::default()
+            },
             3,
         )
         .unwrap()
@@ -152,6 +179,7 @@ mod tests {
             sample_ratio: 0.5,
             eval_every: 6,
             stability_clients: 2,
+            ..EngineConfig::default()
         });
         let mut alg = SmallestHomogeneous::new();
         let report = engine.run(&mut alg, &ctx).unwrap();

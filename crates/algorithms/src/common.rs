@@ -74,7 +74,9 @@ mod tests {
             &MhflMethod::ALL,
             task.num_classes(),
         );
-        let case = ConstraintCase::Computation { deadline_secs: 400.0 };
+        let case = ConstraintCase::Computation {
+            deadline_secs: 400.0,
+        };
         let devices = case.build_population(num_clients, 5);
         let assignments = case.assign_clients(&pool, method, &devices, &CostModel::default());
         FederationContext::new(data, assignments, LocalTrainConfig::default(), 11).unwrap()
@@ -82,7 +84,12 @@ mod tests {
 
     #[test]
     fn client_configs_follow_assignments() {
-        let ctx = test_context(DataTask::Cifar10, ModelFamily::ResNet101, MhflMethod::SHeteroFl, 8);
+        let ctx = test_context(
+            DataTask::Cifar10,
+            ModelFamily::ResNet101,
+            MhflMethod::SHeteroFl,
+            8,
+        );
         for client in 0..ctx.num_clients() {
             let cfg = client_proxy_config(&ctx, client, MhflMethod::SHeteroFl);
             let a = ctx.assignment(client);
@@ -96,7 +103,12 @@ mod tests {
 
     #[test]
     fn global_config_is_full_size() {
-        let ctx = test_context(DataTask::Cifar10, ModelFamily::ResNet101, MhflMethod::FedRolex, 6);
+        let ctx = test_context(
+            DataTask::Cifar10,
+            ModelFamily::ResNet101,
+            MhflMethod::FedRolex,
+            6,
+        );
         let cfg = global_proxy_config(&ctx, MhflMethod::FedRolex);
         assert_eq!(cfg.width_fraction, 1.0);
         assert_eq!(cfg.depth_fraction, 1.0);

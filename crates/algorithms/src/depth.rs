@@ -20,7 +20,10 @@
 use mhfl_data::Dataset;
 use mhfl_fl::submodel::{extract_submodel, ServerAggregator, WidthSelection};
 use mhfl_fl::train::evaluate_accuracy;
-use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult, LocalTrainConfig};
+use mhfl_fl::{
+    ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+    LocalTrainConfig,
+};
 use mhfl_models::{MhflMethod, ProxyModel};
 use mhfl_nn::loss::{accuracy, cross_entropy, soft_cross_entropy};
 use mhfl_nn::{Layer, ParamSpec, Sgd, StateDict};
@@ -48,10 +51,18 @@ impl DepthAlgorithm {
     /// Panics if `method` is not a depth-level method.
     pub fn new(method: MhflMethod) -> Self {
         assert!(
-            matches!(method, MhflMethod::FeDepth | MhflMethod::InclusiveFl | MhflMethod::DepthFl),
+            matches!(
+                method,
+                MhflMethod::FeDepth | MhflMethod::InclusiveFl | MhflMethod::DepthFl
+            ),
             "{method} is not a depth-level method"
         );
-        DepthAlgorithm { method, global: None, global_sd: StateDict::new(), global_specs: Vec::new() }
+        DepthAlgorithm {
+            method,
+            global: None,
+            global_sd: StateDict::new(),
+            global_specs: Vec::new(),
+        }
     }
 
     fn require_setup(&self) -> FlResult<()> {
@@ -134,8 +145,10 @@ impl DepthAlgorithm {
             for target_name in names {
                 let suffix = &target_name[target_prefix.len()..];
                 let source_name = format!("{source_prefix}{suffix}");
-                let (Some(src_new), Some(src_old)) =
-                    (updated.get(&source_name).cloned(), previous.get(&source_name)) else {
+                let (Some(src_new), Some(src_old)) = (
+                    updated.get(&source_name).cloned(),
+                    previous.get(&source_name),
+                ) else {
                     continue;
                 };
                 if src_new.dims() != src_old.dims() {
@@ -193,47 +206,76 @@ impl FlAlgorithm for DepthAlgorithm {
         Ok(())
     }
 
-    fn run_round(
-        &mut self,
+    fn client_update(
+        &self,
         round: usize,
-        selected: &[usize],
+        client: usize,
         ctx: &FederationContext,
+    ) -> FlResult<ClientUpdate> {
+        self.require_setup()?;
+        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+        let cfg = client_proxy_config(ctx, client, self.method);
+        let mut model = ProxyModel::new(cfg)?;
+        let sub = extract_submodel(
+            &self.global_sd,
+            &self.global_specs,
+            &model.param_specs(),
+            WidthSelection::Prefix,
+        )?;
+        model.load_state_dict(&sub)?;
+        let data = ctx.data().client(client);
+        match self.method {
+            MhflMethod::DepthFl => {
+                Self::local_train_depthfl(&mut model, data, ctx.train_config(), &mut rng)?;
+            }
+            _ => {
+                mhfl_fl::train::local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+            }
+        }
+        Ok(ClientUpdate::new(
+            client,
+            data.len(),
+            ClientPayload::SubModel {
+                state: model.state_dict(),
+                selection: WidthSelection::Prefix,
+                num_blocks: model.num_blocks(),
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        updates: Vec<ClientUpdate>,
+        _ctx: &FederationContext,
     ) -> FlResult<()> {
         self.require_setup()?;
         let previous = self.global_sd.clone();
         let mut aggregator = ServerAggregator::new(self.global_specs.clone());
         let mut deepest_covered = 0usize;
-        for &client in selected {
-            let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
-            let cfg = client_proxy_config(ctx, client, self.method);
-            let mut model = ProxyModel::new(cfg)?;
-            deepest_covered = deepest_covered.max(model.num_blocks().saturating_sub(1));
-            let sub = extract_submodel(
-                &self.global_sd,
-                &self.global_specs,
-                &model.param_specs(),
-                WidthSelection::Prefix,
-            )?;
-            model.load_state_dict(&sub)?;
-            let data = ctx.data().client(client);
-            match self.method {
-                MhflMethod::DepthFl => {
-                    Self::local_train_depthfl(&mut model, data, ctx.train_config(), &mut rng)?;
-                }
-                _ => {
-                    mhfl_fl::train::local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
-                }
-            }
-            aggregator.add_update(
-                &model.state_dict(),
-                WidthSelection::Prefix,
-                data.len().max(1) as f32,
-            )?;
+        for update in &updates {
+            let ClientPayload::SubModel {
+                state,
+                selection,
+                num_blocks,
+            } = &update.payload
+            else {
+                return Err(FlError::InvalidConfig(format!(
+                    "depth aggregation expects sub-model payloads, got {} from client {}",
+                    update.payload.kind(),
+                    update.client
+                )));
+            };
+            deepest_covered = deepest_covered.max(num_blocks.saturating_sub(1));
+            aggregator.add_update(state, *selection, update.weight())?;
         }
         let mut merged = aggregator.finalize(&self.global_sd)?;
-        if self.method == MhflMethod::InclusiveFl {
-            let total_blocks =
-                self.global.as_ref().map(ProxyModel::num_blocks).unwrap_or_default();
+        if self.method == MhflMethod::InclusiveFl && !updates.is_empty() {
+            let total_blocks = self
+                .global
+                .as_ref()
+                .map(ProxyModel::num_blocks)
+                .unwrap_or_default();
             Self::momentum_transfer(&previous, &mut merged, deepest_covered, total_blocks)?;
         }
         self.global_sd = merged;
@@ -298,7 +340,10 @@ mod tests {
         FederationContext::new(
             data,
             assignments,
-            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            LocalTrainConfig {
+                local_steps: 4,
+                ..LocalTrainConfig::default()
+            },
             2,
         )
         .unwrap()
@@ -311,6 +356,7 @@ mod tests {
             sample_ratio: 0.5,
             eval_every: 6,
             stability_clients: 3,
+            ..EngineConfig::default()
         });
         let mut alg = DepthAlgorithm::new(method);
         engine.run(&mut alg, &ctx).unwrap().final_accuracy()
@@ -327,7 +373,10 @@ mod tests {
         let fedepth = run(MhflMethod::FeDepth);
         let inclusive = run(MhflMethod::InclusiveFl);
         assert!(fedepth > 1.0 / 6.0 + 0.05, "FeDepth accuracy {fedepth}");
-        assert!(inclusive > 1.0 / 6.0 + 0.05, "InclusiveFL accuracy {inclusive}");
+        assert!(
+            inclusive > 1.0 / 6.0 + 0.05,
+            "InclusiveFL accuracy {inclusive}"
+        );
     }
 
     #[test]

@@ -11,10 +11,10 @@ use std::collections::BTreeMap;
 
 use mhfl_data::Dataset;
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
-use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::loss::soft_cross_entropy;
-use mhfl_nn::{Layer, Sgd};
+use mhfl_nn::{Layer, Sgd, StateDict};
 use mhfl_tensor::{SeededRng, Tensor};
 
 /// Number of server distillation steps per round.
@@ -25,9 +25,14 @@ const CLIENT_DISTILL_STEPS: usize = 2;
 const TEMPERATURE: f32 = 2.0;
 
 /// The Fed-ET algorithm.
+///
+/// Client models are persisted between rounds as `(config, state)` snapshots
+/// so the client phase can rebuild, train and return them through the
+/// [`ClientUpdate`] without mutating shared state — which is what lets the
+/// engine run clients on a thread pool.
 pub struct FedEt {
     server_model: Option<ProxyModel>,
-    client_models: BTreeMap<usize, ProxyModel>,
+    client_states: BTreeMap<usize, (ProxyConfig, StateDict)>,
     /// Server ensemble predictions on the public set from the previous round.
     server_public_probs: Option<Tensor>,
     num_classes: usize,
@@ -38,7 +43,7 @@ impl FedEt {
     pub fn new() -> Self {
         FedEt {
             server_model: None,
-            client_models: BTreeMap::new(),
+            client_states: BTreeMap::new(),
             server_public_probs: None,
             num_classes: 0,
         }
@@ -60,6 +65,19 @@ impl FedEt {
             task.num_classes(),
             ctx.seed() + 7 * client as u64,
         )
+    }
+
+    /// Rebuilds a client's model from its stored (or freshly initialised)
+    /// local state.
+    fn build_client_model(&self, ctx: &FederationContext, client: usize) -> FlResult<ProxyModel> {
+        match self.client_states.get(&client) {
+            Some((cfg, state)) => {
+                let mut model = ProxyModel::new(*cfg)?;
+                model.load_state_dict(state)?;
+                Ok(model)
+            }
+            None => Ok(ProxyModel::new(Self::client_config(ctx, client))?),
+        }
     }
 
     /// Mean maximum softmax probability — the confidence weight of a client's
@@ -115,48 +133,93 @@ impl FlAlgorithm for FedEt {
         Ok(())
     }
 
-    fn run_round(
-        &mut self,
+    fn client_update(
+        &self,
         round: usize,
-        selected: &[usize],
+        client: usize,
+        ctx: &FederationContext,
+    ) -> FlResult<ClientUpdate> {
+        self.require_setup()?;
+        // Borrow the shared public inputs — cloning them per client would
+        // multiply the round's allocation cost by the participation count.
+        let public_inputs = ctx.data().public().inputs();
+        let cfg = *ctx.train_config();
+        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+        let mut model = self.build_client_model(ctx, client)?;
+
+        // Transfer direction: absorb the server ensemble before training.
+        if let Some(probs) = &self.server_public_probs {
+            Self::distill(
+                &mut model,
+                public_inputs,
+                probs,
+                CLIENT_DISTILL_STEPS,
+                cfg.sgd,
+            )?;
+        }
+        // Local supervised training.
+        let data = ctx.data().client(client);
+        local_train_ce(&mut model, data, &cfg, &mut rng)?;
+
+        // Upload direction: logits on the public set, confidence-weighted.
+        let out = model.forward_detailed(public_inputs, false)?;
+        let probs = out.logits.softmax_rows()?;
+        let confidence = Self::confidence(&probs).max(1e-3);
+        Ok(ClientUpdate::new(
+            client,
+            data.len(),
+            ClientPayload::PublicLogits {
+                state: model.state_dict(),
+                probs,
+                confidence,
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        updates: Vec<ClientUpdate>,
         ctx: &FederationContext,
     ) -> FlResult<()> {
         self.require_setup()?;
         let public = ctx.data().public();
-        let public_batch = public.as_batch();
         let cfg = *ctx.train_config();
-
-        let mut weighted_probs = Tensor::zeros(&[public_batch.len(), self.num_classes]);
+        let mut weighted_probs = Tensor::zeros(&[public.len(), self.num_classes]);
         let mut total_weight = 0.0f32;
 
-        for &client in selected {
-            if !self.client_models.contains_key(&client) {
-                self.client_models
-                    .insert(client, ProxyModel::new(Self::client_config(ctx, client))?);
-            }
-            let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
-            let server_probs = self.server_public_probs.clone();
-            let model = self.client_models.get_mut(&client).expect("just inserted");
-
-            // Transfer direction: absorb the server ensemble before training.
-            if let Some(probs) = &server_probs {
-                Self::distill(model, &public_batch.inputs, probs, CLIENT_DISTILL_STEPS, cfg.sgd)?;
-            }
-            // Local supervised training.
-            local_train_ce(model, ctx.data().client(client), &cfg, &mut rng)?;
-
-            // Upload direction: logits on the public set, confidence-weighted.
-            let out = model.forward_detailed(&public_batch.inputs, false)?;
-            let probs = out.logits.softmax_rows()?;
-            let weight = Self::confidence(&probs).max(1e-3);
-            weighted_probs.axpy(weight, &probs)?;
-            total_weight += weight;
+        for update in updates {
+            let client = update.client;
+            let (state, probs, confidence) = match update.payload {
+                ClientPayload::PublicLogits {
+                    state,
+                    probs,
+                    confidence,
+                } => (state, probs, confidence),
+                other => {
+                    return Err(FlError::InvalidConfig(format!(
+                        "Fed-ET aggregation expects public-logit payloads, \
+                         got {} from client {client}",
+                        other.kind()
+                    )))
+                }
+            };
+            self.client_states
+                .insert(client, (Self::client_config(ctx, client), state));
+            weighted_probs.axpy(confidence, &probs)?;
+            total_weight += confidence;
         }
 
         if total_weight > 0.0 {
             let ensemble = weighted_probs.scale(1.0 / total_weight);
             let server = self.server_model.as_mut().expect("checked");
-            Self::distill(server, &public_batch.inputs, &ensemble, SERVER_DISTILL_STEPS, cfg.sgd)?;
+            Self::distill(
+                server,
+                public.inputs(),
+                &ensemble,
+                SERVER_DISTILL_STEPS,
+                cfg.sgd,
+            )?;
             self.server_public_probs = Some(ensemble);
         }
         Ok(())
@@ -169,8 +232,12 @@ impl FlAlgorithm for FedEt {
 
     fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32> {
         self.require_setup()?;
-        match self.client_models.get_mut(&client) {
-            Some(model) => evaluate_accuracy(model, data),
+        match self.client_states.get(&client) {
+            Some((cfg, state)) => {
+                let mut model = ProxyModel::new(*cfg)?;
+                model.load_state_dict(state)?;
+                evaluate_accuracy(&mut model, data)
+            }
             None => Ok(1.0 / self.num_classes.max(1) as f32),
         }
     }
@@ -200,7 +267,10 @@ mod tests {
         FederationContext::new(
             data,
             assignments,
-            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            LocalTrainConfig {
+                local_steps: 4,
+                ..LocalTrainConfig::default()
+            },
             5,
         )
         .unwrap()
@@ -214,6 +284,7 @@ mod tests {
             sample_ratio: 0.5,
             eval_every: 6,
             stability_clients: 3,
+            ..EngineConfig::default()
         });
         let mut alg = FedEt::new();
         let report = engine.run(&mut alg, &ctx).unwrap();

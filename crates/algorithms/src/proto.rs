@@ -10,10 +10,10 @@ use std::collections::BTreeMap;
 
 use mhfl_data::Dataset;
 use mhfl_fl::train::evaluate_accuracy;
-use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::loss::{accuracy, cross_entropy, prototype_loss};
-use mhfl_nn::{Layer, Sgd};
+use mhfl_nn::{Layer, Sgd, StateDict};
 use mhfl_tensor::{SeededRng, Tensor};
 
 /// Shared prototype dimensionality. FedProto requires every client topology
@@ -26,8 +26,14 @@ const PROTO_LAMBDA: f32 = 1.0;
 const ENSEMBLE_SIZE: usize = 8;
 
 /// The FedProto algorithm.
+///
+/// The server keeps each participating client's local weights (as a
+/// [`StateDict`] snapshot) purely for simulation bookkeeping: the client
+/// phase rebuilds the client's model from its stored state, trains it, and
+/// ships the updated state back inside the [`ClientUpdate`], so the phase
+/// itself needs only `&self` and parallelises freely.
 pub struct FedProto {
-    client_models: BTreeMap<usize, ProxyModel>,
+    client_states: BTreeMap<usize, (ProxyConfig, StateDict)>,
     prototypes: Tensor,
     proto_counts: Vec<f32>,
     num_classes: usize,
@@ -38,7 +44,7 @@ impl FedProto {
     /// Creates the algorithm.
     pub fn new() -> Self {
         FedProto {
-            client_models: BTreeMap::new(),
+            client_states: BTreeMap::new(),
             prototypes: Tensor::zeros(&[0, 0]),
             proto_counts: Vec::new(),
             num_classes: 0,
@@ -67,12 +73,17 @@ impl FedProto {
         cfg
     }
 
-    fn ensure_client_model(&mut self, ctx: &FederationContext, client: usize) -> FlResult<()> {
-        if !self.client_models.contains_key(&client) {
-            let model = ProxyModel::new(Self::client_config(ctx, client))?;
-            self.client_models.insert(client, model);
+    /// Rebuilds a client's model from its stored (or freshly initialised)
+    /// local state.
+    fn build_client_model(&self, ctx: &FederationContext, client: usize) -> FlResult<ProxyModel> {
+        match self.client_states.get(&client) {
+            Some((cfg, state)) => {
+                let mut model = ProxyModel::new(*cfg)?;
+                model.load_state_dict(state)?;
+                Ok(model)
+            }
+            None => Ok(ProxyModel::new(Self::client_config(ctx, client))?),
         }
-        Ok(())
     }
 
     fn has_prototypes(&self) -> Vec<bool> {
@@ -80,30 +91,28 @@ impl FedProto {
     }
 
     /// Local training with cross-entropy plus prototype regularisation, then
-    /// returns the client's per-class prototype sums and counts.
+    /// the client's per-class prototype sums and counts on its full shard.
     fn train_client(
-        &mut self,
+        &self,
+        model: &mut ProxyModel,
+        data: &Dataset,
         ctx: &FederationContext,
-        client: usize,
-        round: usize,
+        rng: &mut SeededRng,
     ) -> FlResult<(Tensor, Vec<f32>)> {
         let cfg = ctx.train_config();
-        let data = ctx.data().client(client).clone();
-        let prototypes = self.prototypes.clone();
+        let prototypes = &self.prototypes;
         let has_proto = self.has_prototypes();
         let num_classes = self.num_classes;
-        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
-        let model = self.client_models.get_mut(&client).expect("ensured by caller");
 
         let mut opt = Sgd::new(cfg.sgd);
-        let mut batches = data.batches(cfg.batch_size, &mut rng);
+        let mut batches = data.batches(cfg.batch_size, rng);
         let mut cursor = 0usize;
         for _ in 0..cfg.local_steps {
             if batches.is_empty() {
                 break;
             }
             if cursor >= batches.len() {
-                batches = data.batches(cfg.batch_size, &mut rng);
+                batches = data.batches(cfg.batch_size, rng);
                 cursor = 0;
             }
             let batch = &batches[cursor];
@@ -112,12 +121,8 @@ impl FedProto {
             let out = model.forward_detailed(&batch.inputs, true)?;
             let (_, grad_logits) = cross_entropy(&out.logits, &batch.labels)?;
             let (_, grad_features) =
-                prototype_loss(&out.features, &batch.labels, &prototypes, &has_proto)?;
-            model.backward_detailed(
-                &grad_logits,
-                Some(&grad_features.scale(PROTO_LAMBDA)),
-                &[],
-            )?;
+                prototype_loss(&out.features, &batch.labels, prototypes, &has_proto)?;
+            model.backward_detailed(&grad_logits, Some(&grad_features.scale(PROTO_LAMBDA)), &[])?;
             opt.step(model)?;
         }
 
@@ -161,18 +166,55 @@ impl FlAlgorithm for FedProto {
         Ok(())
     }
 
-    fn run_round(
-        &mut self,
+    fn client_update(
+        &self,
         round: usize,
-        selected: &[usize],
+        client: usize,
+        ctx: &FederationContext,
+    ) -> FlResult<ClientUpdate> {
+        self.require_setup()?;
+        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+        let mut model = self.build_client_model(ctx, client)?;
+        let data = ctx.data().client(client);
+        let (sums, counts) = self.train_client(&mut model, data, ctx, &mut rng)?;
+        Ok(ClientUpdate::new(
+            client,
+            data.len(),
+            ClientPayload::Prototypes {
+                state: model.state_dict(),
+                sums,
+                counts,
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        updates: Vec<ClientUpdate>,
         ctx: &FederationContext,
     ) -> FlResult<()> {
         self.require_setup()?;
         let mut round_sums = Tensor::zeros(&[self.num_classes, PROTO_DIM]);
         let mut round_counts = vec![0.0f32; self.num_classes];
-        for &client in selected {
-            self.ensure_client_model(ctx, client)?;
-            let (sums, counts) = self.train_client(ctx, client, round)?;
+        for update in updates {
+            let client = update.client;
+            let (state, sums, counts) = match update.payload {
+                ClientPayload::Prototypes {
+                    state,
+                    sums,
+                    counts,
+                } => (state, sums, counts),
+                other => {
+                    return Err(FlError::InvalidConfig(format!(
+                        "FedProto aggregation expects prototype payloads, \
+                         got {} from client {client}",
+                        other.kind()
+                    )))
+                }
+            };
+            self.client_states
+                .insert(client, (Self::client_config(ctx, client), state));
             round_sums.axpy(1.0, &sums)?;
             for (acc, c) in round_counts.iter_mut().zip(counts) {
                 *acc += c;
@@ -180,13 +222,13 @@ impl FlAlgorithm for FedProto {
         }
         // Server-side prototype aggregation (weighted mean over contributing
         // samples); classes unseen this round keep their previous prototype.
-        for class in 0..self.num_classes {
-            if round_counts[class] > 0.0 {
+        for (class, &count) in round_counts.iter().enumerate() {
+            if count > 0.0 {
                 for j in 0..PROTO_DIM {
-                    let mean = round_sums.at(&[class, j])? / round_counts[class];
+                    let mean = round_sums.at(&[class, j])? / count;
                     self.prototypes.set(&[class, j], mean)?;
                 }
-                self.proto_counts[class] += round_counts[class];
+                self.proto_counts[class] += count;
             }
         }
         Ok(())
@@ -196,15 +238,14 @@ impl FlAlgorithm for FedProto {
         self.require_setup()?;
         // FedProto keeps no single global model; the platform evaluates the
         // ensemble of (up to ENSEMBLE_SIZE) trained client models.
-        if self.client_models.is_empty() || data.is_empty() {
+        if self.client_states.is_empty() || data.is_empty() {
             return Ok(1.0 / self.num_classes.max(1) as f32);
         }
-        let clients: Vec<usize> =
-            self.client_models.keys().copied().take(ENSEMBLE_SIZE).collect();
         let batch = data.as_batch();
         let mut probs = Tensor::zeros(&[batch.len(), self.num_classes]);
-        for id in clients {
-            let model = self.client_models.get_mut(&id).expect("key from map");
+        for (cfg, state) in self.client_states.values().take(ENSEMBLE_SIZE) {
+            let mut model = ProxyModel::new(*cfg)?;
+            model.load_state_dict(state)?;
             let out = model.forward_detailed(&batch.inputs, false)?;
             probs.axpy(1.0, &out.logits.softmax_rows()?)?;
         }
@@ -213,8 +254,12 @@ impl FlAlgorithm for FedProto {
 
     fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32> {
         self.require_setup()?;
-        match self.client_models.get_mut(&client) {
-            Some(model) => evaluate_accuracy(model, data),
+        match self.client_states.get(&client) {
+            Some((cfg, state)) => {
+                let mut model = ProxyModel::new(*cfg)?;
+                model.load_state_dict(state)?;
+                evaluate_accuracy(&mut model, data)
+            }
             // A client that never participated deploys an untrained model.
             None => Ok(1.0 / self.num_classes.max(1) as f32),
         }
@@ -240,14 +285,19 @@ mod tests {
         );
         // A tight compute deadline forces slow devices onto smaller family
         // members, so the federation is genuinely topology-heterogeneous.
-        let case = ConstraintCase::Computation { deadline_secs: 60.0 };
+        let case = ConstraintCase::Computation {
+            deadline_secs: 60.0,
+        };
         let devices = case.build_population(clients, 6);
         let assignments =
             case.assign_clients(&pool, MhflMethod::FedProto, &devices, &CostModel::default());
         FederationContext::new(
             data,
             assignments,
-            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            LocalTrainConfig {
+                local_steps: 4,
+                ..LocalTrainConfig::default()
+            },
             4,
         )
         .unwrap()
@@ -261,6 +311,7 @@ mod tests {
             sample_ratio: 0.5,
             eval_every: 6,
             stability_clients: 3,
+            ..EngineConfig::default()
         });
         let mut alg = FedProto::new();
         let report = engine.run(&mut alg, &ctx).unwrap();
@@ -280,7 +331,11 @@ mod tests {
         let base = context(4);
         let mut assignments = base.assignments().to_vec();
         for (i, a) in assignments.iter_mut().enumerate() {
-            a.entry.choice.family = if i % 2 == 0 { ModelFamily::ResNet18 } else { ModelFamily::ResNet101 };
+            a.entry.choice.family = if i % 2 == 0 {
+                ModelFamily::ResNet18
+            } else {
+                ModelFamily::ResNet101
+            };
         }
         let ctx = FederationContext::new(
             base.data().clone(),
@@ -291,13 +346,23 @@ mod tests {
         .unwrap();
         let mut alg = FedProto::new();
         alg.setup(&ctx).unwrap();
-        alg.run_round(1, &[0, 1, 2, 3], &ctx).unwrap();
-        let block_counts: Vec<usize> =
-            alg.client_models.values().map(ProxyModel::num_blocks).collect();
+        let updates: Vec<_> = [0, 1, 2, 3]
+            .iter()
+            .map(|&c| alg.client_update(1, c, &ctx).unwrap())
+            .collect();
+        alg.aggregate(1, updates, &ctx).unwrap();
+        let block_counts: Vec<usize> = alg
+            .client_states
+            .values()
+            .map(|(cfg, _)| ProxyModel::new(*cfg).unwrap().num_blocks())
+            .collect();
         let mut unique = block_counts.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert!(unique.len() >= 2, "expected heterogeneous topologies, got {block_counts:?}");
+        assert!(
+            unique.len() >= 2,
+            "expected heterogeneous topologies, got {block_counts:?}"
+        );
     }
 
     #[test]

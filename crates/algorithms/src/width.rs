@@ -16,7 +16,7 @@
 use mhfl_data::Dataset;
 use mhfl_fl::submodel::{extract_submodel, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
-use mhfl_fl::{FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
 use mhfl_models::{MhflMethod, ProxyModel};
 use mhfl_nn::{ParamSpec, StateDict};
 use mhfl_tensor::SeededRng;
@@ -32,7 +32,6 @@ pub struct WidthAlgorithm {
     global: Option<ProxyModel>,
     global_sd: StateDict,
     global_specs: Vec<ParamSpec>,
-    last_round: usize,
 }
 
 impl WidthAlgorithm {
@@ -43,7 +42,10 @@ impl WidthAlgorithm {
     /// variant is a programming error, not a runtime condition.
     pub fn new(method: MhflMethod) -> Self {
         assert!(
-            matches!(method, MhflMethod::Fjord | MhflMethod::SHeteroFl | MhflMethod::FedRolex),
+            matches!(
+                method,
+                MhflMethod::Fjord | MhflMethod::SHeteroFl | MhflMethod::FedRolex
+            ),
             "{method} is not a width-level method"
         );
         WidthAlgorithm {
@@ -51,7 +53,6 @@ impl WidthAlgorithm {
             global: None,
             global_sd: StateDict::new(),
             global_specs: Vec::new(),
-            last_round: 0,
         }
     }
 
@@ -66,8 +67,11 @@ impl WidthAlgorithm {
     fn round_width(&self, assigned: f64, rng: &mut SeededRng) -> f64 {
         match self.method {
             MhflMethod::Fjord => {
-                let allowed: Vec<f64> =
-                    WIDTH_FRACTIONS.iter().copied().filter(|w| *w <= assigned + 1e-9).collect();
+                let allowed: Vec<f64> = WIDTH_FRACTIONS
+                    .iter()
+                    .copied()
+                    .filter(|w| *w <= assigned + 1e-9)
+                    .collect();
                 if allowed.is_empty() {
                     assigned
                 } else {
@@ -98,31 +102,57 @@ impl FlAlgorithm for WidthAlgorithm {
         Ok(())
     }
 
-    fn run_round(
-        &mut self,
+    fn client_update(
+        &self,
         round: usize,
-        selected: &[usize],
+        client: usize,
         ctx: &FederationContext,
-    ) -> FlResult<()> {
-        self.last_round = round;
-        let mut aggregator = ServerAggregator::new(self.global_specs.clone());
+    ) -> FlResult<ClientUpdate> {
         let selection = self.selection(round);
-        for &client in selected {
-            let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
-            let assigned = ctx.assignment(client).entry.choice.width_fraction;
-            let width = self.round_width(assigned, &mut rng);
-            let cfg = client_proxy_config(ctx, client, self.method).with_width(width);
-            let mut model = ProxyModel::new(cfg)?;
-            let sub = extract_submodel(
-                &self.global_sd,
-                &self.global_specs,
-                &model.param_specs(),
+        let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
+        let assigned = ctx.assignment(client).entry.choice.width_fraction;
+        let width = self.round_width(assigned, &mut rng);
+        let cfg = client_proxy_config(ctx, client, self.method).with_width(width);
+        let mut model = ProxyModel::new(cfg)?;
+        let sub = extract_submodel(
+            &self.global_sd,
+            &self.global_specs,
+            &model.param_specs(),
+            selection,
+        )?;
+        model.load_state_dict(&sub)?;
+        let data = ctx.data().client(client);
+        local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+        Ok(ClientUpdate::new(
+            client,
+            data.len(),
+            ClientPayload::SubModel {
+                state: model.state_dict(),
                 selection,
-            )?;
-            model.load_state_dict(&sub)?;
-            let data = ctx.data().client(client);
-            local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
-            aggregator.add_update(&model.state_dict(), selection, data.len().max(1) as f32)?;
+                num_blocks: model.num_blocks(),
+            },
+        ))
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        updates: Vec<ClientUpdate>,
+        _ctx: &FederationContext,
+    ) -> FlResult<()> {
+        let mut aggregator = ServerAggregator::new(self.global_specs.clone());
+        for update in &updates {
+            let ClientPayload::SubModel {
+                state, selection, ..
+            } = &update.payload
+            else {
+                return Err(FlError::InvalidConfig(format!(
+                    "width aggregation expects sub-model payloads, got {} from client {}",
+                    update.payload.kind(),
+                    update.client
+                )));
+            };
+            aggregator.add_update(state, *selection, update.weight())?;
         }
         self.global_sd = aggregator.finalize(&self.global_sd)?;
         Ok(())
@@ -171,13 +201,18 @@ mod tests {
             &MhflMethod::ALL,
             task.num_classes(),
         );
-        let case = ConstraintCase::Computation { deadline_secs: 350.0 };
+        let case = ConstraintCase::Computation {
+            deadline_secs: 350.0,
+        };
         let devices = case.build_population(clients, 2);
         let assignments = case.assign_clients(&pool, method, &devices, &CostModel::default());
         FederationContext::new(
             data,
             assignments,
-            LocalTrainConfig { local_steps: 4, ..LocalTrainConfig::default() },
+            LocalTrainConfig {
+                local_steps: 4,
+                ..LocalTrainConfig::default()
+            },
             1,
         )
         .unwrap()
@@ -190,6 +225,7 @@ mod tests {
             sample_ratio: 0.5,
             eval_every: 6,
             stability_clients: 3,
+            ..EngineConfig::default()
         });
         let mut alg = WidthAlgorithm::new(method);
         let report = engine.run(&mut alg, &ctx).unwrap();
@@ -199,7 +235,10 @@ mod tests {
     #[test]
     fn shetherofl_learns_above_chance_on_har() {
         let acc = run_method(MhflMethod::SHeteroFl, DataTask::UciHar);
-        assert!(acc > 1.0 / 6.0 + 0.1, "SHeteroFL accuracy {acc} should beat chance");
+        assert!(
+            acc > 1.0 / 6.0 + 0.1,
+            "SHeteroFL accuracy {acc} should beat chance"
+        );
     }
 
     #[test]

@@ -7,7 +7,11 @@ use mhfl_models::{InputKind, ModelFamily, ProxyConfig, ProxyModel};
 fn bench_aggregation(c: &mut Criterion) {
     let cfg = ProxyConfig::for_family(
         ModelFamily::ResNet101,
-        InputKind::Image { channels: 3, height: 8, width: 8 },
+        InputKind::Image {
+            channels: 3,
+            height: 8,
+            width: 8,
+        },
         100,
         0,
     );
@@ -18,7 +22,9 @@ fn bench_aggregation(c: &mut Criterion) {
     let updates: Vec<_> = (0..10)
         .map(|i| {
             let width = [0.25, 0.5, 0.75, 1.0][i % 4];
-            let client_specs = ProxyModel::new(cfg.with_width(width)).unwrap().param_specs();
+            let client_specs = ProxyModel::new(cfg.with_width(width))
+                .unwrap()
+                .param_specs();
             extract_submodel(&global_sd, &specs, &client_specs, WidthSelection::Prefix).unwrap()
         })
         .collect();

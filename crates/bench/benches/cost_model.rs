@@ -17,7 +17,9 @@ fn bench_cost_model(c: &mut Criterion) {
         &MhflMethod::HETEROGENEOUS,
         100,
     );
-    let case = ConstraintCase::Computation { deadline_secs: 300.0 };
+    let case = ConstraintCase::Computation {
+        deadline_secs: 300.0,
+    };
     let devices = case.build_population(100, 0);
     let cost_model = CostModel::default();
     c.bench_function("assign_100_clients_computation_limited", |b| {

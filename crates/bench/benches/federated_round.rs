@@ -1,11 +1,13 @@
-//! Benchmarks one full federated round (local training + aggregation) for a
-//! width-level and a depth-level algorithm.
+//! Benchmarks one full federated round (client phase + aggregation) for a
+//! width-level and a depth-level algorithm, plus the client-phase fan-out
+//! in sequential vs. threaded execution so the parallel speedup is tracked
+//! in the perf trajectory.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mhfl_algorithms::build_algorithm;
 use mhfl_data::{DataTask, FederatedDataset};
 use mhfl_device::{ConstraintCase, CostModel, ModelPool};
-use mhfl_fl::{FederationContext, LocalTrainConfig};
+use mhfl_fl::{run_clients, FederationContext, LocalTrainConfig, Parallelism};
 use mhfl_models::{MhflMethod, ModelFamily};
 
 fn context(method: MhflMethod) -> FederationContext {
@@ -23,7 +25,10 @@ fn context(method: MhflMethod) -> FederationContext {
     FederationContext::new(
         data,
         assignments,
-        LocalTrainConfig { local_steps: 2, ..LocalTrainConfig::default() },
+        LocalTrainConfig {
+            local_steps: 2,
+            ..LocalTrainConfig::default()
+        },
         0,
     )
     .unwrap()
@@ -36,11 +41,35 @@ fn bench_round(c: &mut Criterion) {
             b.iter(|| {
                 let mut alg = build_algorithm(method);
                 alg.setup(&ctx).unwrap();
-                black_box(alg.run_round(1, &[0, 1, 2, 3], &ctx).unwrap())
+                let updates = run_clients(
+                    alg.as_ref(),
+                    1,
+                    &[0, 1, 2, 3],
+                    &ctx,
+                    Parallelism::Sequential,
+                )
+                .unwrap();
+                alg.aggregate(1, black_box(updates), &ctx).unwrap();
             })
         });
     }
 }
 
-criterion_group!(benches, bench_round);
+fn bench_client_fanout(c: &mut Criterion) {
+    let method = MhflMethod::SHeteroFl;
+    let ctx = context(method);
+    let mut alg = build_algorithm(method);
+    alg.setup(&ctx).unwrap();
+    let selected: Vec<usize> = (0..8).collect();
+    for (label, mode) in [
+        ("sequential", Parallelism::Sequential),
+        ("threads", Parallelism::threads()),
+    ] {
+        c.bench_function(&format!("client_fanout_{label}"), |b| {
+            b.iter(|| black_box(run_clients(alg.as_ref(), 1, &selected, &ctx, mode).unwrap()))
+        });
+    }
+}
+
+criterion_group!(benches, bench_round, bench_client_fanout);
 criterion_main!(benches);

@@ -11,7 +11,11 @@ use pracmhbench_core::base_family_for_task;
 fn bench_training_step(c: &mut Criterion) {
     for task in [DataTask::Cifar10, DataTask::AgNews, DataTask::UciHar] {
         let data = generate_dataset(task, 64, 0, None);
-        let cfg = LocalTrainConfig { local_steps: 1, batch_size: 16, ..LocalTrainConfig::default() };
+        let cfg = LocalTrainConfig {
+            local_steps: 1,
+            batch_size: 16,
+            ..LocalTrainConfig::default()
+        };
         c.bench_function(&format!("local_step_{task}"), |b| {
             b.iter(|| {
                 let mut model = ProxyModel::new(ProxyConfig::for_family(

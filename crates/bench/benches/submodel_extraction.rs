@@ -8,7 +8,11 @@ use mhfl_models::{InputKind, ModelFamily, ProxyConfig, ProxyModel};
 fn bench_extraction(c: &mut Criterion) {
     let cfg = ProxyConfig::for_family(
         ModelFamily::ResNet101,
-        InputKind::Image { channels: 3, height: 8, width: 8 },
+        InputKind::Image {
+            channels: 3,
+            height: 8,
+            width: 8,
+        },
         100,
         0,
     );
@@ -20,8 +24,13 @@ fn bench_extraction(c: &mut Criterion) {
     c.bench_function("extract_prefix_half_width", |b| {
         b.iter(|| {
             black_box(
-                extract_submodel(&global_sd, &global_specs, &half_specs, WidthSelection::Prefix)
-                    .unwrap(),
+                extract_submodel(
+                    &global_sd,
+                    &global_specs,
+                    &half_specs,
+                    WidthSelection::Prefix,
+                )
+                .unwrap(),
             )
         })
     });

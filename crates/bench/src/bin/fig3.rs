@@ -11,11 +11,22 @@ fn main() {
     let cost_model = CostModel::default();
     let orin = DeviceCapability::from(&DeviceProfile::jetson_orin_nx());
     let fractions = [1.0, 0.75, 0.5, 0.25];
-    let methods = [MhflMethod::Fjord, MhflMethod::SHeteroFl, MhflMethod::FedRolex];
+    let methods = [
+        MhflMethod::Fjord,
+        MhflMethod::SHeteroFl,
+        MhflMethod::FedRolex,
+    ];
 
     let mut table = Table::new(
         "Fig. 3 — illustration of the constructed model pool (Jetson Orin NX)",
-        &["Method", "Scale", "Params(M)", "GFLOPs", "Memory(MB)", "Train time (s)"],
+        &[
+            "Method",
+            "Scale",
+            "Params(M)",
+            "GFLOPs",
+            "Memory(MB)",
+            "Train time (s)",
+        ],
     );
     for method in methods {
         let mut params = Vec::new();
@@ -28,14 +39,23 @@ fn main() {
             table.push_row(vec![
                 method.to_string(),
                 format!("R101x{f}"),
-                format!("{:.2}", cost_model.effective_params(&stats, method) as f64 / 1e6),
+                format!(
+                    "{:.2}",
+                    cost_model.effective_params(&stats, method) as f64 / 1e6
+                ),
                 format!("{:.2}", stats.gflops()),
                 format!("{:.0}", cost.memory_bytes as f64 / 1e6),
                 format!("{:.1}", cost.train_time_secs),
             ]);
         }
-        print_series(&format!("{method} params(M) [x1, x0.75, x0.5, x0.25]"), &params);
-        print_series(&format!("{method} train-time(s) [x1, x0.75, x0.5, x0.25]"), &times);
+        print_series(
+            &format!("{method} params(M) [x1, x0.75, x0.5, x0.25]"),
+            &params,
+        );
+        print_series(
+            &format!("{method} train-time(s) [x1, x0.75, x0.5, x0.25]"),
+            &times,
+        );
     }
     println!();
     print_table(&table);

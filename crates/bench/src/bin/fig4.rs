@@ -10,8 +10,17 @@ use pracmhbench_core::{ComparisonRow, ExperimentSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_args();
-    let constraint = ConstraintCase::Computation { deadline_secs: 300.0 };
-    let tasks = [DataTask::Cifar10, DataTask::Cifar100, DataTask::AgNews, DataTask::StackOverflow, DataTask::HarBox, DataTask::UciHar];
+    let constraint = ConstraintCase::Computation {
+        deadline_secs: 300.0,
+    };
+    let tasks = [
+        DataTask::Cifar10,
+        DataTask::Cifar100,
+        DataTask::AgNews,
+        DataTask::StackOverflow,
+        DataTask::HarBox,
+        DataTask::UciHar,
+    ];
     for task in tasks {
         let methods: Vec<MhflMethod> = MhflMethod::HETEROGENEOUS
             .into_iter()
@@ -20,8 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let spec = ExperimentSpec::new(task, MhflMethod::SHeteroFl, constraint).with_scale(scale);
         let outcomes = spec.run_comparison(&methods)?;
         let mut table = Table::new(
-            format!("Fig. 4 (computation-limited MHFL) — {task} ({})", constraint.label()),
-            &["Method", "Level", "GlobalAcc", "TimeToAcc(h)", "Stability", "Effectiveness"],
+            format!(
+                "Fig. 4 (computation-limited MHFL) — {task} ({})",
+                constraint.label()
+            ),
+            &[
+                "Method",
+                "Level",
+                "GlobalAcc",
+                "TimeToAcc(h)",
+                "Stability",
+                "Effectiveness",
+            ],
         );
         for outcome in &outcomes {
             let row = ComparisonRow::from_outcome(outcome);
@@ -29,9 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.method,
                 row.level,
                 format!("{:.3}", row.global_accuracy),
-                row.time_to_accuracy_hours.map(|h| format!("{h:.2}")).unwrap_or_else(|| "—".into()),
+                row.time_to_accuracy_hours
+                    .map(|h| format!("{h:.2}"))
+                    .unwrap_or_else(|| "—".into()),
                 format!("{:.5}", row.stability),
-                row.effectiveness.map(|e| format!("{e:+.3}")).unwrap_or_else(|| "—".into()),
+                row.effectiveness
+                    .map(|e| format!("{e:+.3}"))
+                    .unwrap_or_else(|| "—".into()),
             ]);
         }
         print_table(&table);

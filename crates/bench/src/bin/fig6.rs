@@ -20,8 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let spec = ExperimentSpec::new(task, MhflMethod::SHeteroFl, constraint).with_scale(scale);
         let outcomes = spec.run_comparison(&methods)?;
         let mut table = Table::new(
-            format!("Fig. 6 (memory-limited MHFL) — {task} ({})", constraint.label()),
-            &["Method", "Level", "GlobalAcc", "TimeToAcc(h)", "Stability", "Effectiveness"],
+            format!(
+                "Fig. 6 (memory-limited MHFL) — {task} ({})",
+                constraint.label()
+            ),
+            &[
+                "Method",
+                "Level",
+                "GlobalAcc",
+                "TimeToAcc(h)",
+                "Stability",
+                "Effectiveness",
+            ],
         );
         for outcome in &outcomes {
             let row = ComparisonRow::from_outcome(outcome);
@@ -29,9 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.method,
                 row.level,
                 format!("{:.3}", row.global_accuracy),
-                row.time_to_accuracy_hours.map(|h| format!("{h:.2}")).unwrap_or_else(|| "—".into()),
+                row.time_to_accuracy_hours
+                    .map(|h| format!("{h:.2}"))
+                    .unwrap_or_else(|| "—".into()),
                 format!("{:.5}", row.stability),
-                row.effectiveness.map(|e| format!("{e:+.3}")).unwrap_or_else(|| "—".into()),
+                row.effectiveness
+                    .map(|e| format!("{e:+.3}"))
+                    .unwrap_or_else(|| "—".into()),
             ]);
         }
         print_table(&table);

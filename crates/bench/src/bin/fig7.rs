@@ -10,7 +10,9 @@ use pracmhbench_core::ExperimentSpec;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_args();
     let cases = [
-        ConstraintCase::Computation { deadline_secs: 300.0 },
+        ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        },
         ConstraintCase::Memory,
         ConstraintCase::Communication { budget_secs: 200.0 },
         ConstraintCase::memory_plus_communication(200.0),

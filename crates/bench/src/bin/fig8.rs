@@ -9,7 +9,9 @@ use pracmhbench_core::ExperimentSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_args();
-    let constraint = ConstraintCase::Computation { deadline_secs: 300.0 };
+    let constraint = ConstraintCase::Computation {
+        deadline_secs: 300.0,
+    };
     let partitions = [
         ("iid", Partition::Iid),
         ("niid-0.5", Partition::Dirichlet { alpha: 0.5 }),

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .unwrap_or_else(|| "—".into()),
             ]);
         }
-        print_series(&format!("{method} accuracy vs clients {client_counts:?}"), &accs);
+        print_series(
+            &format!("{method} accuracy vs clients {client_counts:?}"),
+            &accs,
+        );
     }
     print_table(&table);
     Ok(())

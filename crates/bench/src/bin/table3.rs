@@ -6,13 +6,23 @@ use mhfl_device::DeviceProfile;
 fn main() {
     let mut table = Table::new(
         "Table III — edge devices used in the platform construction",
-        &["Device", "Sustained GFLOP/s", "GPU", "Memory (GiB)", "Bandwidth (Mbps)"],
+        &[
+            "Device",
+            "Sustained GFLOP/s",
+            "GPU",
+            "Memory (GiB)",
+            "Bandwidth (Mbps)",
+        ],
     );
     for device in DeviceProfile::all() {
         table.push_row(vec![
             device.name.clone(),
             format!("{:.0}", device.gflops),
-            if device.has_gpu { "yes".into() } else { "no".into() },
+            if device.has_gpu {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             format!("{:.0}", device.memory_gib()),
             format!("{:.0}", device.bandwidth_mbps),
         ]);

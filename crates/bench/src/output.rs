@@ -29,7 +29,11 @@ impl Table {
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
         let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
-        format!("{}\n{}", self.title, pracmhbench_core::format_table(&headers, &self.rows))
+        format!(
+            "{}\n{}",
+            self.title,
+            pracmhbench_core::format_table(&headers, &self.rows)
+        )
     }
 }
 

@@ -13,7 +13,7 @@ pub fn scale_from_args() -> RunScale {
         return RunScale::Paper;
     }
     if args.iter().any(|a| a == "--quick")
-        || std::env::var("PRACMHBENCH_QUICK").map_or(false, |v| v == "1")
+        || std::env::var("PRACMHBENCH_QUICK").is_ok_and(|v| v == "1")
     {
         return RunScale::Quick;
     }

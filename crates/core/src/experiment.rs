@@ -3,7 +3,10 @@
 use mhfl_algorithms::build_algorithm;
 use mhfl_data::{DataTask, FederatedDataset, Partition};
 use mhfl_device::{ConstraintCase, CostModel, ModelPool};
-use mhfl_fl::{EngineConfig, FederationContext, FlEngine, FlResult, LocalTrainConfig, MetricsReport};
+use mhfl_fl::{
+    EngineConfig, FederationContext, FlEngine, FlResult, LocalTrainConfig, MetricsReport,
+    Parallelism, Schedule,
+};
 use mhfl_models::MhflMethod;
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +91,11 @@ pub struct ExperimentSpec {
     pub target_accuracy: f32,
     /// Experiment seed.
     pub seed: u64,
+    /// Client-selection policy for each round.
+    pub schedule: Schedule,
+    /// Execution mode of the per-round client phase. Does not affect
+    /// results: threaded and sequential runs produce identical reports.
+    pub parallelism: Parallelism,
 }
 
 impl ExperimentSpec {
@@ -102,6 +110,8 @@ impl ExperimentSpec {
             num_clients: None,
             target_accuracy: 0.5,
             seed: 42,
+            schedule: Schedule::Uniform,
+            parallelism: Parallelism::Sequential,
         }
     }
 
@@ -135,6 +145,18 @@ impl ExperimentSpec {
         self
     }
 
+    /// Sets the client-selection policy (deadline-aware, fastest-of-k, ...).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the client-phase execution mode (sequential or thread pool).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Builds the federation context this spec describes.
     ///
     /// # Errors
@@ -159,7 +181,8 @@ impl ExperimentSpec {
         );
         let devices = self.constraint.build_population(num_clients, self.seed);
         let assignments =
-            self.constraint.assign_clients(&pool, self.method, &devices, &CostModel::default());
+            self.constraint
+                .assign_clients(&pool, self.method, &devices, &CostModel::default());
         let train = LocalTrainConfig::default();
         FederationContext::new(data, assignments, train, self.seed)
     }
@@ -176,6 +199,8 @@ impl ExperimentSpec {
             sample_ratio,
             eval_every: (rounds / 4).max(1),
             stability_clients: 8,
+            schedule: self.schedule,
+            parallelism: self.parallelism,
         });
         let mut algorithm = build_algorithm(self.method);
         let report = engine.run(algorithm.as_mut(), &ctx)?;
@@ -202,7 +227,11 @@ impl ExperimentSpec {
     /// # Errors
     /// Propagates failures from any individual run.
     pub fn run_comparison(&self, methods: &[MhflMethod]) -> FlResult<Vec<ExperimentOutcome>> {
-        let baseline = ExperimentSpec { method: MhflMethod::HomogeneousSmallest, ..*self }.run()?;
+        let baseline = ExperimentSpec {
+            method: MhflMethod::HomogeneousSmallest,
+            ..*self
+        }
+        .run()?;
         let baseline_acc = baseline.summary.global_accuracy;
         let mut outcomes = Vec::with_capacity(methods.len() + 1);
         for &method in methods {
@@ -224,7 +253,9 @@ mod tests {
         let spec = ExperimentSpec::new(
             DataTask::UciHar,
             MhflMethod::SHeteroFl,
-            ConstraintCase::Computation { deadline_secs: 300.0 },
+            ConstraintCase::Computation {
+                deadline_secs: 300.0,
+            },
         )
         .with_scale(RunScale::Quick)
         .with_seed(7);
@@ -245,7 +276,9 @@ mod tests {
         )
         .with_scale(RunScale::Quick)
         .with_seed(3);
-        let outcomes = spec.run_comparison(&[MhflMethod::FeDepth, MhflMethod::SHeteroFl]).unwrap();
+        let outcomes = spec
+            .run_comparison(&[MhflMethod::FeDepth, MhflMethod::SHeteroFl])
+            .unwrap();
         assert_eq!(outcomes.len(), 3);
         assert!(outcomes[0].summary.effectiveness.is_some());
         assert!(outcomes[1].summary.effectiveness.is_some());
@@ -256,13 +289,9 @@ mod tests {
 
     #[test]
     fn scalability_override_changes_client_count() {
-        let spec = ExperimentSpec::new(
-            DataTask::UciHar,
-            MhflMethod::Fjord,
-            ConstraintCase::Memory,
-        )
-        .with_scale(RunScale::Quick)
-        .with_num_clients(9);
+        let spec = ExperimentSpec::new(DataTask::UciHar, MhflMethod::Fjord, ConstraintCase::Memory)
+            .with_scale(RunScale::Quick)
+            .with_num_clients(9);
         let ctx = spec.build_context().unwrap();
         assert_eq!(ctx.num_clients(), 9);
     }

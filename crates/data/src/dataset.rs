@@ -48,7 +48,11 @@ impl Dataset {
             labels.len(),
             "inputs and labels must describe the same number of samples"
         );
-        Dataset { inputs, labels, num_classes }
+        Dataset {
+            inputs,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -93,14 +97,24 @@ impl Dataset {
     /// # Panics
     /// Panics if an index is out of range (generator bug).
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let inputs = self.inputs.gather_axis0(indices).expect("indices must be valid");
+        let inputs = self
+            .inputs
+            .gather_axis0(indices)
+            .expect("indices must be valid");
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        Dataset { inputs, labels, num_classes: self.num_classes }
+        Dataset {
+            inputs,
+            labels,
+            num_classes: self.num_classes,
+        }
     }
 
     /// Returns the whole dataset as a single batch.
     pub fn as_batch(&self) -> Batch {
-        Batch { inputs: self.inputs.clone(), labels: self.labels.clone() }
+        Batch {
+            inputs: self.inputs.clone(),
+            labels: self.labels.clone(),
+        }
     }
 
     /// Splits sample indices into shuffled mini-batches of at most

@@ -34,7 +34,9 @@ impl FederatedDataset {
         seed: u64,
     ) -> Self {
         let partition = partition.unwrap_or(if task.naturally_non_iid() {
-            Partition::ByUser { dominant_classes: (task.num_classes() / 2).max(1) }
+            Partition::ByUser {
+                dominant_classes: (task.num_classes() / 2).max(1),
+            }
         } else {
             Partition::Iid
         });
@@ -54,7 +56,13 @@ impl FederatedDataset {
         let mut rng = SeededRng::new(seed ^ 0x5917);
         let shards = partition.split(&train, num_clients, &mut rng);
         let clients = shards.iter().map(|idx| train.subset(idx)).collect();
-        FederatedDataset { task, clients, test, public, partition }
+        FederatedDataset {
+            task,
+            clients,
+            test,
+            public,
+            partition,
+        }
     }
 
     /// The task this dataset realises.
@@ -179,7 +187,10 @@ mod tests {
     fn every_client_has_data() {
         for task in DataTask::ALL {
             let fed = FederatedDataset::generate(task, 6, 15, None, 3);
-            assert!(fed.clients().iter().all(|c| !c.is_empty()), "{task} has empty clients");
+            assert!(
+                fed.clients().iter().all(|c| !c.is_empty()),
+                "{task} has empty clients"
+            );
         }
     }
 }

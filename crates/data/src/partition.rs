@@ -104,8 +104,7 @@ impl Partition {
         }
         // Rebalance: make sure no client is left empty when samples allow it.
         if dataset.len() >= num_clients {
-            loop {
-                let Some(empty) = shards.iter().position(Vec::is_empty) else { break };
+            while let Some(empty) = shards.iter().position(Vec::is_empty) {
                 let donor = shards
                     .iter()
                     .enumerate()
@@ -132,8 +131,7 @@ impl Partition {
         if total == 0 || shards.is_empty() {
             return 0.0;
         }
-        let global_dist: Vec<f64> =
-            global.iter().map(|&c| c as f64 / total as f64).collect();
+        let global_dist: Vec<f64> = global.iter().map(|&c| c as f64 / total as f64).collect();
         let mut sum_tv = 0.0;
         let mut counted = 0usize;
         for shard in shards {
@@ -207,10 +205,16 @@ mod tests {
     fn by_user_partition_concentrates_classes() {
         let ds = dataset();
         let mut rng = SeededRng::new(3);
-        let shards = Partition::ByUser { dominant_classes: 2 }.split(&ds, 20, &mut rng);
+        let shards = Partition::ByUser {
+            dominant_classes: 2,
+        }
+        .split(&ds, 20, &mut rng);
         assert_covers_all(&shards, ds.len());
         let skew = Partition::label_skew(&ds, &shards);
-        assert!(skew > 0.3, "natural partition should be clearly non-IID, got {skew}");
+        assert!(
+            skew > 0.3,
+            "natural partition should be clearly non-IID, got {skew}"
+        );
     }
 
     #[test]
@@ -220,10 +224,15 @@ mod tests {
         for partition in [
             Partition::Iid,
             Partition::Dirichlet { alpha: 0.1 },
-            Partition::ByUser { dominant_classes: 1 },
+            Partition::ByUser {
+                dominant_classes: 1,
+            },
         ] {
             let shards = partition.split(&ds, 8, &mut rng);
-            assert!(shards.iter().all(|s| !s.is_empty()), "{partition:?} left a client empty");
+            assert!(
+                shards.iter().all(|s| !s.is_empty()),
+                "{partition:?} left a client empty"
+            );
         }
     }
 

@@ -49,12 +49,28 @@ pub fn generate_dataset_with_seeds(
     }
 
     let inputs = match task.input_kind() {
-        InputKind::Image { channels, height, width } => {
-            image_samples(&labels, channels, height, width, separation, &template_rng, &mut sample_rng)
-        }
-        InputKind::Tokens { vocab, seq_len } => {
-            token_samples(&labels, vocab, seq_len, separation, num_classes, &template_rng, &mut sample_rng)
-        }
+        InputKind::Image {
+            channels,
+            height,
+            width,
+        } => image_samples(
+            &labels,
+            channels,
+            height,
+            width,
+            separation,
+            &template_rng,
+            &mut sample_rng,
+        ),
+        InputKind::Tokens { vocab, seq_len } => token_samples(
+            &labels,
+            vocab,
+            seq_len,
+            separation,
+            num_classes,
+            &template_rng,
+            &mut sample_rng,
+        ),
         InputKind::Features { dim } => {
             feature_samples(&labels, dim, separation, &template_rng, &mut sample_rng)
         }
@@ -76,7 +92,9 @@ fn image_samples(
     let templates: Vec<Vec<f32>> = (0..labels.iter().max().map_or(0, |m| m + 1))
         .map(|class| {
             let mut rng = template_rng.derive(class as u64);
-            (0..sample_len).map(|_| rng.normal(0.0, separation)).collect()
+            (0..sample_len)
+                .map(|_| rng.normal(0.0, separation))
+                .collect()
         })
         .collect();
     let mut data = Vec::with_capacity(labels.len() * sample_len);
@@ -186,7 +204,12 @@ mod tests {
     #[test]
     fn token_ids_stay_within_vocab() {
         let ds = generate_dataset(DataTask::StackOverflow, 100, 3, None);
-        let max = ds.inputs().as_slice().iter().cloned().fold(0.0f32, f32::max);
+        let max = ds
+            .inputs()
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(0.0f32, f32::max);
         assert!(max < 96.0);
     }
 

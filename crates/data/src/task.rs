@@ -75,11 +75,19 @@ impl DataTask {
     /// The input shape fed to the proxy models.
     pub fn input_kind(&self) -> InputKind {
         match self {
-            DataTask::Cifar10 | DataTask::Cifar100 => {
-                InputKind::Image { channels: 3, height: 8, width: 8 }
-            }
-            DataTask::AgNews => InputKind::Tokens { vocab: 64, seq_len: 12 },
-            DataTask::StackOverflow => InputKind::Tokens { vocab: 96, seq_len: 12 },
+            DataTask::Cifar10 | DataTask::Cifar100 => InputKind::Image {
+                channels: 3,
+                height: 8,
+                width: 8,
+            },
+            DataTask::AgNews => InputKind::Tokens {
+                vocab: 64,
+                seq_len: 12,
+            },
+            DataTask::StackOverflow => InputKind::Tokens {
+                vocab: 96,
+                seq_len: 12,
+            },
             DataTask::HarBox => InputKind::Features { dim: 27 },
             DataTask::UciHar => InputKind::Features { dim: 36 },
         }
@@ -88,7 +96,10 @@ impl DataTask {
     /// Whether the paper partitions this task naturally by user id
     /// (Stack Overflow, HAR-BOX, UCI-HAR) rather than IID.
     pub fn naturally_non_iid(&self) -> bool {
-        matches!(self, DataTask::StackOverflow | DataTask::HarBox | DataTask::UciHar)
+        matches!(
+            self,
+            DataTask::StackOverflow | DataTask::HarBox | DataTask::UciHar
+        )
     }
 
     /// The client population the paper uses for this task
@@ -143,7 +154,10 @@ mod tests {
     #[test]
     fn two_tasks_per_modality() {
         for modality in [Modality::Cv, Modality::Nlp, Modality::Har] {
-            let count = DataTask::ALL.iter().filter(|t| t.modality() == modality).count();
+            let count = DataTask::ALL
+                .iter()
+                .filter(|t| t.modality() == modality)
+                .count();
             assert_eq!(count, 2, "{modality} should have two tasks");
         }
     }

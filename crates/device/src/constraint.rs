@@ -4,7 +4,9 @@ use mhfl_models::MhflMethod;
 use mhfl_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
-use crate::{CostModel, DeviceCapability, DeviceProfile, ImaPopulation, ModelPool, PoolEntry, RoundCost};
+use crate::{
+    CostModel, DeviceCapability, DeviceProfile, ImaPopulation, ModelPool, PoolEntry, RoundCost,
+};
 
 /// A practical resource-constraint case under which MHFL is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,7 +64,11 @@ impl ConstraintCase {
             ConstraintCase::Computation { .. } => "Comp".to_string(),
             ConstraintCase::Communication { .. } => "Comm".to_string(),
             ConstraintCase::Memory => "Mem".to_string(),
-            ConstraintCase::Combined { deadline_secs, comm_budget_secs, memory } => {
+            ConstraintCase::Combined {
+                deadline_secs,
+                comm_budget_secs,
+                memory,
+            } => {
                 let mut parts = Vec::new();
                 if *memory {
                     parts.push("Mem");
@@ -111,9 +117,13 @@ impl ConstraintCase {
             ConstraintCase::Computation { deadline_secs } => cost.train_time_secs <= *deadline_secs,
             ConstraintCase::Communication { budget_secs } => cost.comm_time_secs <= *budget_secs,
             ConstraintCase::Memory => cost.memory_bytes <= device.memory_bytes,
-            ConstraintCase::Combined { deadline_secs, comm_budget_secs, memory } => {
-                deadline_secs.map_or(true, |d| cost.train_time_secs <= d)
-                    && comm_budget_secs.map_or(true, |b| cost.comm_time_secs <= b)
+            ConstraintCase::Combined {
+                deadline_secs,
+                comm_budget_secs,
+                memory,
+            } => {
+                deadline_secs.is_none_or(|d| cost.train_time_secs <= d)
+                    && comm_budget_secs.is_none_or(|b| cost.comm_time_secs <= b)
                     && (!memory || cost.memory_bytes <= device.memory_bytes)
             }
         }
@@ -140,7 +150,12 @@ impl ConstraintCase {
                     })
                     .expect("pool contains at least one entry per method");
                 let cost = cost_model.round_cost(&entry.stats, method, device);
-                ClientAssignment { client_id, device: *device, entry, cost }
+                ClientAssignment {
+                    client_id,
+                    device: *device,
+                    entry,
+                    cost,
+                }
             })
             .collect()
     }
@@ -189,9 +204,19 @@ mod tests {
     fn computation_constraint_gives_slow_devices_smaller_models() {
         let pool = pool();
         let cost_model = CostModel::default();
-        let case = ConstraintCase::Computation { deadline_secs: 300.0 };
-        let slow = DeviceCapability { compute_gflops: 5.0, bandwidth_mbps: 50.0, memory_bytes: 1 << 33 };
-        let fast = DeviceCapability { compute_gflops: 500.0, bandwidth_mbps: 50.0, memory_bytes: 1 << 33 };
+        let case = ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        };
+        let slow = DeviceCapability {
+            compute_gflops: 5.0,
+            bandwidth_mbps: 50.0,
+            memory_bytes: 1 << 33,
+        };
+        let fast = DeviceCapability {
+            compute_gflops: 500.0,
+            bandwidth_mbps: 50.0,
+            memory_bytes: 1 << 33,
+        };
         let assignments =
             case.assign_clients(&pool, MhflMethod::SHeteroFl, &[slow, fast], &cost_model);
         assert!(assignments[0].entry.stats.params <= assignments[1].entry.stats.params);
@@ -204,8 +229,16 @@ mod tests {
         let pool = pool();
         let cost_model = CostModel::default();
         let case = ConstraintCase::Communication { budget_secs: 200.0 };
-        let narrow = DeviceCapability { compute_gflops: 100.0, bandwidth_mbps: 1.0, memory_bytes: 1 << 33 };
-        let wide = DeviceCapability { compute_gflops: 100.0, bandwidth_mbps: 300.0, memory_bytes: 1 << 33 };
+        let narrow = DeviceCapability {
+            compute_gflops: 100.0,
+            bandwidth_mbps: 1.0,
+            memory_bytes: 1 << 33,
+        };
+        let wide = DeviceCapability {
+            compute_gflops: 100.0,
+            bandwidth_mbps: 300.0,
+            memory_bytes: 1 << 33,
+        };
         let a = case.assign_clients(&pool, MhflMethod::FedRolex, &[narrow, wide], &cost_model);
         assert!(a[0].entry.stats.params <= a[1].entry.stats.params);
         // The wide-bandwidth client can afford the full model within 200 s.
@@ -221,8 +254,7 @@ mod tests {
         let cost_model = CostModel::default();
         let case = ConstraintCase::Memory;
         let device = DeviceCapability::from(&DeviceProfile::jetson_tx2_nx());
-        let shetero =
-            case.assign_clients(&pool, MhflMethod::SHeteroFl, &[device], &cost_model)[0];
+        let shetero = case.assign_clients(&pool, MhflMethod::SHeteroFl, &[device], &cost_model)[0];
         let depthfl = case.assign_clients(&pool, MhflMethod::DepthFl, &[device], &cost_model)[0];
         assert!(
             depthfl.entry.stats.params <= shetero.entry.stats.params,
@@ -237,7 +269,11 @@ mod tests {
         let devices = ConstraintCase::Memory.build_population(20, 3);
         let single = ConstraintCase::Memory;
         let combined = ConstraintCase::all_combined(200.0, 100.0);
-        for method in [MhflMethod::SHeteroFl, MhflMethod::DepthFl, MhflMethod::FedRolex] {
+        for method in [
+            MhflMethod::SHeteroFl,
+            MhflMethod::DepthFl,
+            MhflMethod::FedRolex,
+        ] {
             let a_single = single.assign_clients(&pool, method, &devices, &cost_model);
             let a_comb = combined.assign_clients(&pool, method, &devices, &cost_model);
             for (s, c) in a_single.iter().zip(&a_comb) {
@@ -250,33 +286,54 @@ mod tests {
     fn populations_match_case_semantics() {
         let mem_pop = ConstraintCase::Memory.build_population(50, 1);
         // Memory populations only contain the three Table III classes.
-        let classes: Vec<u64> =
-            DeviceProfile::memory_classes().iter().map(|p| p.memory_bytes).collect();
+        let classes: Vec<u64> = DeviceProfile::memory_classes()
+            .iter()
+            .map(|p| p.memory_bytes)
+            .collect();
         assert!(mem_pop.iter().all(|d| classes.contains(&d.memory_bytes)));
 
-        let comp_pop =
-            ConstraintCase::Computation { deadline_secs: 100.0 }.build_population(50, 1);
+        let comp_pop = ConstraintCase::Computation {
+            deadline_secs: 100.0,
+        }
+        .build_population(50, 1);
         assert_eq!(comp_pop.len(), 50);
         // Reproducible.
-        let comp_pop2 =
-            ConstraintCase::Computation { deadline_secs: 100.0 }.build_population(50, 1);
+        let comp_pop2 = ConstraintCase::Computation {
+            deadline_secs: 100.0,
+        }
+        .build_population(50, 1);
         assert_eq!(comp_pop, comp_pop2);
     }
 
     #[test]
     fn labels_are_compact() {
-        assert_eq!(ConstraintCase::Computation { deadline_secs: 1.0 }.label(), "Comp");
+        assert_eq!(
+            ConstraintCase::Computation { deadline_secs: 1.0 }.label(),
+            "Comp"
+        );
         assert_eq!(ConstraintCase::Memory.label(), "Mem");
-        assert_eq!(ConstraintCase::memory_plus_communication(200.0).label(), "Mem+Comm");
-        assert_eq!(ConstraintCase::all_combined(100.0, 200.0).label(), "Mem+Comm+Comp");
+        assert_eq!(
+            ConstraintCase::memory_plus_communication(200.0).label(),
+            "Mem+Comm"
+        );
+        assert_eq!(
+            ConstraintCase::all_combined(100.0, 200.0).label(),
+            "Mem+Comm+Comp"
+        );
     }
 
     #[test]
     fn infeasible_everywhere_falls_back_to_smallest() {
         let pool = pool();
         let cost_model = CostModel::default();
-        let case = ConstraintCase::Computation { deadline_secs: 1e-9 };
-        let device = DeviceCapability { compute_gflops: 1.0, bandwidth_mbps: 1.0, memory_bytes: 1 << 30 };
+        let case = ConstraintCase::Computation {
+            deadline_secs: 1e-9,
+        };
+        let device = DeviceCapability {
+            compute_gflops: 1.0,
+            bandwidth_mbps: 1.0,
+            memory_bytes: 1 << 30,
+        };
         let a = case.assign_clients(&pool, MhflMethod::Fjord, &[device], &cost_model);
         assert!((a[0].width_fraction() - 0.25).abs() < 1e-9);
     }

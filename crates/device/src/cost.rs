@@ -130,14 +130,22 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { batch_size: 16, local_steps: 30, compute_efficiency: 0.30 }
+        CostModel {
+            batch_size: 16,
+            local_steps: 30,
+            compute_efficiency: 0.30,
+        }
     }
 }
 
 impl CostModel {
     /// Creates a cost model with explicit batch size and local steps.
     pub fn new(batch_size: usize, local_steps: usize) -> Self {
-        CostModel { batch_size, local_steps, ..CostModel::default() }
+        CostModel {
+            batch_size,
+            local_steps,
+            ..CostModel::default()
+        }
     }
 
     /// Computes the per-round cost of training a model with statistics
@@ -156,14 +164,18 @@ impl CostModel {
 
         let payload_bytes =
             (2.0 * stats.payload_bytes() as f64 * overhead.comm_factor).round() as u64;
-        let comm_time_secs =
-            payload_bytes as f64 * 8.0 / (device.bandwidth_mbps.max(0.1) * 1e6);
+        let comm_time_secs = payload_bytes as f64 * 8.0 / (device.bandwidth_mbps.max(0.1) * 1e6);
 
         let memory_bytes = (stats.training_memory_bytes(self.batch_size) as f64
             * overhead.memory_factor)
             .round() as u64;
 
-        RoundCost { train_time_secs, comm_time_secs, memory_bytes, payload_bytes }
+        RoundCost {
+            train_time_secs,
+            comm_time_secs,
+            memory_bytes,
+            payload_bytes,
+        }
     }
 
     /// Effective parameter count of a method's instantiation of a model.
@@ -203,7 +215,10 @@ mod tests {
         assert!(mem(MhflMethod::FeDepth) > mem(MhflMethod::SHeteroFl));
         // DepthFL is roughly 2× SHeteroFL (Table I: 1220 MB vs 593 MB).
         let ratio = mem(MhflMethod::DepthFl) as f64 / mem(MhflMethod::SHeteroFl) as f64;
-        assert!(ratio > 1.7 && ratio < 2.4, "DepthFL/SHeteroFL memory ratio {ratio}");
+        assert!(
+            ratio > 1.7 && ratio < 2.4,
+            "DepthFL/SHeteroFL memory ratio {ratio}"
+        );
     }
 
     #[test]
@@ -217,7 +232,11 @@ mod tests {
         let ratio = t(MhflMethod::SHeteroFl, &nano) / t(MhflMethod::SHeteroFl, &orin);
         assert!(ratio > 1.5 && ratio < 3.0, "Nano/Orin time ratio {ratio}");
         // DepthFL is the slowest of the four Table I methods.
-        for m in [MhflMethod::SHeteroFl, MhflMethod::FedRolex, MhflMethod::FeDepth] {
+        for m in [
+            MhflMethod::SHeteroFl,
+            MhflMethod::FedRolex,
+            MhflMethod::FeDepth,
+        ] {
             assert!(t(MhflMethod::DepthFl, &orin) > t(m, &orin));
         }
     }
@@ -238,8 +257,16 @@ mod tests {
         let cost = CostModel::default();
         let small = ModelSpec::new(ModelFamily::ResNet101, 100).stats(0.25, 1.0);
         let large = ModelSpec::new(ModelFamily::ResNet101, 100).stats(1.0, 1.0);
-        let fast = DeviceCapability { compute_gflops: 500.0, bandwidth_mbps: 100.0, memory_bytes: 1 << 34 };
-        let slow = DeviceCapability { compute_gflops: 10.0, bandwidth_mbps: 2.0, memory_bytes: 1 << 31 };
+        let fast = DeviceCapability {
+            compute_gflops: 500.0,
+            bandwidth_mbps: 100.0,
+            memory_bytes: 1 << 34,
+        };
+        let slow = DeviceCapability {
+            compute_gflops: 10.0,
+            bandwidth_mbps: 2.0,
+            memory_bytes: 1 << 31,
+        };
         let c_small_fast = cost.round_cost(&small, MhflMethod::SHeteroFl, &fast);
         let c_large_fast = cost.round_cost(&large, MhflMethod::SHeteroFl, &fast);
         let c_small_slow = cost.round_cost(&small, MhflMethod::SHeteroFl, &slow);
@@ -262,7 +289,10 @@ mod tests {
     #[test]
     fn device_profile_converts_to_capability() {
         let cap = DeviceCapability::from(&DeviceProfile::raspberry_pi_4b());
-        assert_eq!(cap.memory_bytes, DeviceProfile::raspberry_pi_4b().memory_bytes);
+        assert_eq!(
+            cap.memory_bytes,
+            DeviceProfile::raspberry_pi_4b().memory_bytes
+        );
         assert!(!DeviceProfile::raspberry_pi_4b().has_gpu);
         assert!(cap.compute_gflops < 50.0);
     }

@@ -40,8 +40,13 @@ impl ImaPopulation {
     /// weighted toward the mid-range.
     pub fn generate(size: usize, seed: u64) -> Self {
         let mut rng = SeededRng::new(seed);
-        let ram_tiers: [(u64, f64); 5] =
-            [(2 * GIB, 0.10), (4 * GIB, 0.30), (6 * GIB, 0.30), (8 * GIB, 0.22), (12 * GIB, 0.08)];
+        let ram_tiers: [(u64, f64); 5] = [
+            (2 * GIB, 0.10),
+            (4 * GIB, 0.30),
+            (6 * GIB, 0.30),
+            (8 * GIB, 0.22),
+            (12 * GIB, 0.08),
+        ];
         let weights: Vec<f64> = ram_tiers.iter().map(|(_, w)| *w).collect();
         let devices = (0..size)
             .map(|_| {
@@ -50,7 +55,11 @@ impl ImaPopulation {
                 // Median ≈ 20 Mbps uplink, between slow cellular and fast Wi-Fi.
                 let bandwidth = (rng.log_normal(3.0, 0.8) as f64).clamp(1.0, 400.0);
                 let memory_bytes = ram_tiers[rng.weighted_index(&weights)].0;
-                DeviceCapability { compute_gflops: compute, bandwidth_mbps: bandwidth, memory_bytes }
+                DeviceCapability {
+                    compute_gflops: compute,
+                    bandwidth_mbps: bandwidth,
+                    memory_bytes,
+                }
             })
             .collect();
         ImaPopulation { devices, seed }
@@ -122,10 +131,16 @@ mod tests {
         let pop = ImaPopulation::generate(500, 7);
         let p10 = pop.compute_percentile(10.0);
         let p90 = pop.compute_percentile(90.0);
-        assert!(p90 / p10 > 3.0, "compute spread should be wide: p10={p10}, p90={p90}");
+        assert!(
+            p90 / p10 > 3.0,
+            "compute spread should be wide: p10={p10}, p90={p90}"
+        );
         let b10 = pop.bandwidth_percentile(10.0);
         let b90 = pop.bandwidth_percentile(90.0);
-        assert!(b90 / b10 > 3.0, "bandwidth spread should be wide: p10={b10}, p90={b90}");
+        assert!(
+            b90 / b10 > 3.0,
+            "bandwidth spread should be wide: p10={b10}, p90={b90}"
+        );
     }
 
     #[test]
@@ -133,14 +148,20 @@ mod tests {
         let pop = ImaPopulation::generate(300, 9);
         for d in pop.devices() {
             let gib = d.memory_bytes / GIB;
-            assert!([2, 4, 6, 8, 12].contains(&gib), "unexpected RAM tier {gib} GiB");
+            assert!(
+                [2, 4, 6, 8, 12].contains(&gib),
+                "unexpected RAM tier {gib} GiB"
+            );
         }
     }
 
     #[test]
     fn client_assignment_wraps_around() {
         let pop = ImaPopulation::generate(10, 1);
-        assert_eq!(pop.device_for_client(3).compute_gflops, pop.device_for_client(13).compute_gflops);
+        assert_eq!(
+            pop.device_for_client(3).compute_gflops,
+            pop.device_for_client(13).compute_gflops
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct ModelChoice {
 impl ModelChoice {
     /// The full-size model of a family.
     pub fn full(family: ModelFamily) -> Self {
-        ModelChoice { family, width_fraction: 1.0, depth_fraction: 1.0 }
+        ModelChoice {
+            family,
+            width_fraction: 1.0,
+            depth_fraction: 1.0,
+        }
     }
 
     /// A short human-readable label, e.g. `"ResNet-101 ×0.50w"`.
@@ -134,9 +138,8 @@ impl ModelPool {
 
     /// Entries belonging to one method, largest (by parameters) first.
     pub fn entries_for_method(&self, method: MhflMethod) -> Vec<&PoolEntry> {
-        let mut v: Vec<&PoolEntry> =
-            self.entries.iter().filter(|e| e.method == method).collect();
-        v.sort_by(|a, b| b.stats.params.cmp(&a.stats.params));
+        let mut v: Vec<&PoolEntry> = self.entries.iter().filter(|e| e.method == method).collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.stats.params));
         v
     }
 
@@ -178,7 +181,10 @@ mod tests {
     fn pool_has_entries_for_every_method() {
         let pool = pool();
         for m in MhflMethod::HETEROGENEOUS {
-            assert!(!pool.entries_for_method(m).is_empty(), "{m} missing from pool");
+            assert!(
+                !pool.entries_for_method(m).is_empty(),
+                "{m} missing from pool"
+            );
         }
         // Width/depth methods get 4 fractions; topology methods get the family group.
         assert_eq!(pool.entries_for_method(MhflMethod::SHeteroFl).len(), 4);
@@ -190,16 +196,24 @@ mod tests {
     fn width_entries_shrink_quadratically_depth_linearly() {
         let pool = pool();
         let widths = pool.entries_for_method(MhflMethod::FedRolex);
-        assert!(widths.windows(2).all(|w| w[0].stats.params >= w[1].stats.params));
+        assert!(widths
+            .windows(2)
+            .all(|w| w[0].stats.params >= w[1].stats.params));
         let full = widths.first().unwrap().stats.params as f64;
         let quarter = widths.last().unwrap().stats.params as f64;
-        assert!(full / quarter > 8.0, "×0.25 width should be ≫4× smaller in params");
+        assert!(
+            full / quarter > 8.0,
+            "×0.25 width should be ≫4× smaller in params"
+        );
 
         let depths = pool.entries_for_method(MhflMethod::FeDepth);
         let full_d = depths.first().unwrap().stats.params as f64;
         let quarter_d = depths.last().unwrap().stats.params as f64;
         let ratio_d = full_d / quarter_d;
-        assert!(ratio_d > 2.0 && ratio_d < 8.0, "depth scaling is roughly linear, got {ratio_d}");
+        assert!(
+            ratio_d > 2.0 && ratio_d < 8.0,
+            "depth scaling is roughly linear, got {ratio_d}"
+        );
     }
 
     #[test]
@@ -226,7 +240,9 @@ mod tests {
             .unwrap();
         assert!((fallback.choice.width_fraction - 0.25).abs() < 1e-9);
         // Budget that only a mid-size model satisfies.
-        let threshold = pool.entries_for_method(MhflMethod::SHeteroFl)[1].stats.params;
+        let threshold = pool.entries_for_method(MhflMethod::SHeteroFl)[1]
+            .stats
+            .params;
         let mid = pool
             .select_largest_feasible(MhflMethod::SHeteroFl, |e| e.stats.params <= threshold)
             .unwrap();
@@ -235,10 +251,21 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        let c = ModelChoice { family: ModelFamily::ResNet101, width_fraction: 0.5, depth_fraction: 1.0 };
+        let c = ModelChoice {
+            family: ModelFamily::ResNet101,
+            width_fraction: 0.5,
+            depth_fraction: 1.0,
+        };
         assert!(c.label().contains("0.50w"));
-        let d = ModelChoice { family: ModelFamily::ResNet101, width_fraction: 1.0, depth_fraction: 0.25 };
+        let d = ModelChoice {
+            family: ModelFamily::ResNet101,
+            width_fraction: 1.0,
+            depth_fraction: 0.25,
+        };
         assert!(d.label().contains("0.25d"));
-        assert_eq!(ModelChoice::full(ModelFamily::ResNet18).label(), "ResNet-18");
+        assert_eq!(
+            ModelChoice::full(ModelFamily::ResNet18).label(),
+            "ResNet-18"
+        );
     }
 }

@@ -31,7 +31,13 @@ impl DeviceProfile {
         bandwidth_mbps: f64,
         has_gpu: bool,
     ) -> Self {
-        DeviceProfile { name: name.into(), gflops, memory_bytes, bandwidth_mbps, has_gpu }
+        DeviceProfile {
+            name: name.into(),
+            gflops,
+            memory_bytes,
+            bandwidth_mbps,
+            has_gpu,
+        }
     }
 
     /// NVIDIA Jetson Orin NX: 1024-core Ampere GPU, 16 GB (Table III).
@@ -58,7 +64,11 @@ impl DeviceProfile {
     /// The device classes used by the memory-limited case: 16 GB GPU, 4 GB
     /// GPU and CPU-only (paper §IV-C).
     pub fn memory_classes() -> Vec<DeviceProfile> {
-        vec![Self::jetson_orin_nx(), Self::jetson_tx2_nx(), Self::raspberry_pi_4b()]
+        vec![
+            Self::jetson_orin_nx(),
+            Self::jetson_tx2_nx(),
+            Self::raspberry_pi_4b(),
+        ]
     }
 
     /// All named profiles.

@@ -20,7 +20,11 @@ pub struct LocalTrainConfig {
 
 impl Default for LocalTrainConfig {
     fn default() -> Self {
-        LocalTrainConfig { batch_size: 16, local_steps: 5, sgd: SgdConfig::default() }
+        LocalTrainConfig {
+            batch_size: 16,
+            local_steps: 5,
+            sgd: SgdConfig::default(),
+        }
     }
 }
 
@@ -58,7 +62,12 @@ impl FederationContext {
                 data.num_clients()
             )));
         }
-        Ok(FederationContext { data, assignments, train, seed })
+        Ok(FederationContext {
+            data,
+            assignments,
+            train,
+            seed,
+        })
     }
 
     /// The federated dataset (client shards, test set, public set).
@@ -119,8 +128,12 @@ mod tests {
         );
         let case = ConstraintCase::Memory;
         let devices = case.build_population(6, 0);
-        let assignments =
-            case.assign_clients(&pool, MhflMethod::SHeteroFl, &devices, &CostModel::default());
+        let assignments = case.assign_clients(
+            &pool,
+            MhflMethod::SHeteroFl,
+            &devices,
+            &CostModel::default(),
+        );
         FederationContext::new(data, assignments, LocalTrainConfig::default(), 1).unwrap()
     }
 
@@ -137,7 +150,10 @@ mod tests {
     fn smallest_assignment_is_minimal() {
         let ctx = context();
         let smallest = ctx.smallest_assignment();
-        assert!(ctx.assignments().iter().all(|a| a.entry.stats.params >= smallest.entry.stats.params));
+        assert!(ctx
+            .assignments()
+            .iter()
+            .all(|a| a.entry.stats.params >= smallest.entry.stats.params));
     }
 
     #[test]

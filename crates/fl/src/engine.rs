@@ -4,14 +4,28 @@ use mhfl_data::Dataset;
 use mhfl_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
-use crate::{FederationContext, FlResult, MetricsReport, RoundRecord};
+use crate::parallel::run_clients;
+use crate::{
+    ClientUpdate, FederationContext, FlResult, MetricsReport, Parallelism, RoundRecord, Schedule,
+};
 
-/// A federated learning algorithm as seen by the engine.
+/// A federated learning algorithm as seen by the engine, split into an
+/// embarrassingly-parallel *client phase* and a sequential *server phase*.
 ///
-/// The engine owns *when* things happen (sampling, rounds, clock, metrics);
-/// the algorithm owns *what* happens (local training, sub-model extraction,
-/// aggregation). One instance is used for one experiment.
-pub trait FlAlgorithm {
+/// The engine owns *when* things happen (scheduling, rounds, clock,
+/// metrics); the algorithm owns *what* happens on each side of the
+/// client/server boundary:
+///
+/// * [`client_update`](Self::client_update) — local training of one selected
+///   client. It takes `&self`, so the engine may fan it out across threads;
+///   all randomness must derive from `(ctx.seed(), round, client)` so the
+///   result is independent of execution order.
+/// * [`aggregate`](Self::aggregate) — the server phase, receiving every
+///   client's [`ClientUpdate`] **in selection order** and folding them into
+///   the algorithm's global state.
+///
+/// One instance is used for one experiment.
+pub trait FlAlgorithm: Send + Sync {
     /// Human-readable algorithm name (used in reports and figures).
     fn name(&self) -> String;
 
@@ -21,15 +35,28 @@ pub trait FlAlgorithm {
     /// Returns an error if the algorithm cannot be initialised for this context.
     fn setup(&mut self, ctx: &FederationContext) -> FlResult<()>;
 
-    /// Runs one synchronous round on the selected clients: local training on
-    /// each, then server aggregation.
+    /// Client phase: trains `client` locally for round `round` and returns
+    /// its upload. Must not depend on any other client of the same round.
     ///
     /// # Errors
-    /// Returns an error if local training or aggregation fails.
-    fn run_round(
+    /// Returns an error if local training fails.
+    fn client_update(
+        &self,
+        round: usize,
+        client: usize,
+        ctx: &FederationContext,
+    ) -> FlResult<ClientUpdate>;
+
+    /// Server phase: folds the round's client updates (in selection order)
+    /// into the global state. `updates` may be empty when the scheduler
+    /// skipped every candidate (e.g. a missed deadline).
+    ///
+    /// # Errors
+    /// Returns an error if aggregation fails.
+    fn aggregate(
         &mut self,
         round: usize,
-        selected: &[usize],
+        updates: Vec<ClientUpdate>,
         ctx: &FederationContext,
     ) -> FlResult<()>;
 
@@ -61,16 +88,28 @@ pub struct EngineConfig {
     /// How many clients to evaluate for the stability metric (evaluating all
     /// 500 Stack Overflow clients every round would dominate run time).
     pub stability_clients: usize,
+    /// Client-selection policy.
+    pub schedule: Schedule,
+    /// Execution mode of the client phase.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { rounds: 20, sample_ratio: 0.1, eval_every: 5, stability_clients: 16 }
+        EngineConfig {
+            rounds: 20,
+            sample_ratio: 0.1,
+            eval_every: 5,
+            stability_clients: 16,
+            schedule: Schedule::Uniform,
+            parallelism: Parallelism::Sequential,
+        }
     }
 }
 
-/// Drives a federated experiment: samples clients, invokes the algorithm,
-/// advances the simulated clock and records metrics.
+/// Drives a federated experiment: schedules clients, fans out the client
+/// phase, invokes server aggregation, advances the simulated clock and
+/// records metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct FlEngine {
     config: EngineConfig,
@@ -90,10 +129,15 @@ impl FlEngine {
     /// Runs the full experiment, returning the metric report.
     ///
     /// Each synchronous round advances the simulated wall clock by the
+    /// duration the scheduler reports — for the default uniform policy the
     /// maximum of the selected clients' per-round compute + communication
     /// times (stragglers dominate), which is what makes *time-to-accuracy*
     /// sensitive to the device constraint in the same way the paper's
     /// measurements are.
+    ///
+    /// The report is a pure function of `(algorithm, ctx, config minus
+    /// parallelism)`: running with [`Parallelism::Threads`] produces a
+    /// bit-identical report to a sequential run with the same seed.
     ///
     /// # Errors
     /// Propagates algorithm failures.
@@ -104,35 +148,46 @@ impl FlEngine {
     ) -> FlResult<MetricsReport> {
         algorithm.setup(ctx)?;
         let mut report = MetricsReport::new(algorithm.name());
+        let scheduler = self.config.schedule.build();
         let mut rng = SeededRng::new(ctx.seed() ^ 0xF00D);
         let num_clients = ctx.num_clients();
-        let per_round =
-            ((num_clients as f64 * self.config.sample_ratio).round() as usize).clamp(1, num_clients);
+        let per_round = ((num_clients as f64 * self.config.sample_ratio).round() as usize)
+            .clamp(1, num_clients);
+
+        // The stability metric is evaluated on a fixed, seeded sample of the
+        // population (not clients 0..k, which would bias the metric toward
+        // low-index clients under index-correlated device assignments).
+        let eval_clients = self.config.stability_clients.min(num_clients).max(1);
+        let stability_sample =
+            SeededRng::new(ctx.seed() ^ 0x57AB).choose_indices(num_clients, eval_clients);
+
         let mut sim_time = 0.0f64;
-
         for round in 1..=self.config.rounds {
-            let selected = rng.choose_indices(num_clients, per_round);
-            algorithm.run_round(round, &selected, ctx)?;
-
-            // Synchronous aggregation: the round lasts as long as its slowest
-            // selected client.
-            let round_time = selected
-                .iter()
-                .map(|&c| ctx.assignment(c).cost.total_secs())
-                .fold(0.0f64, f64::max);
-            sim_time += round_time;
+            let plan = scheduler.plan_round(round, per_round, ctx, &mut rng);
+            let updates = run_clients(
+                &*algorithm,
+                round,
+                &plan.clients,
+                ctx,
+                self.config.parallelism,
+            )?;
+            algorithm.aggregate(round, updates, ctx)?;
+            sim_time += plan.round_secs;
 
             let is_eval_round =
                 round % self.config.eval_every.max(1) == 0 || round == self.config.rounds;
             if is_eval_round {
                 let global_accuracy = algorithm.evaluate_global(ctx.data().test())?;
-                let eval_clients = self.config.stability_clients.min(num_clients).max(1);
-                let mut per_client_accuracy = Vec::with_capacity(eval_clients);
-                for client in 0..eval_clients {
-                    per_client_accuracy
-                        .push(algorithm.evaluate_client(client, ctx.data().test())?);
+                let mut per_client_accuracy = Vec::with_capacity(stability_sample.len());
+                for &client in &stability_sample {
+                    per_client_accuracy.push(algorithm.evaluate_client(client, ctx.data().test())?);
                 }
-                report.push(RoundRecord { round, sim_time_secs: sim_time, global_accuracy, per_client_accuracy });
+                report.push(RoundRecord {
+                    round,
+                    sim_time_secs: sim_time,
+                    global_accuracy,
+                    per_client_accuracy,
+                });
             }
         }
         Ok(report)
@@ -142,16 +197,18 @@ impl FlEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LocalTrainConfig;
+    use crate::{ClientPayload, LocalTrainConfig};
     use mhfl_data::{DataTask, FederatedDataset};
     use mhfl_device::{ConstraintCase, CostModel, ModelPool};
     use mhfl_models::{MhflMethod, ModelFamily};
 
-    /// A trivial "algorithm" that counts invocations and returns a rising
-    /// accuracy so the engine's bookkeeping can be verified in isolation.
+    /// A trivial algorithm that records the engine's phase calls and returns
+    /// a rising accuracy so the bookkeeping can be verified in isolation.
+    #[derive(Default)]
     struct CountingAlgorithm {
-        rounds_run: usize,
+        rounds_aggregated: usize,
         clients_seen: Vec<usize>,
+        sample_weights: Vec<usize>,
     }
 
     impl FlAlgorithm for CountingAlgorithm {
@@ -161,18 +218,33 @@ mod tests {
         fn setup(&mut self, _ctx: &FederationContext) -> FlResult<()> {
             Ok(())
         }
-        fn run_round(
+        fn client_update(
+            &self,
+            _round: usize,
+            client: usize,
+            ctx: &FederationContext,
+        ) -> FlResult<ClientUpdate> {
+            Ok(ClientUpdate::new(
+                client,
+                ctx.data().client(client).len(),
+                ClientPayload::Empty,
+            ))
+        }
+        fn aggregate(
             &mut self,
             _round: usize,
-            selected: &[usize],
+            updates: Vec<ClientUpdate>,
             _ctx: &FederationContext,
         ) -> FlResult<()> {
-            self.rounds_run += 1;
-            self.clients_seen.extend_from_slice(selected);
+            self.rounds_aggregated += 1;
+            for update in updates {
+                self.clients_seen.push(update.client);
+                self.sample_weights.push(update.num_samples);
+            }
             Ok(())
         }
         fn evaluate_global(&mut self, _data: &Dataset) -> FlResult<f32> {
-            Ok(0.1 * self.rounds_run as f32)
+            Ok(0.1 * self.rounds_aggregated as f32)
         }
         fn evaluate_client(&mut self, client: usize, _data: &Dataset) -> FlResult<f32> {
             Ok(0.05 * client as f32)
@@ -187,28 +259,41 @@ mod tests {
             &MhflMethod::HETEROGENEOUS,
             6,
         );
-        let case = ConstraintCase::Computation { deadline_secs: 100.0 };
+        let case = ConstraintCase::Computation {
+            deadline_secs: 100.0,
+        };
         let devices = case.build_population(num_clients, 0);
-        let assignments =
-            case.assign_clients(&pool, MhflMethod::SHeteroFl, &devices, &CostModel::default());
+        let assignments = case.assign_clients(
+            &pool,
+            MhflMethod::SHeteroFl,
+            &devices,
+            &CostModel::default(),
+        );
         FederationContext::new(data, assignments, LocalTrainConfig::default(), 3).unwrap()
+    }
+
+    fn config(rounds: usize, ratio: f64, eval_every: usize, stability: usize) -> EngineConfig {
+        EngineConfig {
+            rounds,
+            sample_ratio: ratio,
+            eval_every,
+            stability_clients: stability,
+            ..EngineConfig::default()
+        }
     }
 
     #[test]
     fn engine_runs_requested_rounds_and_samples_clients() {
         let ctx = context(10);
-        let engine = FlEngine::new(EngineConfig {
-            rounds: 8,
-            sample_ratio: 0.3,
-            eval_every: 4,
-            stability_clients: 4,
-        });
-        let mut alg = CountingAlgorithm { rounds_run: 0, clients_seen: Vec::new() };
+        let engine = FlEngine::new(config(8, 0.3, 4, 4));
+        let mut alg = CountingAlgorithm::default();
         let report = engine.run(&mut alg, &ctx).unwrap();
-        assert_eq!(alg.rounds_run, 8);
+        assert_eq!(alg.rounds_aggregated, 8);
         // 30% of 10 clients = 3 per round.
         assert_eq!(alg.clients_seen.len(), 24);
         assert!(alg.clients_seen.iter().all(|&c| c < 10));
+        // Sample weights reflect shard sizes.
+        assert!(alg.sample_weights.iter().all(|&w| w > 0));
         // Evaluations at rounds 4 and 8.
         assert_eq!(report.records.len(), 2);
         assert_eq!(report.records[0].round, 4);
@@ -220,13 +305,8 @@ mod tests {
     #[test]
     fn simulated_clock_is_monotone_and_positive() {
         let ctx = context(6);
-        let engine = FlEngine::new(EngineConfig {
-            rounds: 5,
-            sample_ratio: 0.5,
-            eval_every: 1,
-            stability_clients: 2,
-        });
-        let mut alg = CountingAlgorithm { rounds_run: 0, clients_seen: Vec::new() };
+        let engine = FlEngine::new(config(5, 0.5, 1, 2));
+        let mut alg = CountingAlgorithm::default();
         let report = engine.run(&mut alg, &ctx).unwrap();
         let times: Vec<f64> = report.records.iter().map(|r| r.sim_time_secs).collect();
         assert!(times.windows(2).all(|w| w[1] > w[0]));
@@ -236,14 +316,67 @@ mod tests {
     #[test]
     fn final_round_is_always_evaluated() {
         let ctx = context(5);
-        let engine = FlEngine::new(EngineConfig {
-            rounds: 7,
-            sample_ratio: 0.2,
-            eval_every: 5,
-            stability_clients: 1,
-        });
-        let mut alg = CountingAlgorithm { rounds_run: 0, clients_seen: Vec::new() };
+        let engine = FlEngine::new(config(7, 0.2, 5, 1));
+        let mut alg = CountingAlgorithm::default();
         let report = engine.run(&mut alg, &ctx).unwrap();
         assert_eq!(report.records.last().unwrap().round, 7);
+    }
+
+    #[test]
+    fn threaded_and_sequential_runs_agree_for_a_deterministic_algorithm() {
+        let ctx = context(10);
+        let base = config(6, 0.4, 2, 5);
+        let mut sequential = CountingAlgorithm::default();
+        let seq_report = FlEngine::new(base).run(&mut sequential, &ctx).unwrap();
+        let mut threaded = CountingAlgorithm::default();
+        let thr_report = FlEngine::new(EngineConfig {
+            parallelism: Parallelism::Threads { workers: 4 },
+            ..base
+        })
+        .run(&mut threaded, &ctx)
+        .unwrap();
+        assert_eq!(seq_report, thr_report);
+        assert_eq!(sequential.clients_seen, threaded.clients_seen);
+    }
+
+    #[test]
+    fn stability_sample_is_a_seeded_subset_not_a_prefix() {
+        let ctx = context(40);
+        let engine = FlEngine::new(config(2, 0.2, 2, 6));
+        let mut alg = CountingAlgorithm::default();
+        let report = engine.run(&mut alg, &ctx).unwrap();
+        let accs = &report.records.last().unwrap().per_client_accuracy;
+        assert_eq!(accs.len(), 6);
+        // evaluate_client returns 0.05 * client, so a 0..6 prefix would give
+        // exactly [0.0, 0.05, .., 0.25]; a seeded sample of 40 clients
+        // almost surely does not.
+        let prefix: Vec<f32> = (0..6).map(|c| 0.05 * c as f32).collect();
+        assert_ne!(
+            accs, &prefix,
+            "stability clients must not be the index prefix"
+        );
+        // And the same seed reproduces the same sample.
+        let mut again = CountingAlgorithm::default();
+        let report2 = engine.run(&mut again, &ctx).unwrap();
+        assert_eq!(report, report2);
+    }
+
+    #[test]
+    fn deadline_schedule_can_skip_entire_rounds() {
+        let ctx = context(6);
+        // A deadline far below any client's cost: every round is empty but
+        // the clock still advances and evaluation still happens.
+        let engine = FlEngine::new(EngineConfig {
+            schedule: Schedule::DeadlineAware {
+                deadline_secs: 1e-6,
+            },
+            ..config(3, 0.5, 1, 2)
+        });
+        let mut alg = CountingAlgorithm::default();
+        let report = engine.run(&mut alg, &ctx).unwrap();
+        assert_eq!(alg.rounds_aggregated, 3);
+        assert!(alg.clients_seen.is_empty());
+        assert_eq!(report.records.len(), 3);
+        assert!(report.total_sim_time_secs() > 0.0);
     }
 }

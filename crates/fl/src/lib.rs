@@ -2,12 +2,23 @@
 //!
 //! The federated-learning simulation engine of the PracMHBench reproduction.
 //!
-//! The crate is algorithm-agnostic: it owns the round loop, client sampling,
-//! the simulated wall clock (driven by the device cost model) and the four
-//! evaluation metrics of the paper — global accuracy, time-to-accuracy,
-//! stability and effectiveness. Concrete MHFL algorithms implement the
-//! [`FlAlgorithm`] trait (see the `mhfl-algorithms` crate) and are driven by
-//! [`FlEngine::run`].
+//! The crate is algorithm-agnostic: it owns the round loop, client
+//! scheduling, the simulated wall clock (driven by the device cost model)
+//! and the four evaluation metrics of the paper — global accuracy,
+//! time-to-accuracy, stability and effectiveness. Concrete MHFL algorithms
+//! implement the two-phase [`FlAlgorithm`] trait (see the `mhfl-algorithms`
+//! crate) and are driven by [`FlEngine::run`]:
+//!
+//! * the *client phase* ([`FlAlgorithm::client_update`]) trains one selected
+//!   client and returns a [`ClientUpdate`]; it takes `&self`, so the engine
+//!   can fan it out over a thread pool ([`Parallelism`]) without changing
+//!   results;
+//! * the *server phase* ([`FlAlgorithm::aggregate`]) folds the round's
+//!   updates — always delivered in selection order — into the global state.
+//!
+//! Which clients run each round is decided by a pluggable
+//! [`ClientScheduler`] ([`UniformSampler`], [`DeadlineAware`],
+//! [`PowerOfChoice`]), configured via the [`Schedule`] enum.
 //!
 //! Shared machinery the algorithms build on lives here too:
 //!
@@ -24,13 +35,21 @@ mod context;
 mod engine;
 mod error;
 mod metrics;
+mod parallel;
+mod schedule;
 pub mod submodel;
 pub mod train;
+mod update;
 
 pub use context::{FederationContext, LocalTrainConfig};
 pub use engine::{EngineConfig, FlAlgorithm, FlEngine};
 pub use error::FlError;
 pub use metrics::{MetricsReport, RoundRecord};
+pub use parallel::{run_clients, Parallelism};
+pub use schedule::{
+    ClientScheduler, DeadlineAware, PowerOfChoice, RoundPlan, Schedule, UniformSampler,
+};
+pub use update::{ClientPayload, ClientUpdate};
 
 /// Crate-wide result alias.
 pub type FlResult<T> = std::result::Result<T, FlError>;

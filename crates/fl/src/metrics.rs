@@ -30,7 +30,10 @@ pub struct MetricsReport {
 impl MetricsReport {
     /// Creates an empty report for an algorithm.
     pub fn new(algorithm: impl Into<String>) -> Self {
-        MetricsReport { records: Vec::new(), algorithm: algorithm.into() }
+        MetricsReport {
+            records: Vec::new(),
+            algorithm: algorithm.into(),
+        }
     }
 
     /// Appends an evaluation record.
@@ -45,7 +48,10 @@ impl MetricsReport {
 
     /// Best global accuracy seen at any evaluation point.
     pub fn best_accuracy(&self) -> f32 {
-        self.records.iter().map(|r| r.global_accuracy).fold(0.0, f32::max)
+        self.records
+            .iter()
+            .map(|r| r.global_accuracy)
+            .fold(0.0, f32::max)
     }
 
     /// Metric (ii): time-to-accuracy — the simulated wall-clock time at which
@@ -61,7 +67,9 @@ impl MetricsReport {
     /// Metric (iii): stability — the variance of the final per-client
     /// accuracies (lower is more stable across heterogeneous devices).
     pub fn stability(&self) -> f32 {
-        let Some(last) = self.records.last() else { return 0.0 };
+        let Some(last) = self.records.last() else {
+            return 0.0;
+        };
         variance(&last.per_client_accuracy)
     }
 
@@ -78,7 +86,10 @@ impl MetricsReport {
 
     /// The global-accuracy learning curve as `(sim_time, accuracy)` points.
     pub fn accuracy_curve(&self) -> Vec<(f64, f32)> {
-        self.records.iter().map(|r| (r.sim_time_secs, r.global_accuracy)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.sim_time_secs, r.global_accuracy))
+            .collect()
     }
 }
 

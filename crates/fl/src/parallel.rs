@@ -1,0 +1,249 @@
+//! Parallel execution of the client phase.
+//!
+//! Because [`FlAlgorithm::client_update`](crate::FlAlgorithm::client_update)
+//! takes `&self` and derives all randomness from `(seed, round, client)`,
+//! the updates of one round can be computed on any number of threads without
+//! changing results. [`run_clients`] fans the client phase out over a
+//! [`std::thread::scope`] worker pool and returns the updates **in selection
+//! order**, so downstream aggregation — where floating-point summation order
+//! matters — is bit-identical to a sequential run.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
+
+/// How the engine executes the client phase of each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Parallelism {
+    /// One client after another on the calling thread.
+    #[default]
+    Sequential,
+    /// A scoped worker pool pulling clients off a shared queue.
+    Threads {
+        /// Number of worker threads; `0` means one per available core.
+        workers: usize,
+    },
+}
+
+impl Parallelism {
+    /// Thread-pool execution sized to the machine (`workers = 0`).
+    pub fn threads() -> Self {
+        Parallelism::Threads { workers: 0 }
+    }
+
+    /// The number of workers to spawn for `jobs` parallel tasks.
+    fn worker_count(&self, jobs: usize) -> usize {
+        match *self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads { workers: 0 } => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(jobs.max(1)),
+            Parallelism::Threads { workers } => workers.min(jobs.max(1)),
+        }
+    }
+}
+
+/// Runs the client phase for every client in `clients`, honouring the
+/// requested [`Parallelism`], and returns their updates in the order the
+/// scheduler selected them.
+///
+/// The output is independent of the execution mode: updates land in
+/// selection order and each [`ClientUpdate`] is a pure function of
+/// `(algorithm state, round, client, ctx)`.
+///
+/// # Errors
+/// Propagates the first failing client (in selection order, regardless of
+/// which thread hit it first).
+pub fn run_clients(
+    algorithm: &dyn FlAlgorithm,
+    round: usize,
+    clients: &[usize],
+    ctx: &FederationContext,
+    parallelism: Parallelism,
+) -> FlResult<Vec<ClientUpdate>> {
+    if clients.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = parallelism.worker_count(clients.len());
+    if workers <= 1 {
+        return clients
+            .iter()
+            .map(|&client| algorithm.client_update(round, client, ctx))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<FlResult<ClientUpdate>>>> =
+        Mutex::new((0..clients.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Stop pulling work once any client has failed: the round is
+                // lost either way, so don't pay for the remaining training.
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&client) = clients.get(index) else {
+                    break;
+                };
+                let result = algorithm.client_update(round, client, ctx);
+                if result.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                slots.lock().expect("client slot lock")[index] = Some(result);
+            });
+        }
+    });
+
+    // The cursor hands out indices in selection order and cancellation only
+    // skips indices pulled *after* a failure was recorded, so walking the
+    // slots in order hits every successful update before the first error and
+    // never an unfilled slot before it.
+    let results = slots.into_inner().expect("worker threads joined");
+    let mut updates = Vec::with_capacity(results.len());
+    for (index, slot) in results.into_iter().enumerate() {
+        match slot {
+            Some(Ok(update)) => updates.push(update),
+            Some(Err(error)) => return Err(error),
+            None => {
+                return Err(FlError::InvalidConfig(format!(
+                    "client slot {index} was never filled"
+                )))
+            }
+        }
+    }
+    Ok(updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientPayload, LocalTrainConfig};
+    use mhfl_data::{DataTask, Dataset, FederatedDataset};
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_models::{MhflMethod, ModelFamily};
+
+    /// Returns a deterministic per-client token so ordering is observable.
+    struct TokenAlgorithm;
+
+    impl FlAlgorithm for TokenAlgorithm {
+        fn name(&self) -> String {
+            "Token".into()
+        }
+        fn setup(&mut self, _ctx: &FederationContext) -> FlResult<()> {
+            Ok(())
+        }
+        fn client_update(
+            &self,
+            round: usize,
+            client: usize,
+            _ctx: &FederationContext,
+        ) -> FlResult<ClientUpdate> {
+            if client == 999 {
+                return Err(FlError::InvalidConfig("bad client".into()));
+            }
+            Ok(ClientUpdate::new(
+                client,
+                round * 100 + client,
+                ClientPayload::Empty,
+            ))
+        }
+        fn aggregate(
+            &mut self,
+            _round: usize,
+            _updates: Vec<ClientUpdate>,
+            _ctx: &FederationContext,
+        ) -> FlResult<()> {
+            Ok(())
+        }
+        fn evaluate_global(&mut self, _data: &Dataset) -> FlResult<f32> {
+            Ok(0.0)
+        }
+        fn evaluate_client(&mut self, _client: usize, _data: &Dataset) -> FlResult<f32> {
+            Ok(0.0)
+        }
+    }
+
+    fn context(num_clients: usize) -> FederationContext {
+        let data = FederatedDataset::generate(DataTask::UciHar, num_clients, 8, None, 0);
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::ALL,
+            6,
+        );
+        let case = ConstraintCase::Memory;
+        let devices = case.build_population(num_clients, 0);
+        let assignments = case.assign_clients(
+            &pool,
+            MhflMethod::SHeteroFl,
+            &devices,
+            &CostModel::default(),
+        );
+        FederationContext::new(data, assignments, LocalTrainConfig::default(), 0).unwrap()
+    }
+
+    #[test]
+    fn threaded_updates_arrive_in_selection_order() {
+        let ctx = context(8);
+        let clients = [5, 1, 7, 0, 3];
+        let sequential =
+            run_clients(&TokenAlgorithm, 2, &clients, &ctx, Parallelism::Sequential).unwrap();
+        let threaded = run_clients(
+            &TokenAlgorithm,
+            2,
+            &clients,
+            &ctx,
+            Parallelism::Threads { workers: 4 },
+        )
+        .unwrap();
+        assert_eq!(sequential.len(), threaded.len());
+        for (s, t) in sequential.iter().zip(&threaded) {
+            assert_eq!(s.client, t.client);
+            assert_eq!(s.num_samples, t.num_samples);
+        }
+        let order: Vec<usize> = threaded.iter().map(|u| u.client).collect();
+        assert_eq!(order, clients);
+    }
+
+    #[test]
+    fn errors_propagate_from_worker_threads() {
+        let ctx = context(4);
+        let result = run_clients(
+            &TokenAlgorithm,
+            1,
+            &[0, 999, 2],
+            &ctx,
+            Parallelism::Threads { workers: 2 },
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_selection_yields_no_updates() {
+        let ctx = context(4);
+        let updates = run_clients(
+            &TokenAlgorithm,
+            1,
+            &[],
+            &ctx,
+            Parallelism::Threads { workers: 4 },
+        )
+        .unwrap();
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn worker_count_respects_mode_and_jobs() {
+        assert_eq!(Parallelism::Sequential.worker_count(16), 1);
+        assert_eq!(Parallelism::Threads { workers: 3 }.worker_count(16), 3);
+        assert_eq!(Parallelism::Threads { workers: 8 }.worker_count(2), 2);
+        assert!(Parallelism::threads().worker_count(64) >= 1);
+    }
+}

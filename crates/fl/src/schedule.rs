@@ -1,0 +1,327 @@
+//! Pluggable client-selection policies.
+//!
+//! Every round the engine asks a [`ClientScheduler`] which clients should
+//! participate and how long the synchronous round lasts on the simulated
+//! clock. The scheduler sees the per-client [`RoundCost`]s through the
+//! [`FederationContext`], so policies can react to device heterogeneity:
+//! [`UniformSampler`] reproduces classic FedAvg sampling, [`DeadlineAware`]
+//! drops stragglers that would miss a server deadline, and [`PowerOfChoice`]
+//! over-samples candidates and keeps the fastest.
+//!
+//! Schedulers are configured declaratively through the [`Schedule`] enum on
+//! [`EngineConfig`](crate::EngineConfig) /
+//! `ExperimentSpec`, or injected directly for custom policies.
+//!
+//! [`RoundCost`]: mhfl_device::RoundCost
+
+use mhfl_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+use crate::FederationContext;
+
+/// The outcome of one scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPlan {
+    /// Clients participating this round, in ascending index order. May be
+    /// empty (e.g. no client met a deadline), in which case the round is
+    /// skipped but the clock still advances.
+    pub clients: Vec<usize>,
+    /// Simulated wall-clock duration of the synchronous round.
+    pub round_secs: f64,
+}
+
+/// A client-selection policy.
+///
+/// Implementations must be deterministic given (`round`, `rng`, `ctx`):
+/// the engine relies on this for reproducible experiments and for the
+/// parallel executor producing bit-identical reports to sequential runs.
+pub trait ClientScheduler: Send + Sync {
+    /// Human-readable policy name (for reports and logs).
+    fn name(&self) -> &'static str;
+
+    /// Plans one round: which of the `ctx.num_clients()` clients run, given
+    /// a target participation count of `per_round`.
+    fn plan_round(
+        &self,
+        round: usize,
+        per_round: usize,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan;
+}
+
+/// The slowest selected client's round cost — the duration of a synchronous
+/// round with no deadline.
+fn max_cost_secs(ctx: &FederationContext, clients: &[usize]) -> f64 {
+    clients
+        .iter()
+        .map(|&c| ctx.assignment(c).cost.total_secs())
+        .fold(0.0f64, f64::max)
+}
+
+/// Classic FedAvg sampling: every client is equally likely each round and
+/// the round lasts as long as its slowest participant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSampler;
+
+impl ClientScheduler for UniformSampler {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn plan_round(
+        &self,
+        _round: usize,
+        per_round: usize,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan {
+        let n = ctx.num_clients();
+        let clients = rng.choose_indices(n, per_round.min(n));
+        let round_secs = max_cost_secs(ctx, &clients);
+        RoundPlan {
+            clients,
+            round_secs,
+        }
+    }
+}
+
+/// Deadline-based straggler dropping: candidates are sampled uniformly, but
+/// clients whose round cost exceeds the server deadline are skipped. If any
+/// candidate was dropped the server waits out the full deadline; otherwise
+/// the round ends when the slowest kept client finishes.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineAware {
+    /// Server-side round deadline in simulated seconds.
+    pub deadline_secs: f64,
+}
+
+impl ClientScheduler for DeadlineAware {
+    fn name(&self) -> &'static str {
+        "deadline-aware"
+    }
+
+    fn plan_round(
+        &self,
+        _round: usize,
+        per_round: usize,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan {
+        let n = ctx.num_clients();
+        let candidates = rng.choose_indices(n, per_round.min(n));
+        let total = candidates.len();
+        let clients: Vec<usize> = candidates
+            .into_iter()
+            .filter(|&c| ctx.assignment(c).cost.total_secs() <= self.deadline_secs)
+            .collect();
+        let round_secs = if clients.len() == total {
+            max_cost_secs(ctx, &clients)
+        } else {
+            // At least one straggler was dropped: the server waited until
+            // the deadline before closing the round.
+            self.deadline_secs
+        };
+        RoundPlan {
+            clients,
+            round_secs,
+        }
+    }
+}
+
+/// Power-of-choice-style fastest-of-k sampling: sample `factor ×` the target
+/// number of candidates, keep the fastest. Trades selection bias (fast
+/// devices are over-represented) for shorter synchronous rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOfChoice {
+    /// Over-sampling factor (`k = factor × per_round` candidates); values
+    /// below 2 degenerate towards uniform sampling.
+    pub factor: usize,
+}
+
+impl ClientScheduler for PowerOfChoice {
+    fn name(&self) -> &'static str {
+        "power-of-choice"
+    }
+
+    fn plan_round(
+        &self,
+        _round: usize,
+        per_round: usize,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan {
+        let n = ctx.num_clients();
+        let per_round = per_round.min(n);
+        let pool = (per_round * self.factor.max(1)).min(n);
+        let mut candidates = rng.choose_indices(n, pool);
+        // Fastest first; ties broken by client index for determinism.
+        candidates.sort_by(|&a, &b| {
+            let ca = ctx.assignment(a).cost.total_secs();
+            let cb = ctx.assignment(b).cost.total_secs();
+            ca.partial_cmp(&cb)
+                .expect("costs are finite")
+                .then(a.cmp(&b))
+        });
+        candidates.truncate(per_round);
+        candidates.sort_unstable();
+        let round_secs = max_cost_secs(ctx, &candidates);
+        RoundPlan {
+            clients: candidates,
+            round_secs,
+        }
+    }
+}
+
+/// Declarative scheduler configuration carried by
+/// [`EngineConfig`](crate::EngineConfig) and `ExperimentSpec`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Schedule {
+    /// [`UniformSampler`] — today's default behaviour.
+    #[default]
+    Uniform,
+    /// [`DeadlineAware`] straggler dropping with the given deadline.
+    DeadlineAware {
+        /// Server-side round deadline in simulated seconds.
+        deadline_secs: f64,
+    },
+    /// [`PowerOfChoice`] fastest-of-k selection with the given over-sampling
+    /// factor.
+    FastestOfK {
+        /// Candidate over-sampling factor.
+        factor: usize,
+    },
+}
+
+impl Schedule {
+    /// Instantiates the scheduler this configuration describes.
+    pub fn build(&self) -> Box<dyn ClientScheduler> {
+        match *self {
+            Schedule::Uniform => Box::new(UniformSampler),
+            Schedule::DeadlineAware { deadline_secs } => Box::new(DeadlineAware { deadline_secs }),
+            Schedule::FastestOfK { factor } => Box::new(PowerOfChoice { factor }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalTrainConfig;
+    use mhfl_data::{DataTask, FederatedDataset};
+    use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+    use mhfl_models::{MhflMethod, ModelFamily};
+
+    fn context(num_clients: usize) -> FederationContext {
+        let data = FederatedDataset::generate(DataTask::UciHar, num_clients, 10, None, 0);
+        let pool = ModelPool::build(
+            ModelFamily::ResNet101,
+            &ModelFamily::RESNET_FAMILY,
+            &MhflMethod::ALL,
+            6,
+        );
+        let case = ConstraintCase::Memory;
+        let devices = case.build_population(num_clients, 3);
+        let assignments = case.assign_clients(
+            &pool,
+            MhflMethod::SHeteroFl,
+            &devices,
+            &CostModel::default(),
+        );
+        FederationContext::new(data, assignments, LocalTrainConfig::default(), 3).unwrap()
+    }
+
+    #[test]
+    fn uniform_sampler_matches_target_count() {
+        let ctx = context(12);
+        let mut rng = SeededRng::new(9);
+        let plan = UniformSampler.plan_round(1, 4, &ctx, &mut rng);
+        assert_eq!(plan.clients.len(), 4);
+        assert!(plan.clients.windows(2).all(|w| w[0] < w[1]));
+        assert!(plan.round_secs > 0.0);
+    }
+
+    #[test]
+    fn deadline_aware_never_selects_over_deadline() {
+        let ctx = context(16);
+        // Pick a deadline between the fastest and slowest client so some are
+        // skipped and some survive.
+        let costs: Vec<f64> = (0..16)
+            .map(|c| ctx.assignment(c).cost.total_secs())
+            .collect();
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().copied().fold(0.0f64, f64::max);
+        let deadline = (min + max) / 2.0;
+        let scheduler = DeadlineAware {
+            deadline_secs: deadline,
+        };
+        let mut rng = SeededRng::new(4);
+        for round in 1..=50 {
+            let plan = scheduler.plan_round(round, 8, &ctx, &mut rng);
+            for &c in &plan.clients {
+                assert!(
+                    ctx.assignment(c).cost.total_secs() <= deadline,
+                    "client {c} exceeds the deadline"
+                );
+            }
+            assert!(plan.round_secs <= deadline + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deadline_aware_charges_full_deadline_when_dropping() {
+        let ctx = context(8);
+        let costs: Vec<f64> = (0..8)
+            .map(|c| ctx.assignment(c).cost.total_secs())
+            .collect();
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        // Deadline below every cost: all candidates dropped, full deadline charged.
+        let scheduler = DeadlineAware {
+            deadline_secs: min / 2.0,
+        };
+        let mut rng = SeededRng::new(1);
+        let plan = scheduler.plan_round(1, 8, &ctx, &mut rng);
+        assert!(plan.clients.is_empty());
+        assert!((plan.round_secs - min / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_of_choice_is_no_slower_than_uniform() {
+        let ctx = context(16);
+        let mut uniform_rng = SeededRng::new(2);
+        let mut poc_rng = SeededRng::new(2);
+        let poc = PowerOfChoice { factor: 3 };
+        let mut uniform_total = 0.0;
+        let mut poc_total = 0.0;
+        for round in 1..=40 {
+            uniform_total += UniformSampler
+                .plan_round(round, 4, &ctx, &mut uniform_rng)
+                .round_secs;
+            let plan = poc.plan_round(round, 4, &ctx, &mut poc_rng);
+            assert_eq!(plan.clients.len(), 4);
+            poc_total += plan.round_secs;
+        }
+        assert!(
+            poc_total <= uniform_total,
+            "fastest-of-k rounds ({poc_total:.1}s) should not be slower than uniform ({uniform_total:.1}s)"
+        );
+    }
+
+    #[test]
+    fn schedule_builds_the_matching_scheduler() {
+        assert_eq!(Schedule::Uniform.build().name(), "uniform");
+        assert_eq!(
+            Schedule::DeadlineAware {
+                deadline_secs: 10.0
+            }
+            .build()
+            .name(),
+            "deadline-aware"
+        );
+        assert_eq!(
+            Schedule::FastestOfK { factor: 2 }.build().name(),
+            "power-of-choice"
+        );
+        assert_eq!(Schedule::default(), Schedule::Uniform);
+    }
+}

@@ -108,7 +108,12 @@ pub fn extract_submodel(
             .get(spec.name.as_str())
             .ok_or_else(|| FlError::InvalidConfig(format!("global model lacks {}", spec.name)))?;
         let tensor = global.require(&spec.name)?;
-        let indices = axis_indices(&global_spec.shape, &spec.shape, &global_spec.roles, selection)?;
+        let indices = axis_indices(
+            &global_spec.shape,
+            &spec.shape,
+            &global_spec.roles,
+            selection,
+        )?;
         let mut sliced = tensor.clone();
         for (axis, idx) in indices.iter().enumerate() {
             if idx.len() != sliced.dims()[axis] || idx.iter().enumerate().any(|(i, &v)| i != v) {
@@ -140,7 +145,11 @@ impl ServerAggregator {
             .iter()
             .map(|s| (s.name.clone(), Tensor::zeros(&s.shape)))
             .collect();
-        ServerAggregator { sums, counts, global_specs }
+        ServerAggregator {
+            sums,
+            counts,
+            global_specs,
+        }
     }
 
     /// Adds one client's updated sub-model, weighted by `weight`
@@ -155,18 +164,23 @@ impl ServerAggregator {
         selection: WidthSelection,
         weight: f32,
     ) -> FlResult<()> {
-        let spec_index: BTreeMap<&str, &ParamSpec> =
-            self.global_specs.iter().map(|s| (s.name.as_str(), s)).collect();
+        let spec_index: BTreeMap<&str, &ParamSpec> = self
+            .global_specs
+            .iter()
+            .map(|s| (s.name.as_str(), s))
+            .collect();
         for (name, client_tensor) in client_update.iter() {
             let Some(spec) = spec_index.get(name.as_str()) else {
                 // Parameters the global model does not track (e.g. client-only
                 // personalisation heads) are simply skipped.
                 continue;
             };
-            let indices =
-                axis_indices(&spec.shape, client_tensor.dims(), &spec.roles, selection)?;
+            let indices = axis_indices(&spec.shape, client_tensor.dims(), &spec.roles, selection)?;
             let sums = self.sums.get_mut(name).expect("initialised with all specs");
-            let counts = self.counts.get_mut(name).expect("initialised with all specs");
+            let counts = self
+                .counts
+                .get_mut(name)
+                .expect("initialised with all specs");
             accumulate_mapped(sums, counts, client_tensor, &indices, weight)?;
         }
         Ok(())
@@ -174,7 +188,10 @@ impl ServerAggregator {
 
     /// Number of parameters that received at least one contribution.
     pub fn covered_params(&self) -> usize {
-        self.counts.values().filter(|c| c.as_slice().iter().any(|&v| v > 0.0)).count()
+        self.counts
+            .values()
+            .filter(|c| c.as_slice().iter().any(|&v| v > 0.0))
+            .count()
     }
 
     /// Produces the new global state dict: covered entries become the
@@ -222,7 +239,7 @@ fn accumulate_mapped(
     let client_data = client.as_slice();
     let sums_data = sums.as_mut_slice();
     let counts_data = counts.as_mut_slice();
-    for flat in 0..total {
+    for (flat, &value) in client_data.iter().enumerate().take(total) {
         // Decode the client coordinate.
         let mut rem = flat;
         for (axis, &dim) in client_dims.iter().enumerate().rev() {
@@ -238,7 +255,7 @@ fn accumulate_mapped(
                 .ok_or_else(|| FlError::InvalidConfig("index mapping out of range".into()))?;
             offset += mapped * global_strides[axis];
         }
-        sums_data[offset] += weight * client_data[flat];
+        sums_data[offset] += weight * value;
         counts_data[offset] += weight;
     }
     Ok(())
@@ -252,7 +269,11 @@ mod tests {
     fn cifar_cfg() -> ProxyConfig {
         ProxyConfig::for_family(
             ModelFamily::ResNet50,
-            InputKind::Image { channels: 3, height: 8, width: 8 },
+            InputKind::Image {
+                channels: 3,
+                height: 8,
+                width: 8,
+            },
             10,
             0,
         )
@@ -261,8 +282,14 @@ mod tests {
     #[test]
     fn prefix_and_rolling_indices() {
         assert_eq!(WidthSelection::Prefix.indices(8, 4), vec![0, 1, 2, 3]);
-        assert_eq!(WidthSelection::Rolling { shift: 6 }.indices(8, 4), vec![6, 7, 0, 1]);
-        assert_eq!(WidthSelection::Rolling { shift: 0 }.indices(8, 2), vec![0, 1]);
+        assert_eq!(
+            WidthSelection::Rolling { shift: 6 }.indices(8, 4),
+            vec![6, 7, 0, 1]
+        );
+        assert_eq!(
+            WidthSelection::Rolling { shift: 0 }.indices(8, 2),
+            vec![0, 1]
+        );
         // Client wider than global is clamped.
         assert_eq!(WidthSelection::Prefix.indices(2, 5), vec![0, 1]);
     }
@@ -306,7 +333,9 @@ mod tests {
     #[test]
     fn rolling_extraction_differs_from_prefix() {
         let global = ProxyModel::new(cifar_cfg()).unwrap();
-        let client_specs = ProxyModel::new(cifar_cfg().with_width(0.5)).unwrap().param_specs();
+        let client_specs = ProxyModel::new(cifar_cfg().with_width(0.5))
+            .unwrap()
+            .param_specs();
         let prefix = extract_submodel(
             &global.state_dict(),
             &global.param_specs(),
@@ -371,14 +400,18 @@ mod tests {
         let global = ProxyModel::new(cifar_cfg()).unwrap();
         let specs = global.param_specs();
         let global_sd = global.state_dict();
-        let half_specs = ProxyModel::new(cifar_cfg().with_width(0.5)).unwrap().param_specs();
+        let half_specs = ProxyModel::new(cifar_cfg().with_width(0.5))
+            .unwrap()
+            .param_specs();
 
-        let mut half_update = extract_submodel(&global_sd, &specs, &half_specs, WidthSelection::Prefix).unwrap();
+        let mut half_update =
+            extract_submodel(&global_sd, &specs, &half_specs, WidthSelection::Prefix).unwrap();
         for (_, t) in half_update.iter_mut() {
             *t = Tensor::full(t.dims(), 5.0);
         }
         let mut agg = ServerAggregator::new(specs);
-        agg.add_update(&half_update, WidthSelection::Prefix, 1.0).unwrap();
+        agg.add_update(&half_update, WidthSelection::Prefix, 1.0)
+            .unwrap();
         let merged = agg.finalize(&global_sd).unwrap();
 
         // Covered prefix entries become 5.0; the uncovered tail keeps old values.

@@ -88,7 +88,10 @@ mod tests {
         let data = generate_dataset(DataTask::UciHar, 120, 0, None);
         let mut model = har_model(1);
         let mut rng = SeededRng::new(2);
-        let cfg = LocalTrainConfig { local_steps: 8, ..LocalTrainConfig::default() };
+        let cfg = LocalTrainConfig {
+            local_steps: 8,
+            ..LocalTrainConfig::default()
+        };
 
         let acc_before = evaluate_accuracy(&mut model, &data).unwrap();
         let mut first_loss = None;
@@ -100,8 +103,14 @@ mod tests {
         }
         let acc_after = evaluate_accuracy(&mut model, &data).unwrap();
         assert!(last_loss < first_loss.unwrap());
-        assert!(acc_after > acc_before, "accuracy {acc_before} -> {acc_after}");
-        assert!(acc_after > 0.4, "training accuracy should clearly beat chance, got {acc_after}");
+        assert!(
+            acc_after > acc_before,
+            "accuracy {acc_before} -> {acc_after}"
+        );
+        assert!(
+            acc_after > 0.4,
+            "training accuracy should clearly beat chance, got {acc_after}"
+        );
     }
 
     #[test]
@@ -136,7 +145,11 @@ mod tests {
         ))
         .unwrap();
         let mut rng = SeededRng::new(7);
-        let cfg = LocalTrainConfig { local_steps: 4, batch_size: 16, ..LocalTrainConfig::default() };
+        let cfg = LocalTrainConfig {
+            local_steps: 4,
+            batch_size: 16,
+            ..LocalTrainConfig::default()
+        };
         let loss = local_train_ce(&mut model, &data, &cfg, &mut rng).unwrap();
         assert!(loss.is_finite() && loss > 0.0);
 

@@ -1,0 +1,96 @@
+//! Client→server messages of the two-phase federation API.
+//!
+//! [`FlAlgorithm::client_update`](crate::FlAlgorithm::client_update) runs the
+//! *client phase* of one round (local training on a single client) and
+//! returns a [`ClientUpdate`]; the engine collects the updates of every
+//! selected client — sequentially or on a thread pool — and hands them, in
+//! selection order, to
+//! [`FlAlgorithm::aggregate`](crate::FlAlgorithm::aggregate) for the *server
+//! phase*. The payload variants cover the three upload families of the
+//! benchmarked algorithms.
+
+use mhfl_nn::StateDict;
+use mhfl_tensor::Tensor;
+
+use crate::submodel::WidthSelection;
+
+/// The method-specific content a client uploads after local training.
+#[derive(Debug, Clone)]
+pub enum ClientPayload {
+    /// Trained sub-model weights plus the selection that extracted them
+    /// (width- and depth-level algorithms and the homogeneous baseline).
+    SubModel {
+        /// The locally trained sub-model parameters.
+        state: StateDict,
+        /// Which global channels each width-scalable axis maps to.
+        selection: WidthSelection,
+        /// Number of blocks the client's sub-model covers (used by depth
+        /// methods to find the deepest covered block).
+        num_blocks: usize,
+    },
+    /// Per-class prototype sums and sample counts plus the client's updated
+    /// private weights (FedProto — weights never leave the client in the
+    /// real protocol; carrying them here persists the client's local state
+    /// across rounds on the simulation server).
+    Prototypes {
+        /// The client's post-training local model parameters.
+        state: StateDict,
+        /// `[num_classes, proto_dim]` sums of feature vectors per class.
+        sums: Tensor,
+        /// Number of samples contributing to each class row of `sums`.
+        counts: Vec<f32>,
+    },
+    /// Softmax probabilities on the shared public set with a confidence
+    /// weight, plus the client's updated private weights (Fed-ET).
+    PublicLogits {
+        /// The client's post-training local model parameters.
+        state: StateDict,
+        /// `[public_len, num_classes]` class probabilities on the public set.
+        probs: Tensor,
+        /// Mean max-probability confidence weight of this client's vote.
+        confidence: f32,
+    },
+    /// No payload. Produced by algorithms that have nothing to upload for a
+    /// client (and by lightweight test doubles).
+    Empty,
+}
+
+impl ClientPayload {
+    /// Short variant name for error messages and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientPayload::SubModel { .. } => "sub-model",
+            ClientPayload::Prototypes { .. } => "prototypes",
+            ClientPayload::PublicLogits { .. } => "public-logits",
+            ClientPayload::Empty => "empty",
+        }
+    }
+}
+
+/// One client's contribution to a round: who trained, on how much data, and
+/// what they uploaded.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// The client that produced this update.
+    pub client: usize,
+    /// Number of local training samples (aggregation weight).
+    pub num_samples: usize,
+    /// The method-specific upload.
+    pub payload: ClientPayload,
+}
+
+impl ClientUpdate {
+    /// Convenience constructor.
+    pub fn new(client: usize, num_samples: usize, payload: ClientPayload) -> Self {
+        ClientUpdate {
+            client,
+            num_samples,
+            payload,
+        }
+    }
+
+    /// The FedAvg-style aggregation weight of this update (at least one).
+    pub fn weight(&self) -> f32 {
+        self.num_samples.max(1) as f32
+    }
+}

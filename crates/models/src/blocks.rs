@@ -34,6 +34,10 @@ fn join(prefix: &str, name: &str) -> String {
 /// All three variants keep the feature dimension constant (`dim -> dim`), so
 /// depth-heterogeneous clients that keep only a prefix of the blocks still
 /// feed the classifier a vector of the same size.
+// Variant sizes intentionally differ (a transformer block carries far more
+// state than a dense one); blocks are built once per model, never moved in a
+// hot loop, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum ProxyBlock {
     /// Convolutional residual block over `[batch, dim, h, w]` maps.
     Conv {
@@ -97,7 +101,9 @@ impl ProxyBlock {
     /// Returns an error when `dim == 0`.
     pub fn new(kind: BlockKind, dim: usize, rng: &mut SeededRng) -> Result<Self> {
         if dim == 0 {
-            return Err(NnError::InvalidConfig("block dimension must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "block dimension must be positive".into(),
+            ));
         }
         Ok(match kind {
             BlockKind::Conv => ProxyBlock::Conv {
@@ -138,14 +144,24 @@ impl ProxyBlock {
 impl Layer for ProxyBlock {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         match self {
-            ProxyBlock::Conv { conv, norm, act, cached_input } => {
+            ProxyBlock::Conv {
+                conv,
+                norm,
+                act,
+                cached_input,
+            } => {
                 *cached_input = Some(input.clone());
                 let y = conv.forward(input, train)?;
                 let y = norm.forward(&y, train)?;
                 let y = act.forward(&y, train)?;
                 Ok(y.add(input)?)
             }
-            ProxyBlock::Dense { fc, norm, act, cached_input } => {
+            ProxyBlock::Dense {
+                fc,
+                norm,
+                act,
+                cached_input,
+            } => {
                 *cached_input = Some(input.clone());
                 let y = fc.forward(input, train)?;
                 let y = norm.forward(&y, train)?;
@@ -178,7 +194,12 @@ impl Layer for ProxyBlock {
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         match self {
-            ProxyBlock::Conv { conv, norm, act, cached_input } => {
+            ProxyBlock::Conv {
+                conv,
+                norm,
+                act,
+                cached_input,
+            } => {
                 cached_input
                     .as_ref()
                     .ok_or_else(|| NnError::MissingForwardCache("ConvBlock".into()))?;
@@ -189,7 +210,12 @@ impl Layer for ProxyBlock {
                 g.axpy(1.0, grad_output)?;
                 Ok(g)
             }
-            ProxyBlock::Dense { fc, norm, act, cached_input } => {
+            ProxyBlock::Dense {
+                fc,
+                norm,
+                act,
+                cached_input,
+            } => {
                 cached_input
                     .as_ref()
                     .ok_or_else(|| NnError::MissingForwardCache("DenseBlock".into()))?;
@@ -199,7 +225,16 @@ impl Layer for ProxyBlock {
                 g.axpy(1.0, grad_output)?;
                 Ok(g)
             }
-            ProxyBlock::Attention { attn, norm1, fc1, act, fc2, norm2, cached_ffn_input, .. } => {
+            ProxyBlock::Attention {
+                attn,
+                norm1,
+                fc1,
+                act,
+                fc2,
+                norm2,
+                cached_ffn_input,
+                ..
+            } => {
                 cached_ffn_input
                     .as_ref()
                     .ok_or_else(|| NnError::MissingForwardCache("AttentionBlock".into()))?;
@@ -228,7 +263,14 @@ impl Layer for ProxyBlock {
                 fc.visit_params(&join(prefix, "fc"), f);
                 norm.visit_params(&join(prefix, "norm"), f);
             }
-            ProxyBlock::Attention { attn, norm1, fc1, fc2, norm2, .. } => {
+            ProxyBlock::Attention {
+                attn,
+                norm1,
+                fc1,
+                fc2,
+                norm2,
+                ..
+            } => {
                 attn.visit_params(&join(prefix, "attn"), f);
                 norm1.visit_params(&join(prefix, "norm1"), f);
                 fc1.visit_params(&join(prefix, "fc1"), f);
@@ -248,7 +290,14 @@ impl Layer for ProxyBlock {
                 fc.visit_params_mut(&join(prefix, "fc"), f);
                 norm.visit_params_mut(&join(prefix, "norm"), f);
             }
-            ProxyBlock::Attention { attn, norm1, fc1, fc2, norm2, .. } => {
+            ProxyBlock::Attention {
+                attn,
+                norm1,
+                fc1,
+                fc2,
+                norm2,
+                ..
+            } => {
                 attn.visit_params_mut(&join(prefix, "attn"), f);
                 norm1.visit_params_mut(&join(prefix, "norm1"), f);
                 fc1.visit_params_mut(&join(prefix, "fc1"), f);
@@ -274,8 +323,18 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let fp = block.forward(&xp, true).unwrap().mul(&weights).unwrap().sum();
-            let fm = block.forward(&xm, true).unwrap().mul(&weights).unwrap().sum();
+            let fp = block
+                .forward(&xp, true)
+                .unwrap()
+                .mul(&weights)
+                .unwrap()
+                .sum();
+            let fm = block
+                .forward(&xm, true)
+                .unwrap()
+                .mul(&weights)
+                .unwrap()
+                .sum();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
                 (dx.as_slice()[idx] - numeric).abs() < tol,

@@ -55,7 +55,11 @@ impl InputKind {
     /// Number of scalar values per sample.
     pub fn numel(&self) -> usize {
         match *self {
-            InputKind::Image { channels, height, width } => channels * height * width,
+            InputKind::Image {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
             InputKind::Tokens { seq_len, .. } => seq_len,
             InputKind::Features { dim } => dim,
         }
@@ -100,16 +104,26 @@ impl ModelFamily {
     ];
 
     /// The CV "ResNet family" used for topology-heterogeneous experiments.
-    pub const RESNET_FAMILY: [ModelFamily; 4] =
-        [ModelFamily::ResNet18, ModelFamily::ResNet34, ModelFamily::ResNet50, ModelFamily::ResNet101];
+    pub const RESNET_FAMILY: [ModelFamily; 4] = [
+        ModelFamily::ResNet18,
+        ModelFamily::ResNet34,
+        ModelFamily::ResNet50,
+        ModelFamily::ResNet101,
+    ];
 
     /// The CV "MobileNet family" used for topology-heterogeneous experiments.
-    pub const MOBILENET_FAMILY: [ModelFamily; 3] =
-        [ModelFamily::MobileNetV2, ModelFamily::MobileNetV3Small, ModelFamily::MobileNetV3Large];
+    pub const MOBILENET_FAMILY: [ModelFamily; 3] = [
+        ModelFamily::MobileNetV2,
+        ModelFamily::MobileNetV3Small,
+        ModelFamily::MobileNetV3Large,
+    ];
 
     /// The NLP "ALBERT family" used for topology-heterogeneous experiments.
-    pub const ALBERT_FAMILY: [ModelFamily; 3] =
-        [ModelFamily::AlbertBase, ModelFamily::AlbertLarge, ModelFamily::AlbertXxlarge];
+    pub const ALBERT_FAMILY: [ModelFamily; 3] = [
+        ModelFamily::AlbertBase,
+        ModelFamily::AlbertLarge,
+        ModelFamily::AlbertXxlarge,
+    ];
 
     /// Returns `true` if the family processes images.
     pub fn is_vision(&self) -> bool {
@@ -181,16 +195,33 @@ mod tests {
         assert!(ModelFamily::HarCnn.is_har());
         // Exactly one modality per family.
         for fam in ModelFamily::ALL {
-            let modalities =
-                [fam.is_vision(), fam.is_language(), fam.is_har()].iter().filter(|&&b| b).count();
+            let modalities = [fam.is_vision(), fam.is_language(), fam.is_har()]
+                .iter()
+                .filter(|&&b| b)
+                .count();
             assert_eq!(modalities, 1, "{fam} belongs to exactly one modality");
         }
     }
 
     #[test]
     fn input_kind_numel() {
-        assert_eq!(InputKind::Image { channels: 3, height: 8, width: 8 }.numel(), 192);
-        assert_eq!(InputKind::Tokens { vocab: 100, seq_len: 16 }.numel(), 16);
+        assert_eq!(
+            InputKind::Image {
+                channels: 3,
+                height: 8,
+                width: 8
+            }
+            .numel(),
+            192
+        );
+        assert_eq!(
+            InputKind::Tokens {
+                vocab: 100,
+                seq_len: 16
+            }
+            .numel(),
+            16
+        );
         assert_eq!(InputKind::Features { dim: 12 }.numel(), 12);
     }
 

@@ -125,12 +125,18 @@ mod tests {
     fn eight_heterogeneous_methods() {
         assert_eq!(MhflMethod::HETEROGENEOUS.len(), 8);
         assert_eq!(MhflMethod::ALL.len(), 9);
-        let widths =
-            MhflMethod::HETEROGENEOUS.iter().filter(|m| m.level() == HeterogeneityLevel::Width).count();
-        let depths =
-            MhflMethod::HETEROGENEOUS.iter().filter(|m| m.level() == HeterogeneityLevel::Depth).count();
-        let topos =
-            MhflMethod::HETEROGENEOUS.iter().filter(|m| m.level() == HeterogeneityLevel::Topology).count();
+        let widths = MhflMethod::HETEROGENEOUS
+            .iter()
+            .filter(|m| m.level() == HeterogeneityLevel::Width)
+            .count();
+        let depths = MhflMethod::HETEROGENEOUS
+            .iter()
+            .filter(|m| m.level() == HeterogeneityLevel::Depth)
+            .count();
+        let topos = MhflMethod::HETEROGENEOUS
+            .iter()
+            .filter(|m| m.level() == HeterogeneityLevel::Topology)
+            .count();
         assert_eq!((widths, depths, topos), (3, 3, 2));
     }
 

@@ -1,8 +1,8 @@
 //! Trainable proxy models.
 
 use mhfl_nn::{
-    num_params_of, param_specs_of, state_dict_of, ChannelNorm2d, Conv2d, Embedding, GlobalAvgPool2d,
-    Layer, Linear, MeanPool1d, NnError, Param, ParamSpec, Relu, Result, StateDict,
+    num_params_of, param_specs_of, state_dict_of, ChannelNorm2d, Conv2d, Embedding,
+    GlobalAvgPool2d, Layer, Linear, MeanPool1d, NnError, Param, ParamSpec, Relu, Result, StateDict,
 };
 use mhfl_tensor::{SeededRng, Tensor};
 use serde::{Deserialize, Serialize};
@@ -161,10 +161,21 @@ impl Pool {
 }
 
 /// The stem mapping raw inputs into the block feature space.
+// One stem per model; size imbalance between input modalities is inherent.
+#[allow(clippy::large_enum_variant)]
 enum Stem {
-    Image { conv: Conv2d, norm: ChannelNorm2d, act: Relu },
-    Tokens { embedding: Embedding },
-    Features { fc: Linear, act: Relu },
+    Image {
+        conv: Conv2d,
+        norm: ChannelNorm2d,
+        act: Relu,
+    },
+    Tokens {
+        embedding: Embedding,
+    },
+    Features {
+        fc: Linear,
+        act: Relu,
+    },
 }
 
 impl Stem {
@@ -175,12 +186,13 @@ impl Stem {
                 norm: ChannelNorm2d::new(dim),
                 act: Relu::new(),
             },
-            InputKind::Tokens { vocab, .. } => {
-                Stem::Tokens { embedding: Embedding::new(vocab, dim, rng)? }
-            }
-            InputKind::Features { dim: in_dim } => {
-                Stem::Features { fc: Linear::new(in_dim, dim, rng), act: Relu::new() }
-            }
+            InputKind::Tokens { vocab, .. } => Stem::Tokens {
+                embedding: Embedding::new(vocab, dim, rng)?,
+            },
+            InputKind::Features { dim: in_dim } => Stem::Features {
+                fc: Linear::new(in_dim, dim, rng),
+                act: Relu::new(),
+            },
         })
     }
 
@@ -289,10 +301,14 @@ impl ProxyModel {
     /// non-positive fractions).
     pub fn new(config: ProxyConfig) -> Result<Self> {
         if config.num_classes == 0 {
-            return Err(NnError::InvalidConfig("num_classes must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "num_classes must be positive".into(),
+            ));
         }
         if config.width_fraction <= 0.0 || config.depth_fraction <= 0.0 {
-            return Err(NnError::InvalidConfig("width/depth fractions must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "width/depth fractions must be positive".into(),
+            ));
         }
         let mut rng = SeededRng::new(config.seed);
         let dim = config.dim();
@@ -390,7 +406,11 @@ impl ProxyModel {
         }
         let features = self.pool.forward(&h, train)?;
         let logits = self.head.forward(&features, train)?;
-        Ok(ForwardOutput { features, logits, aux_logits })
+        Ok(ForwardOutput {
+            features,
+            logits,
+            aux_logits,
+        })
     }
 
     /// Backward pass from gradients on the final logits, optionally combined
@@ -441,7 +461,13 @@ impl Layer for ProxyModel {
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
-        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        let p = |s: &str| {
+            if prefix.is_empty() {
+                s.to_string()
+            } else {
+                format!("{prefix}.{s}")
+            }
+        };
         self.stem.visit_params(&p("stem"), f);
         for (i, block) in self.blocks.iter().enumerate() {
             block.visit_params(&p(&format!("block{i}")), f);
@@ -453,7 +479,13 @@ impl Layer for ProxyModel {
     }
 
     fn visit_params_mut(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
-        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        let p = |s: &str| {
+            if prefix.is_empty() {
+                s.to_string()
+            } else {
+                format!("{prefix}.{s}")
+            }
+        };
         self.stem.visit_params_mut(&p("stem"), f);
         for (i, block) in self.blocks.iter_mut().enumerate() {
             block.visit_params_mut(&p(&format!("block{i}")), f);
@@ -472,7 +504,11 @@ mod tests {
     use mhfl_nn::{Sgd, SgdConfig};
 
     fn image_input() -> InputKind {
-        InputKind::Image { channels: 3, height: 8, width: 8 }
+        InputKind::Image {
+            channels: 3,
+            height: 8,
+            width: 8,
+        }
     }
 
     fn cifar_config(family: ModelFamily) -> ProxyConfig {
@@ -483,30 +519,35 @@ mod tests {
     fn forward_shapes_for_all_modalities() {
         // Vision.
         let mut cv = ProxyModel::new(cifar_config(ModelFamily::ResNet18)).unwrap();
-        let out = cv.forward_detailed(&Tensor::zeros(&[2, 3, 8, 8]), false).unwrap();
+        let out = cv
+            .forward_detailed(&Tensor::zeros(&[2, 3, 8, 8]), false)
+            .unwrap();
         assert_eq!(out.logits.dims(), &[2, 10]);
         assert_eq!(out.features.dims(), &[2, cv.dim()]);
 
         // Language.
         let nlp_cfg = ProxyConfig::for_family(
             ModelFamily::CustomTransformer,
-            InputKind::Tokens { vocab: 50, seq_len: 6 },
+            InputKind::Tokens {
+                vocab: 50,
+                seq_len: 6,
+            },
             4,
             1,
         );
         let mut nlp = ProxyModel::new(nlp_cfg).unwrap();
-        let out = nlp.forward_detailed(&Tensor::zeros(&[3, 6]), false).unwrap();
+        let out = nlp
+            .forward_detailed(&Tensor::zeros(&[3, 6]), false)
+            .unwrap();
         assert_eq!(out.logits.dims(), &[3, 4]);
 
         // HAR.
-        let har_cfg = ProxyConfig::for_family(
-            ModelFamily::HarCnn,
-            InputKind::Features { dim: 12 },
-            5,
-            2,
-        );
+        let har_cfg =
+            ProxyConfig::for_family(ModelFamily::HarCnn, InputKind::Features { dim: 12 }, 5, 2);
         let mut har = ProxyModel::new(har_cfg).unwrap();
-        let out = har.forward_detailed(&Tensor::zeros(&[4, 12]), false).unwrap();
+        let out = har
+            .forward_detailed(&Tensor::zeros(&[4, 12]), false)
+            .unwrap();
         assert_eq!(out.logits.dims(), &[4, 5]);
     }
 
@@ -517,7 +558,10 @@ mod tests {
         assert!(half.num_parameters() < full.num_parameters());
         let full_names: Vec<String> = full.param_specs().iter().map(|s| s.name.clone()).collect();
         let half_names: Vec<String> = half.param_specs().iter().map(|s| s.name.clone()).collect();
-        assert_eq!(full_names, half_names, "width scaling keeps parameter names");
+        assert_eq!(
+            full_names, half_names,
+            "width scaling keeps parameter names"
+        );
     }
 
     #[test]
@@ -538,14 +582,19 @@ mod tests {
     fn aux_heads_produce_per_block_logits() {
         let cfg = cifar_config(ModelFamily::ResNet50).with_aux_heads(true);
         let mut model = ProxyModel::new(cfg).unwrap();
-        let out = model.forward_detailed(&Tensor::zeros(&[2, 3, 8, 8]), true).unwrap();
+        let out = model
+            .forward_detailed(&Tensor::zeros(&[2, 3, 8, 8]), true)
+            .unwrap();
         assert_eq!(out.aux_logits.len(), model.num_blocks());
         for logits in &out.aux_logits {
             assert_eq!(logits.dims(), &[2, 10]);
         }
         // Backward with aux gradients must not error.
-        let grads: Vec<Option<Tensor>> =
-            out.aux_logits.iter().map(|l| Some(Tensor::ones(l.dims()))).collect();
+        let grads: Vec<Option<Tensor>> = out
+            .aux_logits
+            .iter()
+            .map(|l| Some(Tensor::ones(l.dims())))
+            .collect();
         model
             .backward_detailed(&Tensor::ones(out.logits.dims()), None, &grads)
             .unwrap();
@@ -555,11 +604,13 @@ mod tests {
     fn state_dict_round_trips() {
         let model = ProxyModel::new(cifar_config(ModelFamily::MobileNetV2)).unwrap();
         let sd = model.state_dict();
-        let mut model2 = ProxyModel::new(cifar_config(ModelFamily::MobileNetV2).with_width(1.0)).unwrap();
+        let mut model2 =
+            ProxyModel::new(cifar_config(ModelFamily::MobileNetV2).with_width(1.0)).unwrap();
         model2.load_state_dict(&sd).unwrap();
         assert_eq!(model2.state_dict(), sd);
         // Loading into a different width fails with a shape mismatch.
-        let mut half = ProxyModel::new(cifar_config(ModelFamily::MobileNetV2).with_width(0.5)).unwrap();
+        let mut half =
+            ProxyModel::new(cifar_config(ModelFamily::MobileNetV2).with_width(0.5)).unwrap();
         assert!(half.load_state_dict(&sd).is_err());
         // A fresh init with a different seed differs from sd (sanity that load matters).
         let fresh = ProxyModel::new(ProxyConfig {
@@ -572,14 +623,15 @@ mod tests {
 
     #[test]
     fn proxy_trains_on_separable_data() {
-        let cfg = ProxyConfig::for_family(
-            ModelFamily::HarCnn,
-            InputKind::Features { dim: 8 },
-            2,
-            3,
-        );
+        let cfg =
+            ProxyConfig::for_family(ModelFamily::HarCnn, InputKind::Features { dim: 8 }, 2, 3);
         let mut model = ProxyModel::new(cfg).unwrap();
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, grad_clip: Some(5.0) });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            grad_clip: Some(5.0),
+        });
         let mut rng = SeededRng::new(42);
         // Two Gaussian blobs.
         let mut xs = Vec::new();
@@ -604,15 +656,30 @@ mod tests {
             first.get_or_insert(loss);
             last = loss;
         }
-        assert!(last < first.unwrap() * 0.6, "training did not reduce loss: {last} vs {first:?}");
+        assert!(
+            last < first.unwrap() * 0.6,
+            "training did not reduce loss: {last} vs {first:?}"
+        );
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
         let cfg = cifar_config(ModelFamily::ResNet18);
-        assert!(ProxyModel::new(ProxyConfig { num_classes: 0, ..cfg }).is_err());
-        assert!(ProxyModel::new(ProxyConfig { width_fraction: 0.0, ..cfg }).is_err());
-        assert!(ProxyModel::new(ProxyConfig { depth_fraction: -1.0, ..cfg }).is_err());
+        assert!(ProxyModel::new(ProxyConfig {
+            num_classes: 0,
+            ..cfg
+        })
+        .is_err());
+        assert!(ProxyModel::new(ProxyConfig {
+            width_fraction: 0.0,
+            ..cfg
+        })
+        .is_err());
+        assert!(ProxyModel::new(ProxyConfig {
+            depth_fraction: -1.0,
+            ..cfg
+        })
+        .is_err());
     }
 
     #[test]

@@ -16,13 +16,30 @@ use crate::{scale_depth, scale_width, ModelFamily};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 enum LayerDesc {
     /// 2-D convolution producing a `spatial × spatial` output map.
-    Conv { c_in: usize, c_out: usize, kernel: usize, spatial: usize, depth_unit: bool, shared_group: Option<u8> },
+    Conv {
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        spatial: usize,
+        depth_unit: bool,
+        shared_group: Option<u8>,
+    },
     /// Fully-connected layer.
-    Dense { d_in: usize, d_out: usize, depth_unit: bool, shared_group: Option<u8> },
+    Dense {
+        d_in: usize,
+        d_out: usize,
+        depth_unit: bool,
+        shared_group: Option<u8>,
+    },
     /// Token embedding table.
     Embedding { vocab: usize, dim: usize },
     /// Self-attention over a sequence.
-    Attention { dim: usize, seq: usize, depth_unit: bool, shared_group: Option<u8> },
+    Attention {
+        dim: usize,
+        seq: usize,
+        depth_unit: bool,
+        shared_group: Option<u8>,
+    },
     /// Final classifier (its output dimension never scales with width).
     Classifier { d_in: usize, classes: usize },
 }
@@ -88,7 +105,10 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Creates a spec for a family with the given number of output classes.
     pub fn new(family: ModelFamily, num_classes: usize) -> Self {
-        ModelSpec { family, num_classes }
+        ModelSpec {
+            family,
+            num_classes,
+        }
     }
 
     /// The described family.
@@ -111,8 +131,12 @@ impl ModelSpec {
             ModelFamily::ResNet50 => resnet_layers(&[3, 4, 6, 3], 4, w, classes),
             ModelFamily::ResNet101 => resnet_layers(&[3, 4, 23, 3], 4, w, classes),
             ModelFamily::MobileNetV2 => mobilenet_layers(&MOBILENET_V2_STAGES, 1280, w, classes),
-            ModelFamily::MobileNetV3Small => mobilenet_layers(&MOBILENET_V3_SMALL_STAGES, 1024, w, classes),
-            ModelFamily::MobileNetV3Large => mobilenet_layers(&MOBILENET_V3_LARGE_STAGES, 1280, w, classes),
+            ModelFamily::MobileNetV3Small => {
+                mobilenet_layers(&MOBILENET_V3_SMALL_STAGES, 1024, w, classes)
+            }
+            ModelFamily::MobileNetV3Large => {
+                mobilenet_layers(&MOBILENET_V3_LARGE_STAGES, 1280, w, classes)
+            }
             ModelFamily::AlbertBase => albert_layers(30_000, 128, 768, 12, true, w, classes),
             ModelFamily::AlbertLarge => albert_layers(30_000, 128, 1024, 24, true, w, classes),
             ModelFamily::AlbertXxlarge => albert_layers(30_000, 128, 4096, 12, true, w, classes),
@@ -164,9 +188,16 @@ impl ModelSpec {
 fn is_depth_unit(layer: &LayerDesc) -> bool {
     matches!(
         layer,
-        LayerDesc::Conv { depth_unit: true, .. }
-            | LayerDesc::Dense { depth_unit: true, .. }
-            | LayerDesc::Attention { depth_unit: true, .. }
+        LayerDesc::Conv {
+            depth_unit: true,
+            ..
+        } | LayerDesc::Dense {
+            depth_unit: true,
+            ..
+        } | LayerDesc::Attention {
+            depth_unit: true,
+            ..
+        }
     )
 }
 
@@ -182,7 +213,13 @@ fn shared_group(layer: &LayerDesc) -> Option<u8> {
 /// Returns `(params, forward flops, activation bytes)` for one layer.
 fn layer_cost(layer: &LayerDesc) -> (u64, u64, u64) {
     match *layer {
-        LayerDesc::Conv { c_in, c_out, kernel, spatial, .. } => {
+        LayerDesc::Conv {
+            c_in,
+            c_out,
+            kernel,
+            spatial,
+            ..
+        } => {
             let params = (c_in * c_out * kernel * kernel + c_out) as u64;
             let flops = 2 * (c_in * c_out * kernel * kernel * spatial * spatial) as u64;
             let act = (c_out * spatial * spatial * 4) as u64;
@@ -233,8 +270,10 @@ fn resnet_layers(
         shared_group: None,
     }];
     let mut prev = w(64);
-    for (stage, (&count, (&base_c, &spatial))) in
-        blocks.iter().zip(stage_channels.iter().zip(spatials.iter())).enumerate()
+    for (stage, (&count, (&base_c, &spatial))) in blocks
+        .iter()
+        .zip(stage_channels.iter().zip(spatials.iter()))
+        .enumerate()
     {
         let c = w(base_c);
         let c_out = c * expansion;
@@ -242,23 +281,68 @@ fn resnet_layers(
             let c_in = if b == 0 { prev } else { c_out };
             if expansion == 1 {
                 // Basic block: two 3×3 convolutions.
-                layers.push(LayerDesc::Conv { c_in, c_out: c, kernel: 3, spatial, depth_unit: true, shared_group: None });
-                layers.push(LayerDesc::Conv { c_in: c, c_out: c, kernel: 3, spatial, depth_unit: true, shared_group: None });
+                layers.push(LayerDesc::Conv {
+                    c_in,
+                    c_out: c,
+                    kernel: 3,
+                    spatial,
+                    depth_unit: true,
+                    shared_group: None,
+                });
+                layers.push(LayerDesc::Conv {
+                    c_in: c,
+                    c_out: c,
+                    kernel: 3,
+                    spatial,
+                    depth_unit: true,
+                    shared_group: None,
+                });
             } else {
                 // Bottleneck block: 1×1 reduce, 3×3, 1×1 expand.
-                layers.push(LayerDesc::Conv { c_in, c_out: c, kernel: 1, spatial, depth_unit: true, shared_group: None });
-                layers.push(LayerDesc::Conv { c_in: c, c_out: c, kernel: 3, spatial, depth_unit: true, shared_group: None });
-                layers.push(LayerDesc::Conv { c_in: c, c_out, kernel: 1, spatial, depth_unit: true, shared_group: None });
+                layers.push(LayerDesc::Conv {
+                    c_in,
+                    c_out: c,
+                    kernel: 1,
+                    spatial,
+                    depth_unit: true,
+                    shared_group: None,
+                });
+                layers.push(LayerDesc::Conv {
+                    c_in: c,
+                    c_out: c,
+                    kernel: 3,
+                    spatial,
+                    depth_unit: true,
+                    shared_group: None,
+                });
+                layers.push(LayerDesc::Conv {
+                    c_in: c,
+                    c_out,
+                    kernel: 1,
+                    spatial,
+                    depth_unit: true,
+                    shared_group: None,
+                });
             }
             if b == 0 && c_in != c_out {
                 // Projection shortcut.
-                layers.push(LayerDesc::Conv { c_in, c_out, kernel: 1, spatial, depth_unit: false, shared_group: None });
+                layers.push(LayerDesc::Conv {
+                    c_in,
+                    c_out,
+                    kernel: 1,
+                    spatial,
+                    depth_unit: false,
+                    shared_group: None,
+                });
             }
         }
         prev = c_out;
         let _ = stage;
     }
-    layers.push(LayerDesc::Classifier { d_in: prev, classes });
+    layers.push(LayerDesc::Classifier {
+        d_in: prev,
+        classes,
+    });
     layers
 }
 
@@ -315,15 +399,46 @@ fn mobilenet_layers(
             let c_in = if r == 0 { prev } else { c };
             let hidden = c_in * expansion;
             // Expand (1×1), depthwise (3×3, cost ≈ hidden·k², modelled with c_in=1), project (1×1).
-            layers.push(LayerDesc::Conv { c_in, c_out: hidden, kernel: 1, spatial, depth_unit: true, shared_group: None });
-            layers.push(LayerDesc::Conv { c_in: 1, c_out: hidden, kernel: 3, spatial, depth_unit: true, shared_group: None });
-            layers.push(LayerDesc::Conv { c_in: hidden, c_out: c, kernel: 1, spatial, depth_unit: true, shared_group: None });
+            layers.push(LayerDesc::Conv {
+                c_in,
+                c_out: hidden,
+                kernel: 1,
+                spatial,
+                depth_unit: true,
+                shared_group: None,
+            });
+            layers.push(LayerDesc::Conv {
+                c_in: 1,
+                c_out: hidden,
+                kernel: 3,
+                spatial,
+                depth_unit: true,
+                shared_group: None,
+            });
+            layers.push(LayerDesc::Conv {
+                c_in: hidden,
+                c_out: c,
+                kernel: 1,
+                spatial,
+                depth_unit: true,
+                shared_group: None,
+            });
         }
         prev = c;
     }
     let head = w(head_dim);
-    layers.push(LayerDesc::Conv { c_in: prev, c_out: head, kernel: 1, spatial: 4, depth_unit: false, shared_group: None });
-    layers.push(LayerDesc::Classifier { d_in: head, classes });
+    layers.push(LayerDesc::Conv {
+        c_in: prev,
+        c_out: head,
+        kernel: 1,
+        spatial: 4,
+        depth_unit: false,
+        shared_group: None,
+    });
+    layers.push(LayerDesc::Classifier {
+        d_in: head,
+        classes,
+    });
     layers
 }
 
@@ -343,15 +458,35 @@ fn albert_layers(
     let e = w(emb_dim);
     let mut layers = vec![
         LayerDesc::Embedding { vocab, dim: e },
-        LayerDesc::Dense { d_in: e, d_out: h, depth_unit: false, shared_group: None },
+        LayerDesc::Dense {
+            d_in: e,
+            d_out: h,
+            depth_unit: false,
+            shared_group: None,
+        },
     ];
     for layer_idx in 0..num_layers {
         let group = if share_params { Some(1u8) } else { None };
         let group_ffn = if share_params { Some(2u8) } else { None };
         let _ = layer_idx;
-        layers.push(LayerDesc::Attention { dim: h, seq, depth_unit: true, shared_group: group });
-        layers.push(LayerDesc::Dense { d_in: h, d_out: 4 * h, depth_unit: true, shared_group: group_ffn });
-        layers.push(LayerDesc::Dense { d_in: 4 * h, d_out: h, depth_unit: true, shared_group: group_ffn.map(|g| g + 1) });
+        layers.push(LayerDesc::Attention {
+            dim: h,
+            seq,
+            depth_unit: true,
+            shared_group: group,
+        });
+        layers.push(LayerDesc::Dense {
+            d_in: h,
+            d_out: 4 * h,
+            depth_unit: true,
+            shared_group: group_ffn,
+        });
+        layers.push(LayerDesc::Dense {
+            d_in: 4 * h,
+            d_out: h,
+            depth_unit: true,
+            shared_group: group_ffn.map(|g| g + 1),
+        });
     }
     layers.push(LayerDesc::Classifier { d_in: h, classes });
     layers
@@ -365,10 +500,30 @@ fn har_cnn_layers(w: impl Fn(usize) -> usize, classes: usize) -> Vec<LayerDesc> 
     let c2 = w(196);
     let c3 = w(128);
     vec![
-        LayerDesc::Dense { d_in: input_dim, d_out: c1, depth_unit: false, shared_group: None },
-        LayerDesc::Dense { d_in: c1, d_out: c2, depth_unit: true, shared_group: None },
-        LayerDesc::Dense { d_in: c2, d_out: c2, depth_unit: true, shared_group: None },
-        LayerDesc::Dense { d_in: c2, d_out: c3, depth_unit: true, shared_group: None },
+        LayerDesc::Dense {
+            d_in: input_dim,
+            d_out: c1,
+            depth_unit: false,
+            shared_group: None,
+        },
+        LayerDesc::Dense {
+            d_in: c1,
+            d_out: c2,
+            depth_unit: true,
+            shared_group: None,
+        },
+        LayerDesc::Dense {
+            d_in: c2,
+            d_out: c2,
+            depth_unit: true,
+            shared_group: None,
+        },
+        LayerDesc::Dense {
+            d_in: c2,
+            d_out: c3,
+            depth_unit: true,
+            shared_group: None,
+        },
         LayerDesc::Classifier { d_in: c3, classes },
     ]
 }
@@ -391,7 +546,10 @@ mod tests {
         let spec = ModelSpec::new(ModelFamily::ResNet101, 100);
         let half = spec.stats(0.5, 1.0);
         let m = half.params_millions();
-        assert!(m > 8.0 && m < 14.0, "×0.5 ResNet-101 ≈ 10.5 M params, got {m}");
+        assert!(
+            m > 8.0 && m < 14.0,
+            "×0.5 ResNet-101 ≈ 10.5 M params, got {m}"
+        );
     }
 
     #[test]
@@ -422,7 +580,10 @@ mod tests {
         let full = spec.stats(1.0, 1.0).params as f64;
         let half = spec.stats(0.5, 1.0).params as f64;
         let ratio = full / half;
-        assert!(ratio > 3.0 && ratio < 5.0, "quadratic shrinkage expected, ratio {ratio}");
+        assert!(
+            ratio > 3.0 && ratio < 5.0,
+            "quadratic shrinkage expected, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -460,7 +621,10 @@ mod tests {
             .iter()
             .map(|f| ModelSpec::new(*f, 100).stats(1.0, 1.0).params)
             .collect();
-        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "R18 < R34 < R50 < R101: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "R18 < R34 < R50 < R101: {sizes:?}"
+        );
     }
 
     #[test]

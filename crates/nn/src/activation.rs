@@ -89,7 +89,9 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a new Tanh layer.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 

@@ -40,7 +40,9 @@ impl SelfAttention {
     /// Returns [`NnError::InvalidConfig`] when `dim == 0`.
     pub fn new(dim: usize, rng: &mut SeededRng) -> Result<Self> {
         if dim == 0 {
-            return Err(NnError::InvalidConfig("attention dimension must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "attention dimension must be positive".into(),
+            ));
         }
         let roles = vec![AxisRole::OutFeatures, AxisRole::InFeatures];
         let mk = |name: &str, rng: &mut SeededRng| {
@@ -219,8 +221,18 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let fp = attn.forward(&xp, true).unwrap().mul(&weights).unwrap().sum();
-            let fm = attn.forward(&xm, true).unwrap().mul(&weights).unwrap().sum();
+            let fp = attn
+                .forward(&xp, true)
+                .unwrap()
+                .mul(&weights)
+                .unwrap()
+                .sum();
+            let fm = attn
+                .forward(&xm, true)
+                .unwrap()
+                .mul(&weights)
+                .unwrap()
+                .sum();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
                 (dx.as_slice()[idx] - numeric).abs() < 5e-2,

@@ -46,9 +46,18 @@ impl Conv2d {
         let weight = Param::new(
             "weight",
             Tensor::kaiming(&[out_channels, in_channels, kernel, kernel], fan_in, rng),
-            vec![AxisRole::OutFeatures, AxisRole::InFeatures, AxisRole::Fixed, AxisRole::Fixed],
+            vec![
+                AxisRole::OutFeatures,
+                AxisRole::InFeatures,
+                AxisRole::Fixed,
+                AxisRole::Fixed,
+            ],
         );
-        let bias = Param::new("bias", Tensor::zeros(&[out_channels]), vec![AxisRole::OutFeatures]);
+        let bias = Param::new(
+            "bias",
+            Tensor::zeros(&[out_channels]),
+            vec![AxisRole::OutFeatures],
+        );
         Ok(Conv2d {
             weight,
             bias,
@@ -256,8 +265,18 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let fp = conv.forward(&xp, true).unwrap().mul(&loss_weights).unwrap().sum();
-            let fm = conv.forward(&xm, true).unwrap().mul(&loss_weights).unwrap().sum();
+            let fp = conv
+                .forward(&xp, true)
+                .unwrap()
+                .mul(&loss_weights)
+                .unwrap()
+                .sum();
+            let fm = conv
+                .forward(&xm, true)
+                .unwrap()
+                .mul(&loss_weights)
+                .unwrap()
+                .sum();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
                 (dx.as_slice()[idx] - numeric).abs() < 5e-2,
@@ -269,9 +288,19 @@ mod tests {
         for idx in [0usize, 10, 25, 50] {
             let orig = conv.weight.value.as_slice()[idx];
             conv.weight.value.as_mut_slice()[idx] = orig + eps;
-            let fp = conv.forward(&x, true).unwrap().mul(&loss_weights).unwrap().sum();
+            let fp = conv
+                .forward(&x, true)
+                .unwrap()
+                .mul(&loss_weights)
+                .unwrap()
+                .sum();
             conv.weight.value.as_mut_slice()[idx] = orig - eps;
-            let fm = conv.forward(&x, true).unwrap().mul(&loss_weights).unwrap().sum();
+            let fm = conv
+                .forward(&x, true)
+                .unwrap()
+                .mul(&loss_weights)
+                .unwrap()
+                .sum();
             conv.weight.value.as_mut_slice()[idx] = orig;
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
@@ -290,7 +319,12 @@ mod tests {
             if name.ends_with("weight") {
                 assert_eq!(
                     p.roles,
-                    vec![AxisRole::OutFeatures, AxisRole::InFeatures, AxisRole::Fixed, AxisRole::Fixed]
+                    vec![
+                        AxisRole::OutFeatures,
+                        AxisRole::InFeatures,
+                        AxisRole::Fixed,
+                        AxisRole::Fixed
+                    ]
                 );
             } else {
                 assert_eq!(p.roles, vec![AxisRole::OutFeatures]);

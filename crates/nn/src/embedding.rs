@@ -37,7 +37,13 @@ impl Embedding {
             Tensor::randn(&[vocab, dim], 0.1, rng),
             vec![AxisRole::Fixed, AxisRole::OutFeatures],
         );
-        Ok(Embedding { table, vocab, dim, cached_ids: None, cached_dims: None })
+        Ok(Embedding {
+            table,
+            vocab,
+            dim,
+            cached_ids: None,
+            cached_dims: None,
+        })
     }
 
     /// Vocabulary size.

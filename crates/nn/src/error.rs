@@ -40,14 +40,22 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
-            NnError::BadInput { layer, expected, got } => {
+            NnError::BadInput {
+                layer,
+                expected,
+                got,
+            } => {
                 write!(f, "layer {layer} expected {expected}, got shape {got:?}")
             }
             NnError::MissingForwardCache(layer) => {
                 write!(f, "backward called on {layer} before forward")
             }
             NnError::MissingParam(name) => write!(f, "state dict is missing parameter {name}"),
-            NnError::ParamShapeMismatch { name, expected, got } => write!(
+            NnError::ParamShapeMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
                 f,
                 "parameter {name} expects shape {expected:?}, state dict provides {got:?}"
             ),

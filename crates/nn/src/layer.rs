@@ -162,7 +162,9 @@ impl Sequential {
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sequential").field("layers", &self.layer_names()).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &self.layer_names())
+            .finish()
     }
 }
 
@@ -242,7 +244,10 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let mut net = small_net(&mut rng);
         let empty = StateDict::new();
-        assert!(matches!(load_state_dict(&mut net, "", &empty), Err(NnError::MissingParam(_))));
+        assert!(matches!(
+            load_state_dict(&mut net, "", &empty),
+            Err(NnError::MissingParam(_))
+        ));
 
         let mut bad = state_dict_of(&net, "");
         bad.insert("fc1.weight", Tensor::zeros(&[1, 1]));

@@ -47,7 +47,13 @@ impl Linear {
             vec![out_role, AxisRole::InFeatures],
         );
         let bias = Param::new("bias", Tensor::zeros(&[out_features]), vec![out_role]);
-        Linear { weight, bias, in_features, out_features, cached_input: None }
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            cached_input: None,
+        }
     }
 
     /// Number of input features.
@@ -90,7 +96,9 @@ impl Layer for Linear {
             });
         }
         self.cached_input = Some(flat.clone());
-        let out = flat.matmul(&self.weight.value.transpose()?)?.add_row_broadcast(&self.bias.value)?;
+        let out = flat
+            .matmul(&self.weight.value.transpose()?)?
+            .add_row_broadcast(&self.bias.value)?;
         match orig {
             None => Ok(out),
             Some(dims) => Ok(out.reshape(&[dims[0], dims[1], self.out_features])?),
@@ -161,7 +169,11 @@ mod tests {
         let f_plus = lin.forward(&x_plus, true).unwrap().sum();
         let f_minus = lin.forward(&x_minus, true).unwrap().sum();
         let numeric = (f_plus - f_minus) / (2.0 * eps);
-        assert!((dx.as_slice()[0] - numeric).abs() < 1e-2, "{} vs {numeric}", dx.as_slice()[0]);
+        assert!(
+            (dx.as_slice()[0] - numeric).abs() < 1e-2,
+            "{} vs {numeric}",
+            dx.as_slice()[0]
+        );
 
         // dL/dW[0,0] via finite differences.
         let analytic_dw = lin.weight.grad.as_slice()[0];
@@ -170,7 +182,10 @@ mod tests {
         lin.weight.value.as_mut_slice()[0] -= 2.0 * eps;
         let f_minus = lin.forward(&x, true).unwrap().sum();
         let numeric = (f_plus - f_minus) / (2.0 * eps);
-        assert!((analytic_dw - numeric).abs() < 1e-2, "{analytic_dw} vs {numeric}");
+        assert!(
+            (analytic_dw - numeric).abs() < 1e-2,
+            "{analytic_dw} vs {numeric}"
+        );
     }
 
     #[test]

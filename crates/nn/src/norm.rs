@@ -34,14 +34,19 @@ fn normalise_groups(data: &[f32], group_size: usize) -> GroupStats {
     for g in 0..groups {
         let slice = &data[g * group_size..(g + 1) * group_size];
         let mean: f32 = slice.iter().sum::<f32>() / group_size as f32;
-        let var: f32 = slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / group_size as f32;
+        let var: f32 =
+            slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / group_size as f32;
         let istd = 1.0 / (var + EPS).sqrt();
         inv_std[g] = istd;
         for (i, &x) in slice.iter().enumerate() {
             xhat[g * group_size + i] = (x - mean) * istd;
         }
     }
-    GroupStats { xhat, inv_std, group_size }
+    GroupStats {
+        xhat,
+        inv_std,
+        group_size,
+    }
 }
 
 /// Backward pass through group normalisation given upstream gradient w.r.t.
@@ -79,8 +84,16 @@ impl LayerNorm {
     /// Creates a layer norm over `features`-sized vectors (γ=1, β=0).
     pub fn new(features: usize) -> Self {
         LayerNorm {
-            gamma: Param::new("gamma", Tensor::ones(&[features]), vec![AxisRole::OutFeatures]),
-            beta: Param::new("beta", Tensor::zeros(&[features]), vec![AxisRole::OutFeatures]),
+            gamma: Param::new(
+                "gamma",
+                Tensor::ones(&[features]),
+                vec![AxisRole::OutFeatures],
+            ),
+            beta: Param::new(
+                "beta",
+                Tensor::zeros(&[features]),
+                vec![AxisRole::OutFeatures],
+            ),
             features,
             cache: None,
         }
@@ -130,7 +143,11 @@ impl Layer for LayerNorm {
             self.gamma.grad.as_mut_slice()[c] += dyi * stats.xhat[i];
             self.beta.grad.as_mut_slice()[c] += dyi;
         }
-        let d_xhat: Vec<f32> = dy.iter().enumerate().map(|(i, &dyi)| dyi * g[i % f]).collect();
+        let d_xhat: Vec<f32> = dy
+            .iter()
+            .enumerate()
+            .map(|(i, &dyi)| dyi * g[i % f])
+            .collect();
         let dx = normalise_groups_backward(stats, &d_xhat);
         Ok(Tensor::from_vec(dx, dims)?)
     }
@@ -160,8 +177,16 @@ impl ChannelNorm2d {
     /// Creates a channel norm over `channels` feature maps (γ=1, β=0).
     pub fn new(channels: usize) -> Self {
         ChannelNorm2d {
-            gamma: Param::new("gamma", Tensor::ones(&[channels]), vec![AxisRole::OutFeatures]),
-            beta: Param::new("beta", Tensor::zeros(&[channels]), vec![AxisRole::OutFeatures]),
+            gamma: Param::new(
+                "gamma",
+                Tensor::ones(&[channels]),
+                vec![AxisRole::OutFeatures],
+            ),
+            beta: Param::new(
+                "beta",
+                Tensor::zeros(&[channels]),
+                vec![AxisRole::OutFeatures],
+            ),
             channels,
             cache: None,
         }
@@ -220,8 +245,11 @@ impl Layer for ChannelNorm2d {
             self.gamma.grad.as_mut_slice()[channel] += dyi * stats.xhat[i];
             self.beta.grad.as_mut_slice()[channel] += dyi;
         }
-        let d_xhat: Vec<f32> =
-            dy.iter().enumerate().map(|(i, &dyi)| dyi * g[(i / spatial) % c]).collect();
+        let d_xhat: Vec<f32> = dy
+            .iter()
+            .enumerate()
+            .map(|(i, &dyi)| dyi * g[(i / spatial) % c])
+            .collect();
         let dx = normalise_groups_backward(stats, &d_xhat);
         Ok(Tensor::from_vec(dx, dims)?)
     }
@@ -245,7 +273,8 @@ mod tests {
     #[test]
     fn layernorm_output_is_standardised() {
         let mut ln = LayerNorm::new(4);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]).unwrap();
         let y = ln.forward(&x, true).unwrap();
         for r in 0..2 {
             let row = &y.as_slice()[r * 4..(r + 1) * 4];
@@ -274,7 +303,11 @@ mod tests {
             let fp = ln.forward(&xp, true).unwrap().mul(&weights).unwrap().sum();
             let fm = ln.forward(&xm, true).unwrap().mul(&weights).unwrap().sum();
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!((dx.as_slice()[idx] - numeric).abs() < 2e-2, "idx {idx}: {} vs {numeric}", dx.as_slice()[idx]);
+            assert!(
+                (dx.as_slice()[idx] - numeric).abs() < 2e-2,
+                "idx {idx}: {} vs {numeric}",
+                dx.as_slice()[idx]
+            );
         }
     }
 

@@ -22,7 +22,12 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4, grad_clip: Some(5.0) }
+        SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            grad_clip: Some(5.0),
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimiser with the given configuration.
     pub fn new(config: SgdConfig) -> Self {
-        Sgd { config, velocity: HashMap::new() }
+        Sgd {
+            config,
+            velocity: HashMap::new(),
+        }
     }
 
     /// The optimiser's configuration.
@@ -134,14 +142,15 @@ mod tests {
         net.push("fc1", Linear::new(2, 16, &mut rng));
         net.push("act", Relu::new());
         net.push("fc2", Linear::new_head(16, 2, &mut rng));
-        let mut opt = Sgd::new(SgdConfig { lr: 0.2, momentum: 0.9, weight_decay: 0.0, grad_clip: None });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.2,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            grad_clip: None,
+        });
 
         // XOR-ish separable toy data.
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
         let labels = [0usize, 1, 1, 0];
 
         let mut first_loss = None;
@@ -155,7 +164,10 @@ mod tests {
             first_loss.get_or_insert(loss);
             last_loss = loss;
         }
-        assert!(last_loss < first_loss.unwrap() * 0.5, "loss did not decrease enough: {last_loss}");
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "loss did not decrease enough: {last_loss}"
+        );
     }
 
     #[test]
@@ -167,7 +179,12 @@ mod tests {
             lin.visit_params("", &mut |_, p| norm += p.value.norm_sq());
             norm
         };
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5, grad_clip: None });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+            grad_clip: None,
+        });
         opt.step(&mut lin).unwrap();
         let after: f32 = {
             let mut norm = 0.0;
@@ -196,13 +213,20 @@ mod tests {
     fn grad_clip_limits_update_magnitude() {
         let mut rng = SeededRng::new(3);
         let mut lin = Linear::new(1, 1, &mut rng);
-        lin.visit_params_mut("", &mut |_, p| p.grad = Tensor::full(p.value.dims(), 1000.0));
+        lin.visit_params_mut("", &mut |_, p| {
+            p.grad = Tensor::full(p.value.dims(), 1000.0)
+        });
         let before = {
             let mut v = Vec::new();
             lin.visit_params("", &mut |_, p| v.push(p.value.as_slice()[0]));
             v
         };
-        let mut opt = Sgd::new(SgdConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0, grad_clip: Some(1.0) });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            grad_clip: Some(1.0),
+        });
         opt.step(&mut lin).unwrap();
         let after = {
             let mut v = Vec::new();

@@ -47,7 +47,12 @@ impl Param {
             "axis roles must cover every dimension of the parameter"
         );
         let grad = Tensor::zeros(value.dims());
-        Param { name: name.into(), value, grad, roles }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            roles,
+        }
     }
 
     /// Resets the accumulated gradient to zero.
@@ -87,7 +92,9 @@ impl ParamSpec {
 
     /// Returns `true` if any axis is width-scalable.
     pub fn is_width_scalable(&self) -> bool {
-        self.roles.iter().any(|r| matches!(r, AxisRole::OutFeatures | AxisRole::InFeatures))
+        self.roles
+            .iter()
+            .any(|r| matches!(r, AxisRole::OutFeatures | AxisRole::InFeatures))
     }
 }
 

@@ -179,7 +179,9 @@ mod tests {
         let y = pool.forward(&x, true).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[1.5, 5.5]);
-        let dx = pool.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap()).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(dx.dims(), &[1, 2, 2, 2]);
         assert_eq!(dx.as_slice()[0], 1.0);
         assert_eq!(dx.as_slice()[4], 2.0);
@@ -202,7 +204,9 @@ mod tests {
         let y = pool.forward(&x, true).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[3.0, 4.0]);
-        let dx = pool.backward(&Tensor::from_vec(vec![3.0, 6.0], &[1, 2]).unwrap()).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![3.0, 6.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(dx.as_slice(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
     }
 

@@ -31,7 +31,9 @@ pub struct StateDict {
 impl StateDict {
     /// Creates an empty state dict.
     pub fn new() -> Self {
-        StateDict { entries: BTreeMap::new() }
+        StateDict {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Inserts (or replaces) a parameter tensor.
@@ -49,7 +51,9 @@ impl StateDict {
     /// # Errors
     /// Returns [`NnError::MissingParam`] when the name is absent.
     pub fn require(&self, name: &str) -> Result<&Tensor> {
-        self.entries.get(name).ok_or_else(|| NnError::MissingParam(name.to_string()))
+        self.entries
+            .get(name)
+            .ok_or_else(|| NnError::MissingParam(name.to_string()))
     }
 
     /// Removes a parameter, returning it if present.
@@ -148,7 +152,9 @@ impl StateDict {
 
 impl FromIterator<(String, Tensor)> for StateDict {
     fn from_iter<I: IntoIterator<Item = (String, Tensor)>>(iter: I) -> Self {
-        StateDict { entries: iter.into_iter().collect() }
+        StateDict {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -69,13 +69,23 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for dimension of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of length {len}"
+                )
             }
-            TensorError::RankMismatch { expected, actual, op } => {
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
                 write!(f, "{op} requires rank {expected}, got rank {actual}")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape tensor of {from} elements into {to} elements")
+                write!(
+                    f,
+                    "cannot reshape tensor of {from} elements into {to} elements"
+                )
             }
             TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
         }

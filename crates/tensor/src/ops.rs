@@ -117,8 +117,9 @@ impl Tensor {
         let mut out = self.clone();
         let b = bias.as_slice();
         for r in 0..rows {
-            for c in 0..cols {
-                out.as_mut_slice()[r * cols + c] += b[c];
+            let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+            for (value, add) in row.iter_mut().zip(b) {
+                *value += add;
             }
         }
         Ok(out)
@@ -131,10 +132,18 @@ impl Tensor {
     /// dimensions disagree.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "matmul" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
         }
         if rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: rhs.rank(), op: "matmul" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: rhs.rank(),
+                op: "matmul",
+            });
         }
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
@@ -171,7 +180,11 @@ impl Tensor {
     /// Returns an error if the tensor is not rank-2.
     pub fn transpose(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "transpose" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose",
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let src = self.as_slice();
@@ -206,7 +219,9 @@ impl Tensor {
         self.as_slice()
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
             .ok_or(TensorError::Empty("max"))
     }
 
@@ -226,7 +241,11 @@ impl Tensor {
     /// Returns an error if the tensor is not rank-2.
     pub fn row_sums(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "row_sums" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "row_sums",
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let data: Vec<f32> = (0..rows)
@@ -241,7 +260,11 @@ impl Tensor {
     /// Returns an error if the tensor is not rank-2 or has zero rows.
     pub fn col_means(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "col_means" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "col_means",
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         if rows == 0 {
@@ -249,8 +272,9 @@ impl Tensor {
         }
         let mut data = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                data[c] += self.as_slice()[r * cols + c];
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            for (acc, value) in data.iter_mut().zip(row) {
+                *acc += value;
             }
         }
         data.iter_mut().for_each(|x| *x /= rows as f32);
@@ -263,7 +287,11 @@ impl Tensor {
     /// Returns an error if the tensor is not rank-2.
     pub fn softmax_rows(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "softmax_rows" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "softmax_rows",
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; rows * cols];
@@ -285,7 +313,11 @@ impl Tensor {
     /// Returns an error if the tensor is not rank-2 or has zero columns.
     pub fn argmax_rows(&self) -> Result<Vec<usize>> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "argmax_rows" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "argmax_rows",
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         if cols == 0 {

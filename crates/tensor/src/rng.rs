@@ -1,8 +1,75 @@
 //! Deterministic random number generation for reproducible experiments.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A self-contained xoshiro256++ core, seeded via splitmix64 so any 64-bit
+/// seed yields a well-mixed initial state. Keeping the generator in-tree
+/// (instead of depending on `rand`) makes experiment reproducibility a
+/// property of this repository alone.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn new(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[low, high)`.
+    fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        let sample = low + self.unit_f64() * (high - low);
+        // Guard against rounding up to the (exclusive) upper bound.
+        if sample >= high {
+            low.max(high - f64::EPSILON * high.abs())
+        } else {
+            sample
+        }
+    }
+
+    fn range_f32(&mut self, low: f32, high: f32) -> f32 {
+        let sample = low + self.unit_f64() as f32 * (high - low);
+        if sample >= high {
+            low.max(high - f32::EPSILON * high.abs())
+        } else {
+            sample
+        }
+    }
+
+    /// Uniform draw in `[0, n)` via 128-bit widening multiply.
+    fn range_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
 
 /// A seeded random number generator shared by data generation and model
 /// initialisation so entire experiments are reproducible from a single seed.
@@ -15,14 +82,17 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    inner: Xoshiro256,
     seed: u64,
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), seed }
+        SeededRng {
+            inner: Xoshiro256::new(seed),
+            seed,
+        }
     }
 
     /// The seed this generator was created with.
@@ -48,8 +118,8 @@ impl SeededRng {
     /// Samples a standard-normal value scaled to mean `mean` and standard
     /// deviation `std` (Box–Muller transform; avoids extra dependencies).
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let u1: f32 = self.inner.range_f32(f32::EPSILON, 1.0);
+        let u2: f32 = self.inner.range_f32(0.0, 1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         mean + std * z
     }
@@ -59,7 +129,7 @@ impl SeededRng {
         if (high - low).abs() < f32::EPSILON {
             return low;
         }
-        Uniform::new(low, high).sample(&mut self.inner)
+        self.inner.range_f32(low, high)
     }
 
     /// Samples an integer uniformly from `[0, n)`.
@@ -68,13 +138,13 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.inner.range_u64(n as u64) as usize
     }
 
     /// Samples `true` with probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        self.inner.unit_f64() < p
     }
 
     /// Draws a sample from a symmetric Dirichlet distribution with
@@ -99,22 +169,22 @@ impl SeededRng {
     fn gamma(&mut self, shape: f64) -> f64 {
         if shape < 1.0 {
             // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}
-            let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+            let u: f64 = self.inner.range_f64(f64::EPSILON, 1.0);
             return self.gamma(shape + 1.0) * u.powf(1.0 / shape);
         }
         let d = shape - 1.0 / 3.0;
         let c = 1.0 / (9.0 * d).sqrt();
         loop {
             let x = {
-                let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = self.inner.gen_range(0.0..1.0);
+                let u1: f64 = self.inner.range_f64(f64::EPSILON, 1.0);
+                let u2: f64 = self.inner.range_f64(0.0, 1.0);
                 (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
             };
             let v = (1.0 + c * x).powi(3);
             if v <= 0.0 {
                 continue;
             }
-            let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+            let u: f64 = self.inner.range_f64(f64::EPSILON, 1.0);
             if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
                 return d * v;
             }
@@ -130,7 +200,7 @@ impl SeededRng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.inner.range_u64(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -156,7 +226,7 @@ impl SeededRng {
         if total <= f64::EPSILON {
             return self.index(weights.len());
         }
-        let mut target = self.inner.gen_range(0.0..total);
+        let mut target = self.inner.range_f64(0.0, total);
         for (i, w) in weights.iter().enumerate() {
             let w = w.max(0.0);
             if target < w {
@@ -216,11 +286,7 @@ mod tests {
         let mut rng = SeededRng::new(11);
         let avg_max = |alpha: f64, rng: &mut SeededRng| -> f64 {
             (0..200)
-                .map(|_| {
-                    rng.dirichlet(alpha, 10)
-                        .into_iter()
-                        .fold(0.0f64, f64::max)
-                })
+                .map(|_| rng.dirichlet(alpha, 10).into_iter().fold(0.0f64, f64::max))
                 .sum::<f64>()
                 / 200.0
         };
@@ -255,7 +321,9 @@ mod tests {
     fn weighted_index_prefers_heavy_weight() {
         let mut rng = SeededRng::new(21);
         let weights = [0.01, 0.01, 10.0, 0.01];
-        let hits = (0..500).filter(|_| rng.weighted_index(&weights) == 2).count();
+        let hits = (0..500)
+            .filter(|_| rng.weighted_index(&weights) == 2)
+            .count();
         assert!(hits > 400, "hits={hits}");
     }
 

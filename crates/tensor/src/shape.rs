@@ -57,7 +57,10 @@ impl Shape {
         self.0
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Row-major strides for the shape.

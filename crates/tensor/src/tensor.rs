@@ -32,21 +32,30 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if shape.len() != data.len() {
-            return Err(TensorError::ShapeDataMismatch { expected: shape.len(), actual: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -58,7 +67,10 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a square identity matrix of size `n`.
@@ -155,9 +167,15 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
         let target = Shape::new(dims);
         if target.len() != self.len() {
-            return Err(TensorError::ReshapeMismatch { from: self.len(), to: target.len() });
+            return Err(TensorError::ReshapeMismatch {
+                from: self.len(),
+                to: target.len(),
+            });
         }
-        Ok(Tensor { shape: target, data: self.data.clone() })
+        Ok(Tensor {
+            shape: target,
+            data: self.data.clone(),
+        })
     }
 
     /// Extracts the `index`-th sub-tensor along axis 0 (e.g. one row of a
@@ -167,7 +185,11 @@ impl Tensor {
     /// Returns an error for scalars or out-of-range indices.
     pub fn index_axis0(&self, index: usize) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "index_axis0" });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "index_axis0",
+            });
         }
         let outer = self.dims()[0];
         if index >= outer {
@@ -212,14 +234,21 @@ impl Tensor {
     /// Returns an error for scalars or out-of-range indices.
     pub fn gather_axis0(&self, indices: &[usize]) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "gather_axis0" });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "gather_axis0",
+            });
         }
         let outer = self.dims()[0];
         let inner: usize = self.dims()[1..].iter().product();
         let mut data = Vec::with_capacity(indices.len() * inner);
         for &i in indices {
             if i >= outer {
-                return Err(TensorError::IndexOutOfBounds { index: i, len: outer });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    len: outer,
+                });
             }
             data.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
         }
@@ -234,14 +263,21 @@ impl Tensor {
     /// Returns an error if the tensor is not rank 2 or an index is invalid.
     pub fn gather_axis1(&self, indices: &[usize]) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "gather_axis1" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "gather_axis1",
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let mut data = Vec::with_capacity(rows * indices.len());
         for r in 0..rows {
             for &c in indices {
                 if c >= cols {
-                    return Err(TensorError::IndexOutOfBounds { index: c, len: cols });
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: c,
+                        len: cols,
+                    });
                 }
                 data.push(self.data[r * cols + c]);
             }
@@ -255,13 +291,19 @@ impl Tensor {
     /// Returns an error if `axis` is out of range or an index is invalid.
     pub fn gather_axis(&self, axis: usize, indices: &[usize]) -> Result<Tensor> {
         if axis >= self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let dims = self.dims();
         let axis_len = dims[axis];
         for &i in indices {
             if i >= axis_len {
-                return Err(TensorError::IndexOutOfBounds { index: i, len: axis_len });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    len: axis_len,
+                });
             }
         }
         let outer: usize = dims[..axis].iter().product();
@@ -288,7 +330,10 @@ impl Tensor {
     /// Returns an error if shapes/indices are inconsistent.
     pub fn scatter_axis(&mut self, axis: usize, indices: &[usize], src: &Tensor) -> Result<()> {
         if axis >= self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let dims = self.dims().to_vec();
         let src_dims = src.dims();
@@ -314,7 +359,10 @@ impl Tensor {
         for o in 0..outer {
             for (j, &i) in indices.iter().enumerate() {
                 if i >= axis_len {
-                    return Err(TensorError::IndexOutOfBounds { index: i, len: axis_len });
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: i,
+                        len: axis_len,
+                    });
                 }
                 let dst_start = (o * axis_len + i) * inner;
                 let src_start = (o * indices.len() + j) * inner;

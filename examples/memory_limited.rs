@@ -42,12 +42,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
     }
-    println!("{}", format_table(&["Device", "RAM", "Method", "Assigned model", "Peak memory"], &rows));
+    println!(
+        "{}",
+        format_table(
+            &["Device", "RAM", "Method", "Assigned model", "Peak memory"],
+            &rows
+        )
+    );
 
     // Part 2: a quick federated run under the memory constraint.
-    let spec = ExperimentSpec::new(DataTask::UciHar, MhflMethod::DepthFl, ConstraintCase::Memory)
-        .with_scale(RunScale::Quick)
-        .with_seed(5);
+    let spec = ExperimentSpec::new(
+        DataTask::UciHar,
+        MhflMethod::DepthFl,
+        ConstraintCase::Memory,
+    )
+    .with_scale(RunScale::Quick)
+    .with_seed(5);
     let outcome = spec.run()?;
     println!(
         "DepthFL under the memory constraint: global accuracy {:.3} after {:.0} simulated s",

@@ -31,7 +31,16 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["Model", "Params(M)", "GFLOPs", "Memory(MB)", "Train time Orin (s)"], &rows)
+        format_table(
+            &[
+                "Model",
+                "Params(M)",
+                "GFLOPs",
+                "Memory(MB)",
+                "Train time Orin (s)"
+            ],
+            &rows
+        )
     );
 
     println!("Method overheads at x0.5 (per Table I)\n");
@@ -47,7 +56,10 @@ fn main() {
         let nano_cost = cost_model.round_cost(&half, method, &nano);
         rows.push(vec![
             method.to_string(),
-            format!("{:.2}", cost_model.effective_params(&half, method) as f64 / 1e6),
+            format!(
+                "{:.2}",
+                cost_model.effective_params(&half, method) as f64 / 1e6
+            ),
             format!("{:.1}", nano_cost.train_time_secs),
             format!("{:.1}", orin_cost.train_time_secs),
             format!("{:.0}", orin_cost.memory_bytes as f64 / 1e6),
@@ -56,7 +68,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Method", "Params(M)", "Train time Nano (s)", "Train time Orin (s)", "Memory(MB)"],
+            &[
+                "Method",
+                "Params(M)",
+                "Train time Nano (s)",
+                "Train time Orin (s)",
+                "Memory(MB)"
+            ],
             &rows
         )
     );

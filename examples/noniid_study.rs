@@ -12,13 +12,19 @@ use pracmhbench_core::{format_table, ExperimentSpec, RunScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = DataTask::UciHar;
-    let constraint = ConstraintCase::Computation { deadline_secs: 200.0 };
+    let constraint = ConstraintCase::Computation {
+        deadline_secs: 200.0,
+    };
     let partitions: [(&str, Option<Partition>); 3] = [
         ("iid", Some(Partition::Iid)),
         ("niid-0.5", Some(Partition::Dirichlet { alpha: 0.5 })),
         ("niid-5", Some(Partition::Dirichlet { alpha: 5.0 })),
     ];
-    let methods = [MhflMethod::SHeteroFl, MhflMethod::DepthFl, MhflMethod::FedRolex];
+    let methods = [
+        MhflMethod::SHeteroFl,
+        MhflMethod::DepthFl,
+        MhflMethod::FedRolex,
+    ];
 
     println!("Non-IID robustness on {task} under the computation constraint (quick scale)\n");
     let mut rows = Vec::new();
@@ -37,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         rows.push(row);
     }
-    println!("{}", format_table(&["Method", "iid", "niid-0.5", "niid-5"], &rows));
+    println!(
+        "{}",
+        format_table(&["Method", "iid", "niid-0.5", "niid-5"], &rows)
+    );
     Ok(())
 }

@@ -7,17 +7,21 @@
 use mhfl_data::DataTask;
 use mhfl_device::ConstraintCase;
 use mhfl_models::MhflMethod;
-use pracmhbench_core::{ExperimentSpec, RunScale};
+use pracmhbench_core::{ExperimentSpec, Parallelism, RunScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Evaluate SHeteroFL on a synthetic UCI-HAR task under a computation
-    // deadline, at quick scale so it finishes in seconds.
+    // deadline, at quick scale so it finishes in seconds. Client training
+    // runs on a thread pool; results are identical to a sequential run.
     let spec = ExperimentSpec::new(
         DataTask::UciHar,
         MhflMethod::SHeteroFl,
-        ConstraintCase::Computation { deadline_secs: 300.0 },
+        ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        },
     )
     .with_scale(RunScale::Quick)
+    .with_parallelism(Parallelism::threads())
     .with_seed(7);
 
     println!("task        : {}", spec.task);
@@ -26,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = spec.run()?;
     println!();
-    println!("global accuracy     : {:.3}", outcome.summary.global_accuracy);
+    println!(
+        "global accuracy     : {:.3}",
+        outcome.summary.global_accuracy
+    );
     println!(
         "time-to-accuracy    : {}",
         outcome
@@ -36,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "target not reached".to_string())
     );
     println!("stability (variance): {:.5}", outcome.summary.stability);
-    println!("simulated train time: {:.1} s", outcome.summary.total_time_secs);
+    println!(
+        "simulated train time: {:.1} s",
+        outcome.summary.total_time_secs
+    );
     println!();
     println!("learning curve (simulated time, accuracy):");
     for (t, acc) in outcome.report.accuracy_curve() {

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace benches use:
+//! [`Criterion::bench_function`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`]. Measurement is simple wall-clock timing: each
+//! benchmark closure is warmed up, then run for a fixed number of batches,
+//! and the mean / min / max iteration time is printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 10;
+/// Target wall-clock budget per benchmark (warm-up included).
+const TARGET: Duration = Duration::from_secs(3);
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count whose batch takes
+        // a measurable fraction of the budget.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET / (2 * BATCHES as u32)).max(Duration::from_millis(1));
+        self.iters_per_batch = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_batch as u32);
+        }
+    }
+}
+
+/// Minimal stand-in for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_batch: 0,
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{name}: no samples recorded");
+            return self;
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        let min = bencher.samples.iter().min().expect("non-empty");
+        let max = bencher.samples.iter().max().expect("non-empty");
+        println!(
+            "{name}: mean {mean:?} (min {min:?}, max {max:?}, {} iters/batch)",
+            bencher.iters_per_batch
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and report
+//! types so they can be serialised by downstream users, but never serialises
+//! anything in-tree. In environments without crates.io access this shim keeps
+//! those derives compiling: the traits are empty markers and the derive
+//! macros emit empty impls.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

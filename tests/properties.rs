@@ -6,6 +6,7 @@ use mhfl_fl::submodel::{axis_indices, extract_submodel, ServerAggregator, WidthS
 use mhfl_models::{InputKind, MhflMethod, ModelFamily, ModelSpec, ProxyConfig, ProxyModel};
 use mhfl_nn::AxisRole;
 use mhfl_tensor::{SeededRng, Tensor};
+use pracmhbench_core::{ExperimentSpec, Parallelism, RunScale};
 use proptest::prelude::*;
 
 proptest! {
@@ -123,5 +124,27 @@ proptest! {
             prop_assert!((row_sum - 1.0).abs() < 1e-4);
         }
         prop_assert!(!s.has_non_finite());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The engine's parallel client execution is a pure optimisation: for
+    /// any seed, a threaded run produces a bit-identical `MetricsReport` to
+    /// the sequential run of the same experiment.
+    #[test]
+    fn parallel_rounds_are_deterministic(seed in 0u64..500) {
+        let spec = ExperimentSpec::new(
+            DataTask::UciHar,
+            MhflMethod::SHeteroFl,
+            ConstraintCase::Memory,
+        )
+        .with_scale(RunScale::Quick)
+        .with_seed(seed);
+        let sequential = spec.run().unwrap();
+        let threaded = spec.with_parallelism(Parallelism::Threads { workers: 4 }).run().unwrap();
+        prop_assert_eq!(&sequential.report, &threaded.report);
+        prop_assert_eq!(sequential.summary, threaded.summary);
     }
 }

@@ -1,0 +1,82 @@
+//! End-to-end tests of the client/server phase split: pluggable schedulers
+//! and parallel client execution through the full platform API.
+
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_models::MhflMethod;
+use pracmhbench_core::{ExperimentSpec, Parallelism, RunScale, Schedule};
+
+fn quick(method: MhflMethod) -> ExperimentSpec {
+    ExperimentSpec::new(DataTask::UciHar, method, ConstraintCase::Memory)
+        .with_scale(RunScale::Quick)
+        .with_seed(11)
+}
+
+#[test]
+fn threaded_runs_match_sequential_for_every_payload_family() {
+    // One method per upload family: sub-models (SHeteroFL), prototypes
+    // (FedProto), public-set logits (Fed-ET). The stateful topology methods
+    // are the interesting cases: their client phase reads persistent
+    // per-client state that the server phase wrote in earlier rounds.
+    for method in [
+        MhflMethod::SHeteroFl,
+        MhflMethod::FedProto,
+        MhflMethod::FedEt,
+    ] {
+        let sequential = quick(method).run().unwrap();
+        let threaded = quick(method)
+            .with_parallelism(Parallelism::Threads { workers: 4 })
+            .run()
+            .unwrap();
+        assert_eq!(
+            sequential.report, threaded.report,
+            "{method} report diverged across execution modes"
+        );
+        assert_eq!(sequential.summary, threaded.summary);
+    }
+}
+
+#[test]
+fn deadline_schedule_bounds_every_round() {
+    let deadline = 400.0;
+    let outcome = quick(MhflMethod::FeDepth)
+        .with_schedule(Schedule::DeadlineAware {
+            deadline_secs: deadline,
+        })
+        .run()
+        .unwrap();
+    assert!((0.0..=1.0).contains(&outcome.summary.global_accuracy));
+    // A deadline round can never exceed the deadline on the simulated clock,
+    // whether clients were dropped (round = deadline) or all finished early.
+    let rounds = outcome.report.records.last().unwrap().round as f64;
+    assert!(outcome.summary.total_time_secs <= rounds * deadline + 1e-9);
+}
+
+#[test]
+fn fastest_of_k_never_slows_the_clock() {
+    // At quick scale fastest-of-3k covers the whole population, so each
+    // round is exactly the fastest feasible synchronous round; uniform
+    // sampling can only match or exceed it.
+    let uniform = quick(MhflMethod::Fjord).run().unwrap();
+    let fastest = quick(MhflMethod::Fjord)
+        .with_schedule(Schedule::FastestOfK { factor: 3 })
+        .run()
+        .unwrap();
+    assert!(
+        fastest.summary.total_time_secs <= uniform.summary.total_time_secs + 1e-9,
+        "fastest-of-k {}s vs uniform {}s",
+        fastest.summary.total_time_secs,
+        uniform.summary.total_time_secs
+    );
+}
+
+#[test]
+fn schedules_flow_through_comparison_runs() {
+    let outcomes = quick(MhflMethod::SHeteroFl)
+        .with_schedule(Schedule::FastestOfK { factor: 2 })
+        .with_parallelism(Parallelism::Threads { workers: 3 })
+        .run_comparison(&[MhflMethod::SHeteroFl])
+        .unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes[0].summary.effectiveness.is_some());
+}
