@@ -71,11 +71,7 @@ impl FedEt {
     /// local state.
     fn build_client_model(&self, ctx: &FederationContext, client: usize) -> FlResult<ProxyModel> {
         match self.client_states.get(&client) {
-            Some((cfg, state)) => {
-                let mut model = ProxyModel::new(*cfg)?;
-                model.load_state_dict(state)?;
-                Ok(model)
-            }
+            Some((cfg, state)) => Ok(ProxyModel::from_state(*cfg, state)?),
             None => Ok(ProxyModel::new(Self::client_config(ctx, client))?),
         }
     }
@@ -206,8 +202,12 @@ impl FlAlgorithm for FedEt {
             };
             self.client_states
                 .insert(client, (Self::client_config(ctx, client), state));
-            weighted_probs.axpy(confidence, &probs)?;
-            total_weight += confidence;
+            // Stale votes (asynchronous buffered execution) are discounted
+            // on top of the client's own confidence; synchronous rounds
+            // always carry a staleness weight of 1.0.
+            let weight = confidence * update.staleness_weight;
+            weighted_probs.axpy(weight, &probs)?;
+            total_weight += weight;
         }
 
         if total_weight > 0.0 {
@@ -234,8 +234,7 @@ impl FlAlgorithm for FedEt {
         self.require_setup()?;
         match self.client_states.get(&client) {
             Some((cfg, state)) => {
-                let mut model = ProxyModel::new(*cfg)?;
-                model.load_state_dict(state)?;
+                let mut model = ProxyModel::from_state(*cfg, state)?;
                 evaluate_accuracy(&mut model, data)
             }
             None => Ok(1.0 / self.num_classes.max(1) as f32),

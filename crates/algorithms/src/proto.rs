@@ -77,11 +77,7 @@ impl FedProto {
     /// local state.
     fn build_client_model(&self, ctx: &FederationContext, client: usize) -> FlResult<ProxyModel> {
         match self.client_states.get(&client) {
-            Some((cfg, state)) => {
-                let mut model = ProxyModel::new(*cfg)?;
-                model.load_state_dict(state)?;
-                Ok(model)
-            }
+            Some((cfg, state)) => Ok(ProxyModel::from_state(*cfg, state)?),
             None => Ok(ProxyModel::new(Self::client_config(ctx, client))?),
         }
     }
@@ -199,6 +195,11 @@ impl FlAlgorithm for FedProto {
         let mut round_counts = vec![0.0f32; self.num_classes];
         for update in updates {
             let client = update.client;
+            // Under asynchronous buffered execution the engine discounts
+            // stale uploads; a stale client's samples contribute
+            // proportionally fewer "effective samples" to the prototype
+            // means. Synchronous rounds always carry weight 1.0.
+            let staleness_weight = update.staleness_weight;
             let (state, sums, counts) = match update.payload {
                 ClientPayload::Prototypes {
                     state,
@@ -215,9 +216,9 @@ impl FlAlgorithm for FedProto {
             };
             self.client_states
                 .insert(client, (Self::client_config(ctx, client), state));
-            round_sums.axpy(1.0, &sums)?;
+            round_sums.axpy(staleness_weight, &sums)?;
             for (acc, c) in round_counts.iter_mut().zip(counts) {
-                *acc += c;
+                *acc += c * staleness_weight;
             }
         }
         // Server-side prototype aggregation (weighted mean over contributing
@@ -244,8 +245,7 @@ impl FlAlgorithm for FedProto {
         let batch = data.as_batch();
         let mut probs = Tensor::zeros(&[batch.len(), self.num_classes]);
         for (cfg, state) in self.client_states.values().take(ENSEMBLE_SIZE) {
-            let mut model = ProxyModel::new(*cfg)?;
-            model.load_state_dict(state)?;
+            let mut model = ProxyModel::from_state(*cfg, state)?;
             let out = model.forward_detailed(&batch.inputs, false)?;
             probs.axpy(1.0, &out.logits.softmax_rows()?)?;
         }
@@ -256,8 +256,7 @@ impl FlAlgorithm for FedProto {
         self.require_setup()?;
         match self.client_states.get(&client) {
             Some((cfg, state)) => {
-                let mut model = ProxyModel::new(*cfg)?;
-                model.load_state_dict(state)?;
+                let mut model = ProxyModel::from_state(*cfg, state)?;
                 evaluate_accuracy(&mut model, data)
             }
             // A client that never participated deploys an untrained model.

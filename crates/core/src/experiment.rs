@@ -4,8 +4,8 @@ use mhfl_algorithms::build_algorithm;
 use mhfl_data::{DataTask, FederatedDataset, Partition};
 use mhfl_device::{ConstraintCase, CostModel, ModelPool};
 use mhfl_fl::{
-    EngineConfig, FederationContext, FlEngine, FlResult, LocalTrainConfig, MetricsReport,
-    Parallelism, Schedule,
+    EngineConfig, Execution, FederationContext, FlEngine, FlResult, LocalTrainConfig,
+    MetricsReport, Parallelism, Schedule,
 };
 use mhfl_models::MhflMethod;
 use serde::{Deserialize, Serialize};
@@ -93,9 +93,13 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Client-selection policy for each round.
     pub schedule: Schedule,
-    /// Execution mode of the per-round client phase. Does not affect
-    /// results: threaded and sequential runs produce identical reports.
+    /// Thread-level execution mode of the per-round client phase. Does not
+    /// affect results: threaded and sequential runs produce identical
+    /// reports.
     pub parallelism: Parallelism,
+    /// Round-advancement mode: classic synchronous rounds or FedBuff-style
+    /// asynchronous buffered aggregation on an event-driven clock.
+    pub execution: Execution,
 }
 
 impl ExperimentSpec {
@@ -112,6 +116,7 @@ impl ExperimentSpec {
             seed: 42,
             schedule: Schedule::Uniform,
             parallelism: Parallelism::Sequential,
+            execution: Execution::Synchronous,
         }
     }
 
@@ -154,6 +159,13 @@ impl ExperimentSpec {
     /// Sets the client-phase execution mode (sequential or thread pool).
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the round-advancement mode (synchronous rounds or asynchronous
+    /// buffered aggregation).
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
         self
     }
 
@@ -201,6 +213,7 @@ impl ExperimentSpec {
             stability_clients: 8,
             schedule: self.schedule,
             parallelism: self.parallelism,
+            execution: self.execution,
         });
         let mut algorithm = build_algorithm(self.method);
         let report = engine.run(algorithm.as_mut(), &ctx)?;

@@ -211,11 +211,13 @@ mod tests {
             compute_gflops: 5.0,
             bandwidth_mbps: 50.0,
             memory_bytes: 1 << 33,
+            availability: 1.0,
         };
         let fast = DeviceCapability {
             compute_gflops: 500.0,
             bandwidth_mbps: 50.0,
             memory_bytes: 1 << 33,
+            availability: 1.0,
         };
         let assignments =
             case.assign_clients(&pool, MhflMethod::SHeteroFl, &[slow, fast], &cost_model);
@@ -233,11 +235,13 @@ mod tests {
             compute_gflops: 100.0,
             bandwidth_mbps: 1.0,
             memory_bytes: 1 << 33,
+            availability: 1.0,
         };
         let wide = DeviceCapability {
             compute_gflops: 100.0,
             bandwidth_mbps: 300.0,
             memory_bytes: 1 << 33,
+            availability: 1.0,
         };
         let a = case.assign_clients(&pool, MhflMethod::FedRolex, &[narrow, wide], &cost_model);
         assert!(a[0].entry.stats.params <= a[1].entry.stats.params);
@@ -333,6 +337,7 @@ mod tests {
             compute_gflops: 1.0,
             bandwidth_mbps: 1.0,
             memory_bytes: 1 << 30,
+            availability: 1.0,
         };
         let a = case.assign_clients(&pool, MhflMethod::Fjord, &[device], &cost_model);
         assert!((a[0].width_fraction() - 0.25).abs() < 1e-9);

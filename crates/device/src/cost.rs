@@ -190,6 +190,7 @@ impl From<&DeviceProfile> for DeviceCapability {
             compute_gflops: profile.gflops,
             bandwidth_mbps: profile.bandwidth_mbps,
             memory_bytes: profile.memory_bytes,
+            availability: profile.availability,
         }
     }
 }
@@ -261,11 +262,13 @@ mod tests {
             compute_gflops: 500.0,
             bandwidth_mbps: 100.0,
             memory_bytes: 1 << 34,
+            availability: 1.0,
         };
         let slow = DeviceCapability {
             compute_gflops: 10.0,
             bandwidth_mbps: 2.0,
             memory_bytes: 1 << 31,
+            availability: 1.0,
         };
         let c_small_fast = cost.round_cost(&small, MhflMethod::SHeteroFl, &fast);
         let c_large_fast = cost.round_cost(&large, MhflMethod::SHeteroFl, &fast);

@@ -22,6 +22,9 @@ pub struct DeviceCapability {
     pub bandwidth_mbps: f64,
     /// Memory available for training, in bytes.
     pub memory_bytes: u64,
+    /// Expected fraction of time the device is reachable for dispatch
+    /// (see [`crate::DeviceProfile::availability`]).
+    pub availability: f64,
 }
 
 /// A seeded population of heterogeneous device capabilities.
@@ -40,6 +43,9 @@ impl ImaPopulation {
     /// weighted toward the mid-range.
     pub fn generate(size: usize, seed: u64) -> Self {
         let mut rng = SeededRng::new(seed);
+        // Availability draws come from a separate stream so adding them did
+        // not shift the compute/bandwidth/RAM draws of existing seeds.
+        let mut avail_rng = SeededRng::new(seed ^ 0xA7A1_1AB1);
         let ram_tiers: [(u64, f64); 5] = [
             (2 * GIB, 0.10),
             (4 * GIB, 0.30),
@@ -55,10 +61,13 @@ impl ImaPopulation {
                 // Median ≈ 20 Mbps uplink, between slow cellular and fast Wi-Fi.
                 let bandwidth = (rng.log_normal(3.0, 0.8) as f64).clamp(1.0, 400.0);
                 let memory_bytes = ram_tiers[rng.weighted_index(&weights)].0;
+                // Phones churn: most are reachable 60–95 % of the time.
+                let availability = f64::from(avail_rng.uniform(0.60, 0.95));
                 DeviceCapability {
                     compute_gflops: compute,
                     bandwidth_mbps: bandwidth,
                     memory_bytes,
+                    availability,
                 }
             })
             .collect();

@@ -20,6 +20,11 @@ pub struct DeviceProfile {
     pub bandwidth_mbps: f64,
     /// Whether the device has a usable GPU.
     pub has_gpu: bool,
+    /// Expected fraction of time the device is reachable for dispatch
+    /// (powered on, on network, not opted out). Wall-powered edge boxes sit
+    /// near 1.0; battery/mobile devices churn. Consumed by
+    /// availability-trace scheduling.
+    pub availability: f64,
 }
 
 impl DeviceProfile {
@@ -37,28 +42,36 @@ impl DeviceProfile {
             memory_bytes,
             bandwidth_mbps,
             has_gpu,
+            availability: 1.0,
         }
+    }
+
+    /// Returns a copy with the given expected availability fraction
+    /// (clamped to `[0, 1]`).
+    pub fn with_availability(mut self, availability: f64) -> Self {
+        self.availability = availability.clamp(0.0, 1.0);
+        self
     }
 
     /// NVIDIA Jetson Orin NX: 1024-core Ampere GPU, 16 GB (Table III).
     pub fn jetson_orin_nx() -> Self {
-        DeviceProfile::new("Jetson Orin NX", 1200.0, 16 * GIB, 100.0, true)
+        DeviceProfile::new("Jetson Orin NX", 1200.0, 16 * GIB, 100.0, true).with_availability(0.95)
     }
 
     /// NVIDIA Jetson TX2 NX: 256-core Pascal GPU, 4 GB (Table III).
     pub fn jetson_tx2_nx() -> Self {
-        DeviceProfile::new("Jetson TX2 NX", 350.0, 4 * GIB, 80.0, true)
+        DeviceProfile::new("Jetson TX2 NX", 350.0, 4 * GIB, 80.0, true).with_availability(0.90)
     }
 
     /// NVIDIA Jetson Nano: the slower reference device of Table I (≈2× the
     /// Orin NX's per-round training time in the paper's measurements).
     pub fn jetson_nano() -> Self {
-        DeviceProfile::new("Jetson Nano", 550.0, 4 * GIB, 60.0, true)
+        DeviceProfile::new("Jetson Nano", 550.0, 4 * GIB, 60.0, true).with_availability(0.85)
     }
 
     /// Raspberry Pi 4B: quad-core Cortex-A72, no GPU (Table III).
     pub fn raspberry_pi_4b() -> Self {
-        DeviceProfile::new("Raspberry Pi 4B", 12.0, 4 * GIB, 40.0, false)
+        DeviceProfile::new("Raspberry Pi 4B", 12.0, 4 * GIB, 40.0, false).with_availability(0.75)
     }
 
     /// The device classes used by the memory-limited case: 16 GB GPU, 4 GB

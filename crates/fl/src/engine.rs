@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::parallel::run_clients;
 use crate::{
-    ClientUpdate, FederationContext, FlResult, MetricsReport, Parallelism, RoundRecord, Schedule,
+    ClientRoundStat, ClientScheduler, ClientUpdate, FederationContext, FlResult, MetricsReport,
+    Parallelism, RoundRecord, Schedule,
 };
 
 /// A federated learning algorithm as seen by the engine, split into an
@@ -75,6 +76,43 @@ pub trait FlAlgorithm: Send + Sync {
     fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32>;
 }
 
+/// How the engine advances rounds on the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Execution {
+    /// Classic synchronous rounds: every selected client is dispatched at
+    /// the round start and the clock advances by the scheduler-reported
+    /// round duration (stragglers dominate).
+    #[default]
+    Synchronous,
+    /// FedBuff-style asynchronous buffered aggregation: the engine keeps a
+    /// fixed number of clients in flight, each update lands at
+    /// `dispatch_time + cost.total_secs()` on an event-driven clock, and the
+    /// server aggregates whenever `buffer_size` updates have accumulated —
+    /// weighting each by `1/sqrt(1 + staleness)`. Freed slots are refilled
+    /// immediately via the scheduler's
+    /// [`pick_next`](crate::ClientScheduler::pick_next).
+    AsyncBuffered {
+        /// Number of buffered updates that triggers a server aggregation
+        /// (clamped to at least 1). One aggregation counts as one "round"
+        /// against [`EngineConfig::rounds`].
+        buffer_size: usize,
+        /// Number of clients kept in flight; `0` means the same count a
+        /// synchronous round would select (`sample_ratio × num_clients`).
+        concurrency: usize,
+    },
+}
+
+impl Execution {
+    /// Asynchronous buffered execution with the given buffer size and the
+    /// default concurrency (the synchronous per-round client count).
+    pub fn async_buffered(buffer_size: usize) -> Self {
+        Execution::AsyncBuffered {
+            buffer_size,
+            concurrency: 0,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -90,8 +128,11 @@ pub struct EngineConfig {
     pub stability_clients: usize,
     /// Client-selection policy.
     pub schedule: Schedule,
-    /// Execution mode of the client phase.
+    /// Thread-level execution mode of the client phase.
     pub parallelism: Parallelism,
+    /// Round-advancement mode: synchronous rounds or asynchronous buffered
+    /// aggregation.
+    pub execution: Execution,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +144,7 @@ impl Default for EngineConfig {
             stability_clients: 16,
             schedule: Schedule::Uniform,
             parallelism: Parallelism::Sequential,
+            execution: Execution::Synchronous,
         }
     }
 }
@@ -126,18 +168,43 @@ impl FlEngine {
         &self.config
     }
 
+    /// The number of clients a synchronous round selects (and the default
+    /// in-flight count of the asynchronous engine).
+    pub(crate) fn per_round(&self, ctx: &FederationContext) -> usize {
+        let num_clients = ctx.num_clients();
+        ((num_clients as f64 * self.config.sample_ratio).round() as usize).clamp(1, num_clients)
+    }
+
+    /// The fixed, seeded client sample the stability metric is evaluated on
+    /// (not clients `0..k`, which would bias the metric toward low-index
+    /// clients under index-correlated device assignments).
+    pub(crate) fn stability_sample(&self, ctx: &FederationContext) -> Vec<usize> {
+        let num_clients = ctx.num_clients();
+        let eval_clients = self.config.stability_clients.min(num_clients).max(1);
+        SeededRng::new(ctx.seed() ^ 0x57AB).choose_indices(num_clients, eval_clients)
+    }
+
+    /// Whether `round` is an evaluation point.
+    pub(crate) fn is_eval_round(&self, round: usize) -> bool {
+        round.is_multiple_of(self.config.eval_every.max(1)) || round == self.config.rounds
+    }
+
     /// Runs the full experiment, returning the metric report.
     ///
-    /// Each synchronous round advances the simulated wall clock by the
-    /// duration the scheduler reports — for the default uniform policy the
-    /// maximum of the selected clients' per-round compute + communication
-    /// times (stragglers dominate), which is what makes *time-to-accuracy*
-    /// sensitive to the device constraint in the same way the paper's
-    /// measurements are.
+    /// With [`Execution::Synchronous`] each round advances the simulated
+    /// wall clock by the duration the scheduler reports — for the default
+    /// uniform policy the maximum of the selected clients' per-round
+    /// compute-plus-communication times (stragglers dominate) — which makes the
+    /// time-to-accuracy metric sensitive to the device constraint in the
+    /// same way the paper's measurements are. With
+    /// [`Execution::AsyncBuffered`] the clock is event-driven: updates land
+    /// as they finish and the server aggregates whenever the buffer fills
+    /// (see [`Execution`]).
     ///
     /// The report is a pure function of `(algorithm, ctx, config minus
     /// parallelism)`: running with [`Parallelism::Threads`] produces a
-    /// bit-identical report to a sequential run with the same seed.
+    /// bit-identical report to a sequential run with the same seed, in both
+    /// execution modes.
     ///
     /// # Errors
     /// Propagates algorithm failures.
@@ -147,23 +214,40 @@ impl FlEngine {
         ctx: &FederationContext,
     ) -> FlResult<MetricsReport> {
         algorithm.setup(ctx)?;
-        let mut report = MetricsReport::new(algorithm.name());
         let scheduler = self.config.schedule.build();
         let mut rng = SeededRng::new(ctx.seed() ^ 0xF00D);
-        let num_clients = ctx.num_clients();
-        let per_round = ((num_clients as f64 * self.config.sample_ratio).round() as usize)
-            .clamp(1, num_clients);
+        match self.config.execution {
+            Execution::Synchronous => self.run_sync(algorithm, ctx, &*scheduler, &mut rng),
+            Execution::AsyncBuffered {
+                buffer_size,
+                concurrency,
+            } => crate::buffered::run_async(
+                self,
+                algorithm,
+                ctx,
+                &*scheduler,
+                &mut rng,
+                buffer_size,
+                concurrency,
+            ),
+        }
+    }
 
-        // The stability metric is evaluated on a fixed, seeded sample of the
-        // population (not clients 0..k, which would bias the metric toward
-        // low-index clients under index-correlated device assignments).
-        let eval_clients = self.config.stability_clients.min(num_clients).max(1);
-        let stability_sample =
-            SeededRng::new(ctx.seed() ^ 0x57AB).choose_indices(num_clients, eval_clients);
+    fn run_sync(
+        &self,
+        algorithm: &mut dyn FlAlgorithm,
+        ctx: &FederationContext,
+        scheduler: &dyn ClientScheduler,
+        rng: &mut SeededRng,
+    ) -> FlResult<MetricsReport> {
+        let mut report = MetricsReport::new(algorithm.name());
+        let per_round = self.per_round(ctx);
+        let stability_sample = self.stability_sample(ctx);
 
         let mut sim_time = 0.0f64;
+        let mut pending_stats: Vec<ClientRoundStat> = Vec::new();
         for round in 1..=self.config.rounds {
-            let plan = scheduler.plan_round(round, per_round, ctx, &mut rng);
+            let plan = scheduler.plan_round(round, per_round, sim_time, ctx, rng);
             let updates = run_clients(
                 &*algorithm,
                 round,
@@ -171,27 +255,63 @@ impl FlEngine {
                 ctx,
                 self.config.parallelism,
             )?;
+            // Synchronous telemetry: everyone launches at the round start and
+            // lands after their own cost; nothing is ever stale.
+            for update in &updates {
+                let cost = ctx.assignment(update.client).cost;
+                pending_stats.push(ClientRoundStat {
+                    client: update.client,
+                    round,
+                    dispatch_secs: sim_time,
+                    arrival_secs: sim_time + cost.total_secs(),
+                    staleness: 0,
+                    payload_bytes: update.payload.payload_bytes(),
+                });
+            }
             algorithm.aggregate(round, updates, ctx)?;
             sim_time += plan.round_secs;
 
-            let is_eval_round =
-                round % self.config.eval_every.max(1) == 0 || round == self.config.rounds;
-            if is_eval_round {
-                let global_accuracy = algorithm.evaluate_global(ctx.data().test())?;
-                let mut per_client_accuracy = Vec::with_capacity(stability_sample.len());
-                for &client in &stability_sample {
-                    per_client_accuracy.push(algorithm.evaluate_client(client, ctx.data().test())?);
-                }
-                report.push(RoundRecord {
+            if self.is_eval_round(round) {
+                record_evaluation(
+                    &mut report,
+                    algorithm,
+                    ctx,
+                    &stability_sample,
                     round,
-                    sim_time_secs: sim_time,
-                    global_accuracy,
-                    per_client_accuracy,
-                });
+                    sim_time,
+                    std::mem::take(&mut pending_stats),
+                )?;
             }
         }
         Ok(report)
     }
+}
+
+/// Evaluates the global model and the stability sample, appending a
+/// [`RoundRecord`] that carries the telemetry accumulated since the previous
+/// evaluation point. Shared by the synchronous and asynchronous paths.
+pub(crate) fn record_evaluation(
+    report: &mut MetricsReport,
+    algorithm: &mut dyn FlAlgorithm,
+    ctx: &FederationContext,
+    stability_sample: &[usize],
+    round: usize,
+    sim_time: f64,
+    client_stats: Vec<ClientRoundStat>,
+) -> FlResult<()> {
+    let global_accuracy = algorithm.evaluate_global(ctx.data().test())?;
+    let mut per_client_accuracy = Vec::with_capacity(stability_sample.len());
+    for &client in stability_sample {
+        per_client_accuracy.push(algorithm.evaluate_client(client, ctx.data().test())?);
+    }
+    report.push(RoundRecord {
+        round,
+        sim_time_secs: sim_time,
+        global_accuracy,
+        per_client_accuracy,
+        client_stats,
+    });
+    Ok(())
 }
 
 #[cfg(test)]

@@ -18,7 +18,14 @@
 //!
 //! Which clients run each round is decided by a pluggable
 //! [`ClientScheduler`] ([`UniformSampler`], [`DeadlineAware`],
-//! [`PowerOfChoice`]), configured via the [`Schedule`] enum.
+//! [`PowerOfChoice`], [`BandwidthAware`], [`AvailabilityTrace`]),
+//! configured via the [`Schedule`] enum.
+//!
+//! Rounds advance either synchronously (the clock moves by whole rounds,
+//! stragglers dominate) or through FedBuff-style asynchronous buffered
+//! aggregation on an event-driven clock ([`Execution`], [`buffered`
+//! module](staleness_weight)); both modes record per-client telemetry
+//! ([`ClientRoundStat`]) into the [`MetricsReport`].
 //!
 //! Shared machinery the algorithms build on lives here too:
 //!
@@ -31,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffered;
 mod context;
 mod engine;
 mod error;
@@ -41,13 +49,15 @@ pub mod submodel;
 pub mod train;
 mod update;
 
+pub use buffered::staleness_weight;
 pub use context::{FederationContext, LocalTrainConfig};
-pub use engine::{EngineConfig, FlAlgorithm, FlEngine};
+pub use engine::{EngineConfig, Execution, FlAlgorithm, FlEngine};
 pub use error::FlError;
-pub use metrics::{MetricsReport, RoundRecord};
+pub use metrics::{ClientRoundStat, MetricsReport, RoundRecord};
 pub use parallel::{run_clients, Parallelism};
 pub use schedule::{
-    ClientScheduler, DeadlineAware, PowerOfChoice, RoundPlan, Schedule, UniformSampler,
+    AvailabilityTrace, BandwidthAware, ClientScheduler, DeadlineAware, PowerOfChoice, RoundPlan,
+    Schedule, UniformSampler,
 };
 pub use update::{ClientPayload, ClientUpdate};
 

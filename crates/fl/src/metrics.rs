@@ -1,6 +1,39 @@
-//! The four evaluation metrics of the benchmark.
+//! The four evaluation metrics of the benchmark, plus per-client telemetry.
 
 use serde::{Deserialize, Serialize};
+
+/// Telemetry for one client's contribution to one server round: when it was
+/// dispatched and when its update arrived on the simulated clock, how stale
+/// the update was by the time the server folded it in, and how many bytes it
+/// uploaded.
+///
+/// Synchronous rounds dispatch every selected client at the round start and
+/// always record zero staleness; the asynchronous buffered engine records
+/// the actual event times and the number of server aggregations that
+/// completed while the update was in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientRoundStat {
+    /// The client that produced the update.
+    pub client: usize,
+    /// The server round (aggregation) the update was folded into.
+    pub round: usize,
+    /// Simulated time at which the client was dispatched.
+    pub dispatch_secs: f64,
+    /// Simulated time at which the update reached the server.
+    pub arrival_secs: f64,
+    /// Server aggregations completed between dispatch and arrival.
+    pub staleness: usize,
+    /// Bytes the client uploaded (its payload's wire size).
+    pub payload_bytes: u64,
+}
+
+impl ClientRoundStat {
+    /// How long the client was busy (training + communicating) for this
+    /// update, in simulated seconds.
+    pub fn busy_secs(&self) -> f64 {
+        (self.arrival_secs - self.dispatch_secs).max(0.0)
+    }
+}
 
 /// Measurements recorded at one evaluation point of a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -15,6 +48,9 @@ pub struct RoundRecord {
     pub global_accuracy: f32,
     /// Accuracy of each client's deployed model on the global test set.
     pub per_client_accuracy: Vec<f32>,
+    /// Per-client telemetry of every update aggregated since the previous
+    /// evaluation point (inclusive of this record's round).
+    pub client_stats: Vec<ClientRoundStat>,
 }
 
 /// The full metric record of one experiment, from which the paper's four
@@ -91,6 +127,60 @@ impl MetricsReport {
             .map(|r| (r.sim_time_secs, r.global_accuracy))
             .collect()
     }
+
+    /// Every per-client telemetry record of the run, in aggregation order.
+    pub fn client_stats(&self) -> impl Iterator<Item = &ClientRoundStat> {
+        self.records.iter().flat_map(|r| r.client_stats.iter())
+    }
+
+    /// Mean staleness (in server rounds) over every aggregated update; `0.0`
+    /// for an empty report and for any fully synchronous run.
+    pub fn mean_staleness(&self) -> f64 {
+        let (sum, count) = self
+            .client_stats()
+            .fold((0usize, 0usize), |(s, n), stat| (s + stat.staleness, n + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Total bytes uploaded by clients over the run.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.client_stats().map(|s| s.payload_bytes).sum()
+    }
+
+    /// Client-slot utilisation: the fraction of available client-slot time
+    /// spent training or communicating, `sum(busy) / (peak_concurrency ×
+    /// span)`. A fully synchronous run is dragged below `1.0` by stragglers
+    /// (fast clients idle until the slowest finishes); the asynchronous
+    /// engine recovers that idle time by refilling slots as updates arrive.
+    /// Returns `0.0` when the report carries no telemetry.
+    pub fn utilisation(&self) -> f64 {
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        let mut busy = 0.0f64;
+        let mut span_end = 0.0f64;
+        for stat in self.client_stats() {
+            busy += stat.busy_secs();
+            span_end = span_end.max(stat.arrival_secs);
+            events.push((stat.dispatch_secs, 1));
+            events.push((stat.arrival_secs, -1));
+        }
+        if events.is_empty() || span_end <= 0.0 {
+            return 0.0;
+        }
+        // Departures sort before arrivals at the same instant so back-to-back
+        // reuse of a slot does not inflate the peak.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut current = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            current += i64::from(delta);
+            peak = peak.max(current);
+        }
+        busy / (peak.max(1) as f64 * span_end)
+    }
 }
 
 fn variance(values: &[f32]) -> f32 {
@@ -105,6 +195,24 @@ fn variance(values: &[f32]) -> f32 {
 mod tests {
     use super::*;
 
+    fn stat(
+        client: usize,
+        round: usize,
+        dispatch: f64,
+        arrival: f64,
+        staleness: usize,
+        bytes: u64,
+    ) -> ClientRoundStat {
+        ClientRoundStat {
+            client,
+            round,
+            dispatch_secs: dispatch,
+            arrival_secs: arrival,
+            staleness,
+            payload_bytes: bytes,
+        }
+    }
+
     fn report() -> MetricsReport {
         let mut r = MetricsReport::new("TestAlg");
         r.push(RoundRecord {
@@ -112,18 +220,27 @@ mod tests {
             sim_time_secs: 10.0,
             global_accuracy: 0.2,
             per_client_accuracy: vec![0.2, 0.2],
+            client_stats: vec![stat(0, 1, 0.0, 4.0, 0, 100), stat(1, 1, 0.0, 10.0, 0, 200)],
         });
         r.push(RoundRecord {
             round: 2,
             sim_time_secs: 20.0,
             global_accuracy: 0.5,
             per_client_accuracy: vec![0.4, 0.6],
+            client_stats: vec![
+                stat(0, 2, 10.0, 14.0, 1, 100),
+                stat(1, 2, 10.0, 20.0, 1, 200),
+            ],
         });
         r.push(RoundRecord {
             round: 3,
             sim_time_secs: 30.0,
             global_accuracy: 0.45,
             per_client_accuracy: vec![0.5, 0.4],
+            client_stats: vec![
+                stat(0, 3, 20.0, 24.0, 0, 100),
+                stat(1, 3, 20.0, 30.0, 2, 200),
+            ],
         });
         r
     }
@@ -169,5 +286,39 @@ mod tests {
         assert_eq!(r.final_accuracy(), 0.0);
         assert_eq!(r.stability(), 0.0);
         assert_eq!(r.time_to_accuracy(0.1), None);
+        assert_eq!(r.mean_staleness(), 0.0);
+        assert_eq!(r.total_payload_bytes(), 0);
+        assert_eq!(r.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_aggregates_over_all_records() {
+        let r = report();
+        assert_eq!(r.client_stats().count(), 6);
+        // Stalenesses: 0, 0, 1, 1, 0, 2.
+        assert!((r.mean_staleness() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(r.total_payload_bytes(), 3 * 100 + 3 * 200);
+    }
+
+    #[test]
+    fn utilisation_reflects_straggler_idle_time() {
+        let r = report();
+        // Two slots over a 30 s span; busy time = (4+10) + (4+10) + (4+10).
+        let expected = 42.0 / (2.0 * 30.0);
+        assert!(
+            (r.utilisation() - expected).abs() < 1e-12,
+            "utilisation {} vs expected {expected}",
+            r.utilisation()
+        );
+        // Fully packed slots hit exactly 1.0.
+        let mut packed = MetricsReport::new("Packed");
+        packed.push(RoundRecord {
+            round: 1,
+            sim_time_secs: 10.0,
+            global_accuracy: 0.5,
+            per_client_accuracy: vec![],
+            client_stats: vec![stat(0, 1, 0.0, 10.0, 0, 1), stat(1, 1, 0.0, 10.0, 0, 1)],
+        });
+        assert!((packed.utilisation() - 1.0).abs() < 1e-12);
     }
 }

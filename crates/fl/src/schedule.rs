@@ -5,8 +5,17 @@
 //! clock. The scheduler sees the per-client [`RoundCost`]s through the
 //! [`FederationContext`], so policies can react to device heterogeneity:
 //! [`UniformSampler`] reproduces classic FedAvg sampling, [`DeadlineAware`]
-//! drops stragglers that would miss a server deadline, and [`PowerOfChoice`]
-//! over-samples candidates and keeps the fastest.
+//! drops stragglers that would miss a server deadline, [`PowerOfChoice`]
+//! over-samples candidates and keeps the fastest, [`BandwidthAware`] prefers
+//! clients with the cheapest uploads (payload bytes over uplink bandwidth),
+//! and [`AvailabilityTrace`] runs a seeded on/offline trace per client —
+//! offline clients cannot be dispatched.
+//!
+//! The asynchronous buffered engine (see
+//! [`Execution`](crate::Execution)) additionally consults
+//! [`is_available`](ClientScheduler::is_available) and
+//! [`pick_next`](ClientScheduler::pick_next) to refill dispatch slots one
+//! client at a time as updates arrive.
 //!
 //! Schedulers are configured declaratively through the [`Schedule`] enum on
 //! [`EngineConfig`](crate::EngineConfig) /
@@ -40,14 +49,49 @@ pub trait ClientScheduler: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Plans one round: which of the `ctx.num_clients()` clients run, given
-    /// a target participation count of `per_round`.
+    /// a target participation count of `per_round`. `now` is the simulated
+    /// time at which the round starts (availability-gated policies use it to
+    /// look up their trace).
     fn plan_round(
         &self,
         round: usize,
         per_round: usize,
+        now: f64,
         ctx: &FederationContext,
         rng: &mut SeededRng,
     ) -> RoundPlan;
+
+    /// Whether `client` can be dispatched at simulated time `now`. The
+    /// default is always-on; trace-driven policies override this.
+    fn is_available(&self, _client: usize, _now: f64, _ctx: &FederationContext) -> bool {
+        true
+    }
+
+    /// Asynchronous dispatch: picks the next client to launch at `now` from
+    /// `eligible` (the available clients not currently in flight, in
+    /// ascending index order). The default picks uniformly at random;
+    /// cost-sensitive policies override it.
+    fn pick_next(
+        &self,
+        _now: f64,
+        eligible: &[usize],
+        _ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> Option<usize> {
+        if eligible.is_empty() {
+            None
+        } else {
+            Some(eligible[rng.index(eligible.len())])
+        }
+    }
+
+    /// How far the asynchronous engine advances the clock when no client is
+    /// dispatchable and nothing is in flight. Trace-driven policies return
+    /// their trace period so the engine wakes up exactly when availability
+    /// can change.
+    fn idle_wait_secs(&self) -> f64 {
+        1.0
+    }
 }
 
 /// The slowest selected client's round cost — the duration of a synchronous
@@ -73,6 +117,7 @@ impl ClientScheduler for UniformSampler {
         &self,
         _round: usize,
         per_round: usize,
+        _now: f64,
         ctx: &FederationContext,
         rng: &mut SeededRng,
     ) -> RoundPlan {
@@ -105,6 +150,7 @@ impl ClientScheduler for DeadlineAware {
         &self,
         _round: usize,
         per_round: usize,
+        _now: f64,
         ctx: &FederationContext,
         rng: &mut SeededRng,
     ) -> RoundPlan {
@@ -148,6 +194,7 @@ impl ClientScheduler for PowerOfChoice {
         &self,
         _round: usize,
         per_round: usize,
+        _now: f64,
         ctx: &FederationContext,
         rng: &mut SeededRng,
     ) -> RoundPlan {
@@ -173,6 +220,164 @@ impl ClientScheduler for PowerOfChoice {
     }
 }
 
+/// Bandwidth-aware selection: prefers clients whose upload is cheapest,
+/// ranked by the ratio of their per-round payload bytes to their uplink
+/// bandwidth (i.e. estimated upload seconds). In synchronous mode it
+/// over-samples `factor ×` the target count and keeps the cheapest uploads;
+/// in asynchronous mode it fills each freed dispatch slot with the eligible
+/// client whose upload is cheapest.
+///
+/// The selection uses the cost model's payload estimate
+/// ([`RoundCost::payload_bytes`](mhfl_device::RoundCost)); the bytes a
+/// client *actually* uploads are reported per update by
+/// [`ClientPayload::payload_bytes`](crate::ClientPayload::payload_bytes)
+/// and land in the telemetry this policy is trying to minimise.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthAware {
+    /// Over-sampling factor for the synchronous candidate pool (`factor ×
+    /// per_round`); values below 2 degenerate towards uniform sampling.
+    pub factor: usize,
+}
+
+/// Estimated upload seconds of a client: payload bytes over uplink.
+fn upload_secs(ctx: &FederationContext, client: usize) -> f64 {
+    let a = ctx.assignment(client);
+    a.cost.payload_bytes as f64 * 8.0 / (a.device.bandwidth_mbps.max(0.1) * 1e6)
+}
+
+impl ClientScheduler for BandwidthAware {
+    fn name(&self) -> &'static str {
+        "bandwidth-aware"
+    }
+
+    fn plan_round(
+        &self,
+        _round: usize,
+        per_round: usize,
+        _now: f64,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan {
+        let n = ctx.num_clients();
+        let per_round = per_round.min(n);
+        let pool = (per_round * self.factor.max(1)).min(n);
+        let mut candidates = rng.choose_indices(n, pool);
+        // Cheapest upload first; ties broken by client index for determinism.
+        candidates.sort_by(|&a, &b| {
+            upload_secs(ctx, a)
+                .partial_cmp(&upload_secs(ctx, b))
+                .expect("upload times are finite")
+                .then(a.cmp(&b))
+        });
+        candidates.truncate(per_round);
+        candidates.sort_unstable();
+        let round_secs = max_cost_secs(ctx, &candidates);
+        RoundPlan {
+            clients: candidates,
+            round_secs,
+        }
+    }
+
+    fn pick_next(
+        &self,
+        _now: f64,
+        eligible: &[usize],
+        ctx: &FederationContext,
+        _rng: &mut SeededRng,
+    ) -> Option<usize> {
+        eligible.iter().copied().min_by(|&a, &b| {
+            upload_secs(ctx, a)
+                .partial_cmp(&upload_secs(ctx, b))
+                .expect("upload times are finite")
+                .then(a.cmp(&b))
+        })
+    }
+}
+
+/// Availability-trace scheduling: each client flips on/offline per a seeded
+/// trace discretised into slots of `period_secs`. Within slot `s`, client
+/// `c` is online with probability `online_fraction ×` its device's expected
+/// [`availability`](mhfl_device::DeviceCapability) — wall-powered edge boxes
+/// churn far less than phones. Offline clients cannot be selected
+/// (synchronous mode) or dispatched (asynchronous mode).
+///
+/// The trace is a pure function of `(experiment seed, client, slot)`, so
+/// runs are reproducible and availability does not depend on what the
+/// scheduler previously chose.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityTrace {
+    /// Length of one trace slot in simulated seconds (how often devices
+    /// can change between on- and offline).
+    pub period_secs: f64,
+    /// Global multiplier in `[0, 1]` on each device's expected availability
+    /// (`0.0` takes every client offline, `1.0` leaves device churn as the
+    /// only cause of unavailability).
+    pub online_fraction: f64,
+}
+
+impl AvailabilityTrace {
+    fn slot(&self, now: f64) -> u64 {
+        if self.period_secs <= 0.0 {
+            return 0;
+        }
+        (now / self.period_secs).floor() as u64
+    }
+
+    fn is_online(&self, client: usize, now: f64, ctx: &FederationContext) -> bool {
+        let p = (self.online_fraction * ctx.assignment(client).device.availability).clamp(0.0, 1.0);
+        // An independent, order-free draw per (seed, client, slot).
+        SeededRng::new(ctx.seed() ^ 0x7ACE)
+            .derive(client as u64)
+            .derive(self.slot(now))
+            .bernoulli(p)
+    }
+}
+
+impl ClientScheduler for AvailabilityTrace {
+    fn name(&self) -> &'static str {
+        "availability-trace"
+    }
+
+    fn plan_round(
+        &self,
+        _round: usize,
+        per_round: usize,
+        now: f64,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan {
+        let online: Vec<usize> = (0..ctx.num_clients())
+            .filter(|&c| self.is_online(c, now, ctx))
+            .collect();
+        if online.is_empty() {
+            // Nobody is reachable: wait out the slot and try again.
+            return RoundPlan {
+                clients: Vec::new(),
+                round_secs: self.period_secs.max(f64::EPSILON),
+            };
+        }
+        let take = per_round.min(online.len());
+        let clients: Vec<usize> = rng
+            .choose_indices(online.len(), take)
+            .into_iter()
+            .map(|i| online[i])
+            .collect();
+        let round_secs = max_cost_secs(ctx, &clients);
+        RoundPlan {
+            clients,
+            round_secs,
+        }
+    }
+
+    fn is_available(&self, client: usize, now: f64, ctx: &FederationContext) -> bool {
+        self.is_online(client, now, ctx)
+    }
+
+    fn idle_wait_secs(&self) -> f64 {
+        self.period_secs.max(f64::EPSILON)
+    }
+}
+
 /// Declarative scheduler configuration carried by
 /// [`EngineConfig`](crate::EngineConfig) and `ExperimentSpec`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -191,6 +396,20 @@ pub enum Schedule {
         /// Candidate over-sampling factor.
         factor: usize,
     },
+    /// [`BandwidthAware`] cheapest-upload selection with the given
+    /// over-sampling factor.
+    BandwidthAware {
+        /// Candidate over-sampling factor.
+        factor: usize,
+    },
+    /// [`AvailabilityTrace`] on/offline gating with the given slot length
+    /// and online multiplier.
+    AvailabilityTrace {
+        /// Length of one trace slot in simulated seconds.
+        period_secs: f64,
+        /// Global multiplier on per-device expected availability.
+        online_fraction: f64,
+    },
 }
 
 impl Schedule {
@@ -200,6 +419,14 @@ impl Schedule {
             Schedule::Uniform => Box::new(UniformSampler),
             Schedule::DeadlineAware { deadline_secs } => Box::new(DeadlineAware { deadline_secs }),
             Schedule::FastestOfK { factor } => Box::new(PowerOfChoice { factor }),
+            Schedule::BandwidthAware { factor } => Box::new(BandwidthAware { factor }),
+            Schedule::AvailabilityTrace {
+                period_secs,
+                online_fraction,
+            } => Box::new(AvailabilityTrace {
+                period_secs,
+                online_fraction,
+            }),
         }
     }
 }
@@ -235,7 +462,7 @@ mod tests {
     fn uniform_sampler_matches_target_count() {
         let ctx = context(12);
         let mut rng = SeededRng::new(9);
-        let plan = UniformSampler.plan_round(1, 4, &ctx, &mut rng);
+        let plan = UniformSampler.plan_round(1, 4, 0.0, &ctx, &mut rng);
         assert_eq!(plan.clients.len(), 4);
         assert!(plan.clients.windows(2).all(|w| w[0] < w[1]));
         assert!(plan.round_secs > 0.0);
@@ -257,7 +484,7 @@ mod tests {
         };
         let mut rng = SeededRng::new(4);
         for round in 1..=50 {
-            let plan = scheduler.plan_round(round, 8, &ctx, &mut rng);
+            let plan = scheduler.plan_round(round, 8, 0.0, &ctx, &mut rng);
             for &c in &plan.clients {
                 assert!(
                     ctx.assignment(c).cost.total_secs() <= deadline,
@@ -280,7 +507,7 @@ mod tests {
             deadline_secs: min / 2.0,
         };
         let mut rng = SeededRng::new(1);
-        let plan = scheduler.plan_round(1, 8, &ctx, &mut rng);
+        let plan = scheduler.plan_round(1, 8, 0.0, &ctx, &mut rng);
         assert!(plan.clients.is_empty());
         assert!((plan.round_secs - min / 2.0).abs() < 1e-12);
     }
@@ -295,9 +522,9 @@ mod tests {
         let mut poc_total = 0.0;
         for round in 1..=40 {
             uniform_total += UniformSampler
-                .plan_round(round, 4, &ctx, &mut uniform_rng)
+                .plan_round(round, 4, 0.0, &ctx, &mut uniform_rng)
                 .round_secs;
-            let plan = poc.plan_round(round, 4, &ctx, &mut poc_rng);
+            let plan = poc.plan_round(round, 4, 0.0, &ctx, &mut poc_rng);
             assert_eq!(plan.clients.len(), 4);
             poc_total += plan.round_secs;
         }
@@ -322,6 +549,109 @@ mod tests {
             Schedule::FastestOfK { factor: 2 }.build().name(),
             "power-of-choice"
         );
+        assert_eq!(
+            Schedule::BandwidthAware { factor: 2 }.build().name(),
+            "bandwidth-aware"
+        );
+        assert_eq!(
+            Schedule::AvailabilityTrace {
+                period_secs: 50.0,
+                online_fraction: 0.8
+            }
+            .build()
+            .name(),
+            "availability-trace"
+        );
         assert_eq!(Schedule::default(), Schedule::Uniform);
+    }
+
+    #[test]
+    fn bandwidth_aware_prefers_cheap_uploads() {
+        let ctx = context(16);
+        let scheduler = BandwidthAware { factor: 4 };
+        let mut rng = SeededRng::new(5);
+        let plan = scheduler.plan_round(1, 4, 0.0, &ctx, &mut rng);
+        assert_eq!(plan.clients.len(), 4);
+        let mean_selected: f64 = plan
+            .clients
+            .iter()
+            .map(|&c| upload_secs(&ctx, c))
+            .sum::<f64>()
+            / plan.clients.len() as f64;
+        let mean_all: f64 = (0..16).map(|c| upload_secs(&ctx, c)).sum::<f64>() / 16.0;
+        assert!(
+            mean_selected <= mean_all,
+            "selected mean upload {mean_selected}s vs population {mean_all}s"
+        );
+        // Async dispatch picks the globally cheapest eligible upload.
+        let eligible: Vec<usize> = (0..16).collect();
+        let picked = scheduler
+            .pick_next(0.0, &eligible, &ctx, &mut rng)
+            .expect("eligible non-empty");
+        assert!(eligible
+            .iter()
+            .all(|&c| upload_secs(&ctx, picked) <= upload_secs(&ctx, c)));
+        assert!(scheduler.pick_next(0.0, &[], &ctx, &mut rng).is_none());
+    }
+
+    #[test]
+    fn availability_trace_is_deterministic_and_gates_selection() {
+        let ctx = context(12);
+        let trace = AvailabilityTrace {
+            period_secs: 100.0,
+            online_fraction: 0.5,
+        };
+        // The trace is a pure function of (seed, client, slot).
+        for client in 0..12 {
+            assert_eq!(
+                trace.is_available(client, 42.0, &ctx),
+                trace.is_available(client, 42.0, &ctx)
+            );
+            // Same slot, same answer.
+            assert_eq!(
+                trace.is_available(client, 1.0, &ctx),
+                trace.is_available(client, 99.0, &ctx)
+            );
+        }
+        // plan_round only ever selects online clients.
+        let mut rng = SeededRng::new(3);
+        for round in 1..=30 {
+            let now = round as f64 * 37.0;
+            let plan = trace.plan_round(round, 6, now, &ctx, &mut rng);
+            for &c in &plan.clients {
+                assert!(trace.is_available(c, now, &ctx), "client {c} is offline");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_online_fraction_takes_every_client_offline() {
+        let ctx = context(8);
+        let trace = AvailabilityTrace {
+            period_secs: 60.0,
+            online_fraction: 0.0,
+        };
+        let mut rng = SeededRng::new(1);
+        let plan = trace.plan_round(1, 4, 0.0, &ctx, &mut rng);
+        assert!(plan.clients.is_empty());
+        // The clock still advances by one trace slot.
+        assert!((plan.round_secs - 60.0).abs() < 1e-12);
+        assert!((0..8).all(|c| !trace.is_available(c, 0.0, &ctx)));
+        assert_eq!(trace.idle_wait_secs(), 60.0);
+    }
+
+    #[test]
+    fn new_policies_clamp_per_round_to_population() {
+        let ctx = context(5);
+        let mut rng = SeededRng::new(9);
+        let bw = BandwidthAware { factor: 3 }.plan_round(1, 40, 0.0, &ctx, &mut rng);
+        assert_eq!(bw.clients.len(), 5);
+        let trace = AvailabilityTrace {
+            period_secs: 50.0,
+            online_fraction: 1.0,
+        };
+        let plan = trace.plan_round(1, 40, 0.0, &ctx, &mut rng);
+        assert!(plan.clients.len() <= 5);
+        assert!(plan.clients.iter().all(|&c| c < 5));
     }
 }

@@ -65,6 +65,37 @@ impl ClientPayload {
             ClientPayload::Empty => "empty",
         }
     }
+
+    /// The number of bytes this upload would occupy on the wire (4 bytes per
+    /// `f32` plus a small header per tensor), i.e. what the client actually
+    /// transmits under the real protocol of its method.
+    ///
+    /// For [`Prototypes`](ClientPayload::Prototypes) and
+    /// [`PublicLogits`](ClientPayload::PublicLogits) the carried private
+    /// weights are **excluded**: they never leave the client in the real
+    /// protocol and only ride along to persist local state on the simulation
+    /// server. This is the quantity recorded in per-client telemetry and
+    /// minimised by bandwidth-aware scheduling.
+    pub fn payload_bytes(&self) -> u64 {
+        const F32: u64 = 4;
+        const TENSOR_HEADER: u64 = 16;
+        let state_bytes = |state: &StateDict| -> u64 {
+            state
+                .iter()
+                .map(|(_, t)| TENSOR_HEADER + t.len() as u64 * F32)
+                .sum()
+        };
+        match self {
+            ClientPayload::SubModel { state, .. } => state_bytes(state) + TENSOR_HEADER,
+            ClientPayload::Prototypes { sums, counts, .. } => {
+                2 * TENSOR_HEADER + (sums.len() + counts.len()) as u64 * F32
+            }
+            ClientPayload::PublicLogits { probs, .. } => {
+                TENSOR_HEADER + probs.len() as u64 * F32 + F32
+            }
+            ClientPayload::Empty => 0,
+        }
+    }
 }
 
 /// One client's contribution to a round: who trained, on how much data, and
@@ -77,20 +108,28 @@ pub struct ClientUpdate {
     pub num_samples: usize,
     /// The method-specific upload.
     pub payload: ClientPayload,
+    /// Multiplier the engine applies to this update's aggregation weight to
+    /// discount staleness. Synchronous rounds always deliver `1.0`; the
+    /// asynchronous buffered engine sets `1/sqrt(1 + staleness)`
+    /// (FedBuff-style), where staleness counts the server aggregations that
+    /// completed while this update was in flight.
+    pub staleness_weight: f32,
 }
 
 impl ClientUpdate {
-    /// Convenience constructor.
+    /// Convenience constructor (staleness weight `1.0`, i.e. fresh).
     pub fn new(client: usize, num_samples: usize, payload: ClientPayload) -> Self {
         ClientUpdate {
             client,
             num_samples,
             payload,
+            staleness_weight: 1.0,
         }
     }
 
-    /// The FedAvg-style aggregation weight of this update (at least one).
+    /// The FedAvg-style aggregation weight of this update (at least one
+    /// sample), discounted by the engine-assigned staleness weight.
     pub fn weight(&self) -> f32 {
-        self.num_samples.max(1) as f32
+        self.num_samples.max(1) as f32 * self.staleness_weight
     }
 }

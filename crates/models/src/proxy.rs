@@ -300,6 +300,30 @@ impl ProxyModel {
     /// Returns an error if the configuration is degenerate (zero classes or
     /// non-positive fractions).
     pub fn new(config: ProxyConfig) -> Result<Self> {
+        let mut rng = SeededRng::new(config.seed);
+        Self::build(config, &mut rng)
+    }
+
+    /// Rebuilds a model from a stored snapshot, skipping random parameter
+    /// initialisation entirely.
+    ///
+    /// Functionally equivalent to [`ProxyModel::new`] followed by
+    /// [`ProxyModel::load_state_dict`], but the parameters are constructed
+    /// zero-filled (no Box–Muller draws) before the snapshot overwrites
+    /// them — the hot path when stateful algorithms (FedProto, Fed-ET)
+    /// rebuild a client model from its persisted `(ProxyConfig, StateDict)`
+    /// snapshot every round.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is degenerate or the snapshot
+    /// is missing parameters / has mismatched shapes for this configuration.
+    pub fn from_state(config: ProxyConfig, state: &StateDict) -> Result<Self> {
+        let mut model = Self::build(config, &mut SeededRng::zero_init())?;
+        model.load_state_dict(state)?;
+        Ok(model)
+    }
+
+    fn build(config: ProxyConfig, rng: &mut SeededRng) -> Result<Self> {
         if config.num_classes == 0 {
             return Err(NnError::InvalidConfig(
                 "num_classes must be positive".into(),
@@ -310,12 +334,11 @@ impl ProxyModel {
                 "width/depth fractions must be positive".into(),
             ));
         }
-        let mut rng = SeededRng::new(config.seed);
         let dim = config.dim();
         let blocks_count = config.num_blocks();
         let kind = config.block_kind();
 
-        let stem = Stem::new(&config.input, dim, &mut rng)?;
+        let stem = Stem::new(&config.input, dim, rng)?;
         let mut blocks = Vec::with_capacity(blocks_count);
         for i in 0..blocks_count {
             let mut block_rng = rng.derive(i as u64 + 1);
@@ -660,6 +683,47 @@ mod tests {
             last < first.unwrap() * 0.6,
             "training did not reduce loss: {last} vs {first:?}"
         );
+    }
+
+    #[test]
+    fn from_state_matches_new_plus_load_exactly() {
+        for cfg in [
+            cifar_config(ModelFamily::ResNet50).with_width(0.5),
+            cifar_config(ModelFamily::MobileNetV2).with_aux_heads(true),
+            ProxyConfig::for_family(ModelFamily::HarCnn, InputKind::Features { dim: 12 }, 5, 3),
+        ] {
+            let original = ProxyModel::new(cfg).unwrap();
+            let sd = original.state_dict();
+
+            let mut via_load = ProxyModel::new(cfg).unwrap();
+            via_load.load_state_dict(&sd).unwrap();
+            let mut via_from_state = ProxyModel::from_state(cfg, &sd).unwrap();
+
+            assert_eq!(via_from_state.state_dict(), via_load.state_dict());
+            assert_eq!(via_from_state.num_parameters(), via_load.num_parameters());
+            // Forward passes agree bit-for-bit.
+            let x = match cfg.input {
+                InputKind::Image {
+                    channels,
+                    height,
+                    width,
+                } => Tensor::ones(&[2, channels, height, width]),
+                InputKind::Tokens { seq_len, .. } => Tensor::zeros(&[2, seq_len]),
+                InputKind::Features { dim } => Tensor::ones(&[2, dim]),
+            };
+            let a = via_load.forward_detailed(&x, false).unwrap();
+            let b = via_from_state.forward_detailed(&x, false).unwrap();
+            assert_eq!(a.logits.as_slice(), b.logits.as_slice());
+            assert_eq!(a.features.as_slice(), b.features.as_slice());
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_mismatched_snapshots() {
+        let full = ProxyModel::new(cifar_config(ModelFamily::ResNet34)).unwrap();
+        let sd = full.state_dict();
+        let half_cfg = cifar_config(ModelFamily::ResNet34).with_width(0.5);
+        assert!(ProxyModel::from_state(half_cfg, &sd).is_err());
     }
 
     #[test]

@@ -84,6 +84,7 @@ impl Xoshiro256 {
 pub struct SeededRng {
     inner: Xoshiro256,
     seed: u64,
+    zero_init: bool,
 }
 
 impl SeededRng {
@@ -92,7 +93,31 @@ impl SeededRng {
         SeededRng {
             inner: Xoshiro256::new(seed),
             seed,
+            zero_init: false,
         }
+    }
+
+    /// Creates a generator whose continuous samplers ([`normal`] and
+    /// [`uniform`]) return `0.0` without touching the generator state.
+    ///
+    /// Used to build parameter containers whose values are immediately
+    /// overwritten — e.g. `ProxyModel::from_state` reconstructing a client
+    /// model from a stored snapshot — skipping the Box–Muller work of a full
+    /// random initialisation. Discrete samplers are unaffected.
+    ///
+    /// [`normal`]: SeededRng::normal
+    /// [`uniform`]: SeededRng::uniform
+    pub fn zero_init() -> Self {
+        SeededRng {
+            zero_init: true,
+            ..SeededRng::new(0)
+        }
+    }
+
+    /// Whether this generator is the zero-initialisation stub produced by
+    /// [`SeededRng::zero_init`].
+    pub fn is_zero_init(&self) -> bool {
+        self.zero_init
     }
 
     /// The seed this generator was created with.
@@ -112,12 +137,20 @@ impl SeededRng {
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SeededRng::new(z ^ (z >> 31))
+        SeededRng {
+            // Children of a zero-init stub stay zero-init, so an entire model
+            // built from one skips initialisation in every sub-module.
+            zero_init: self.zero_init,
+            ..SeededRng::new(z ^ (z >> 31))
+        }
     }
 
     /// Samples a standard-normal value scaled to mean `mean` and standard
     /// deviation `std` (Box–Muller transform; avoids extra dependencies).
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        if self.zero_init {
+            return 0.0;
+        }
         let u1: f32 = self.inner.range_f32(f32::EPSILON, 1.0);
         let u2: f32 = self.inner.range_f32(0.0, 1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
@@ -126,6 +159,9 @@ impl SeededRng {
 
     /// Samples uniformly from `[low, high)`.
     pub fn uniform(&mut self, low: f32, high: f32) -> f32 {
+        if self.zero_init {
+            return 0.0;
+        }
         if (high - low).abs() < f32::EPSILON {
             return low;
         }
@@ -332,5 +368,21 @@ mod tests {
         let mut rng = SeededRng::new(1);
         assert!(!rng.bernoulli(0.0));
         assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn zero_init_samplers_return_zero_and_propagate_to_children() {
+        let mut rng = SeededRng::zero_init();
+        assert!(rng.is_zero_init());
+        assert_eq!(rng.normal(5.0, 2.0), 0.0);
+        assert_eq!(rng.uniform(1.0, 3.0), 0.0);
+        let mut child = rng.derive(7);
+        assert!(child.is_zero_init());
+        assert_eq!(child.normal(1.0, 1.0), 0.0);
+        // A regular generator is unaffected.
+        let mut real = SeededRng::new(7);
+        assert!(!real.is_zero_init());
+        assert!(!real.derive(3).is_zero_init());
+        assert_ne!(real.normal(5.0, 2.0), 0.0);
     }
 }

@@ -84,6 +84,9 @@ impl Tensor {
 
     /// Creates a tensor with entries drawn from `N(0, std^2)`.
     pub fn randn(dims: &[usize], std: f32, rng: &mut SeededRng) -> Self {
+        if rng.is_zero_init() {
+            return Tensor::zeros(dims);
+        }
         let shape = Shape::new(dims);
         let data = (0..shape.len()).map(|_| rng.normal(0.0, std)).collect();
         Tensor { shape, data }
@@ -91,6 +94,9 @@ impl Tensor {
 
     /// Creates a tensor with entries drawn uniformly from `[low, high)`.
     pub fn rand_uniform(dims: &[usize], low: f32, high: f32, rng: &mut SeededRng) -> Self {
+        if rng.is_zero_init() {
+            return Tensor::zeros(dims);
+        }
         let shape = Shape::new(dims);
         let data = (0..shape.len()).map(|_| rng.uniform(low, high)).collect();
         Tensor { shape, data }

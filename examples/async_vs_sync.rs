@@ -1,0 +1,81 @@
+//! Execution-mode scenario: the same federation, run with synchronous
+//! rounds and with FedBuff-style asynchronous buffered aggregation.
+//!
+//! Synchronous rounds advance the simulated clock by the slowest selected
+//! client; the asynchronous engine keeps a fixed number of clients in
+//! flight, aggregates whenever a buffer of updates fills, and discounts
+//! stale updates by `1/sqrt(1 + staleness)`. Per-client telemetry
+//! (dispatch/arrival times, staleness, uploaded bytes) makes the trade
+//! visible: utilisation rises, staleness appears.
+//!
+//! ```bash
+//! cargo run --release --example async_vs_sync
+//! ```
+
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_models::MhflMethod;
+use pracmhbench_core::{format_table, Execution, ExperimentSpec, Parallelism, RunScale, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = ExperimentSpec::new(
+        DataTask::UciHar,
+        MhflMethod::SHeteroFl,
+        ConstraintCase::Memory,
+    )
+    .with_scale(RunScale::Quick)
+    .with_parallelism(Parallelism::threads())
+    .with_seed(17);
+
+    let modes: [(&str, ExperimentSpec); 3] = [
+        ("sync", base),
+        (
+            "async (K=2)",
+            base.with_execution(Execution::async_buffered(2)),
+        ),
+        (
+            "async (K=2) + availability trace",
+            base.with_execution(Execution::async_buffered(2))
+                .with_schedule(Schedule::AvailabilityTrace {
+                    period_secs: 400.0,
+                    online_fraction: 0.8,
+                }),
+        ),
+    ];
+
+    println!(
+        "Execution modes: SHeteroFL on {} (quick scale)\n",
+        base.task
+    );
+    let mut rows = Vec::new();
+    for (label, spec) in modes {
+        let outcome = spec.run()?;
+        let report = &outcome.report;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", outcome.summary.global_accuracy),
+            format!("{:.1}", outcome.summary.total_time_secs),
+            format!("{:.2}", report.mean_staleness()),
+            format!("{:.2}", report.utilisation()),
+            format!("{:.2}", report.total_payload_bytes() as f64 / 1e6),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Mode",
+                "GlobalAcc",
+                "SimTime(s)",
+                "MeanStaleness",
+                "Utilisation",
+                "UploadedMB"
+            ],
+            &rows
+        )
+    );
+    println!("\nThe buffered engine refills client slots the moment an update arrives,");
+    println!("so stragglers no longer gate the clock; the availability trace shows the");
+    println!("same machinery coping with devices that drop offline mid-run.");
+    Ok(())
+}

@@ -92,6 +92,7 @@ proptest! {
             compute_gflops: gflops,
             bandwidth_mbps: 50.0,
             memory_bytes: mem_gib * 1024 * 1024 * 1024,
+            availability: 1.0,
         };
         let cost_model = CostModel::default();
         let case = ConstraintCase::Memory;

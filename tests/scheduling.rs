@@ -3,7 +3,9 @@
 
 use mhfl_data::DataTask;
 use mhfl_device::ConstraintCase;
+use mhfl_fl::Schedule as FlSchedule;
 use mhfl_models::MhflMethod;
+use mhfl_tensor::SeededRng;
 use pracmhbench_core::{ExperimentSpec, Parallelism, RunScale, Schedule};
 
 fn quick(method: MhflMethod) -> ExperimentSpec {
@@ -68,6 +70,93 @@ fn fastest_of_k_never_slows_the_clock() {
         fastest.summary.total_time_secs,
         uniform.summary.total_time_secs
     );
+}
+
+#[test]
+fn bandwidth_aware_never_raises_communication_time() {
+    // Bandwidth-aware selection minimises upload seconds; over a full run
+    // the total uploaded bytes can only be helped, never hurt, relative to
+    // uniform sampling of the same population under the same seed budget.
+    let uniform = quick(MhflMethod::SHeteroFl).run().unwrap();
+    let bandwidth = quick(MhflMethod::SHeteroFl)
+        .with_schedule(Schedule::BandwidthAware { factor: 3 })
+        .run()
+        .unwrap();
+    assert!((0.0..=1.0).contains(&bandwidth.summary.global_accuracy));
+    assert!(bandwidth.report.total_payload_bytes() > 0);
+    // Same number of aggregated updates, selected for cheaper uploads.
+    assert_eq!(
+        uniform.report.client_stats().count(),
+        bandwidth.report.client_stats().count()
+    );
+}
+
+#[test]
+fn availability_trace_completes_with_partial_population() {
+    let outcome = quick(MhflMethod::Fjord)
+        .with_schedule(Schedule::AvailabilityTrace {
+            period_secs: 300.0,
+            online_fraction: 0.7,
+        })
+        .run()
+        .unwrap();
+    assert!((0.0..=1.0).contains(&outcome.summary.global_accuracy));
+    assert!(!outcome.report.records.is_empty());
+    // Offline slots can shrink rounds below the nominal participation count
+    // but never above it (quick scale selects 3 of 6 clients).
+    let mut previous_round = 0;
+    for record in &outcome.report.records {
+        for round in previous_round + 1..=record.round {
+            let in_round = record
+                .client_stats
+                .iter()
+                .filter(|s| s.round == round)
+                .count();
+            assert!(in_round <= 3, "round {round} selected {in_round} clients");
+        }
+        previous_round = record.round;
+    }
+}
+
+#[test]
+fn zero_availability_rounds_still_advance_the_clock() {
+    let outcome = quick(MhflMethod::SHeteroFl)
+        .with_schedule(Schedule::AvailabilityTrace {
+            period_secs: 120.0,
+            online_fraction: 0.0,
+        })
+        .run()
+        .unwrap();
+    // Every round was empty: no telemetry, no aggregated clients — but the
+    // simulated clock waited out one trace slot per round.
+    assert_eq!(outcome.report.client_stats().count(), 0);
+    let rounds = outcome.report.records.last().unwrap().round as f64;
+    assert!((outcome.summary.total_time_secs - rounds * 120.0).abs() < 1e-6);
+}
+
+#[test]
+fn new_policies_handle_per_round_beyond_population() {
+    // Ask the schedulers, through the platform context, for more clients
+    // than exist: selections must clamp to the population.
+    let ctx = quick(MhflMethod::SHeteroFl).build_context().unwrap();
+    let n = ctx.num_clients();
+    let mut rng = SeededRng::new(2);
+    for schedule in [
+        FlSchedule::BandwidthAware { factor: 2 },
+        FlSchedule::AvailabilityTrace {
+            period_secs: 100.0,
+            online_fraction: 1.0,
+        },
+    ] {
+        let scheduler = schedule.build();
+        let plan = scheduler.plan_round(1, n * 10, 0.0, &ctx, &mut rng);
+        assert!(plan.clients.len() <= n);
+        assert!(plan.clients.iter().all(|&c| c < n));
+        let mut sorted = plan.clients.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), plan.clients.len(), "no duplicate clients");
+    }
 }
 
 #[test]
