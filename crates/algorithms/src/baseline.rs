@@ -7,7 +7,7 @@
 //! of the smallest model any device in the federation can hold.
 
 use mhfl_data::Dataset;
-use mhfl_fl::submodel::{ServerAggregator, WidthSelection};
+use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
 use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
@@ -20,6 +20,8 @@ pub struct SmallestHomogeneous {
     global_sd: StateDict,
     global_specs: Vec<ParamSpec>,
     config: Option<ProxyConfig>,
+    /// Scatter plans reused across rounds (see [`PlanCache`]).
+    plans: PlanCache,
 }
 
 impl SmallestHomogeneous {
@@ -30,6 +32,7 @@ impl SmallestHomogeneous {
             global_sd: StateDict::new(),
             global_specs: Vec::new(),
             config: None,
+            plans: PlanCache::new(),
         }
     }
 
@@ -80,8 +83,9 @@ impl FlAlgorithm for SmallestHomogeneous {
         self.require_setup()?;
         let cfg = self.config.expect("set during setup");
         let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
-        let mut model = ProxyModel::new(cfg)?;
-        model.load_state_dict(&self.global_sd)?;
+        // The snapshot covers every parameter: skip the thrown-away random
+        // initialisation entirely.
+        let mut model = ProxyModel::from_state(cfg, &self.global_sd)?;
         let data = ctx.data().client(client);
         local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
         Ok(ClientUpdate::new(
@@ -114,7 +118,10 @@ impl FlAlgorithm for SmallestHomogeneous {
                     update.client
                 )));
             };
-            aggregator.add_update(state, *selection, update.weight())?;
+            let plan = self
+                .plans
+                .for_state(&self.global_specs, state, *selection)?;
+            aggregator.add_update_with_plan(state, &plan, update.weight())?;
         }
         self.global_sd = aggregator.finalize(&self.global_sd)?;
         Ok(())

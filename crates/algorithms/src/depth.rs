@@ -18,7 +18,7 @@
 //!   model is evaluated as the ensemble of its classifiers.
 
 use mhfl_data::Dataset;
-use mhfl_fl::submodel::{extract_submodel, ServerAggregator, WidthSelection};
+use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::evaluate_accuracy;
 use mhfl_fl::{
     ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
@@ -42,6 +42,8 @@ pub struct DepthAlgorithm {
     global: Option<ProxyModel>,
     global_sd: StateDict,
     global_specs: Vec<ParamSpec>,
+    /// Gather/scatter plans reused across rounds (see [`PlanCache`]).
+    plans: PlanCache,
 }
 
 impl DepthAlgorithm {
@@ -62,6 +64,7 @@ impl DepthAlgorithm {
             global: None,
             global_sd: StateDict::new(),
             global_specs: Vec::new(),
+            plans: PlanCache::new(),
         }
     }
 
@@ -215,14 +218,15 @@ impl FlAlgorithm for DepthAlgorithm {
         self.require_setup()?;
         let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
         let cfg = client_proxy_config(ctx, client, self.method);
-        let mut model = ProxyModel::new(cfg)?;
-        let sub = extract_submodel(
-            &self.global_sd,
+        // Zero-init + cached plan: no thrown-away random draws, one gather
+        // pass per parameter (see the width-level twin for details).
+        let mut model = ProxyModel::zeroed(cfg)?;
+        let plan = self.plans.for_client_specs(
             &self.global_specs,
             &model.param_specs(),
             WidthSelection::Prefix,
         )?;
-        model.load_state_dict(&sub)?;
+        model.load_state_dict(&plan.extract(&self.global_sd)?)?;
         let data = ctx.data().client(client);
         match self.method {
             MhflMethod::DepthFl => {
@@ -267,7 +271,10 @@ impl FlAlgorithm for DepthAlgorithm {
                 )));
             };
             deepest_covered = deepest_covered.max(num_blocks.saturating_sub(1));
-            aggregator.add_update(state, *selection, update.weight())?;
+            let plan = self
+                .plans
+                .for_state(&self.global_specs, state, *selection)?;
+            aggregator.add_update_with_plan(state, &plan, update.weight())?;
         }
         let mut merged = aggregator.finalize(&self.global_sd)?;
         if self.method == MhflMethod::InclusiveFl && !updates.is_empty() {
@@ -301,14 +308,13 @@ impl FlAlgorithm for DepthAlgorithm {
         let fractions = [0.25, 0.5, 0.75, 1.0];
         let depth = fractions[client % fractions.len()];
         let cfg = global.config().with_depth(depth);
-        let mut model = ProxyModel::new(cfg)?;
-        let sub = extract_submodel(
-            &self.global_sd,
+        let mut model = ProxyModel::zeroed(cfg)?;
+        let plan = self.plans.for_client_specs(
             &self.global_specs,
             &model.param_specs(),
             WidthSelection::Prefix,
         )?;
-        model.load_state_dict(&sub)?;
+        model.load_state_dict(&plan.extract(&self.global_sd)?)?;
         if self.method == MhflMethod::DepthFl {
             Self::evaluate_ensemble(&mut model, data)
         } else {

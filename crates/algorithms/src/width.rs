@@ -14,7 +14,7 @@
 //!   index, so every global channel is eventually trained by small clients.
 
 use mhfl_data::Dataset;
-use mhfl_fl::submodel::{extract_submodel, ServerAggregator, WidthSelection};
+use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
 use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
 use mhfl_models::{MhflMethod, ProxyModel};
@@ -32,6 +32,8 @@ pub struct WidthAlgorithm {
     global: Option<ProxyModel>,
     global_sd: StateDict,
     global_specs: Vec<ParamSpec>,
+    /// Gather/scatter plans reused across rounds (see [`PlanCache`]).
+    plans: PlanCache,
 }
 
 impl WidthAlgorithm {
@@ -53,6 +55,7 @@ impl WidthAlgorithm {
             global: None,
             global_sd: StateDict::new(),
             global_specs: Vec::new(),
+            plans: PlanCache::new(),
         }
     }
 
@@ -113,14 +116,14 @@ impl FlAlgorithm for WidthAlgorithm {
         let assigned = ctx.assignment(client).entry.choice.width_fraction;
         let width = self.round_width(assigned, &mut rng);
         let cfg = client_proxy_config(ctx, client, self.method).with_width(width);
-        let mut model = ProxyModel::new(cfg)?;
-        let sub = extract_submodel(
-            &self.global_sd,
-            &self.global_specs,
-            &model.param_specs(),
-            selection,
-        )?;
-        model.load_state_dict(&sub)?;
+        // Zero-init skips the Box-Muller draws that the extracted sub-model
+        // would overwrite anyway; the cached plan turns extraction into one
+        // gather pass per parameter.
+        let mut model = ProxyModel::zeroed(cfg)?;
+        let plan =
+            self.plans
+                .for_client_specs(&self.global_specs, &model.param_specs(), selection)?;
+        model.load_state_dict(&plan.extract(&self.global_sd)?)?;
         let data = ctx.data().client(client);
         local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
         Ok(ClientUpdate::new(
@@ -152,7 +155,10 @@ impl FlAlgorithm for WidthAlgorithm {
                     update.client
                 )));
             };
-            aggregator.add_update(state, *selection, update.weight())?;
+            let plan = self
+                .plans
+                .for_state(&self.global_specs, state, *selection)?;
+            aggregator.add_update_with_plan(state, &plan, update.weight())?;
         }
         self.global_sd = aggregator.finalize(&self.global_sd)?;
         Ok(())
@@ -173,14 +179,13 @@ impl FlAlgorithm for WidthAlgorithm {
         };
         let width = WIDTH_FRACTIONS[client % WIDTH_FRACTIONS.len()];
         let cfg = global.config().with_width(width).with_aux_heads(false);
-        let mut model = ProxyModel::new(cfg)?;
-        let sub = extract_submodel(
-            &self.global_sd,
+        let mut model = ProxyModel::zeroed(cfg)?;
+        let plan = self.plans.for_client_specs(
             &self.global_specs,
             &model.param_specs(),
             WidthSelection::Prefix,
         )?;
-        model.load_state_dict(&sub)?;
+        model.load_state_dict(&plan.extract(&self.global_sd)?)?;
         evaluate_accuracy(&mut model, data)
     }
 }

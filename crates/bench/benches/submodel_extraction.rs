@@ -1,8 +1,12 @@
 //! Benchmarks width sub-model extraction (prefix and rolling) from a global
-//! proxy model — the per-client cost a server pays every round.
+//! proxy model — the per-client cost a server pays every round — in both
+//! the retained clone-then-gather-per-axis reference form and the
+//! plan-cached single-pass form the algorithms actually run.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mhfl_fl::submodel::{extract_submodel, WidthSelection};
+use mhfl_fl::submodel::{
+    extract_submodel, ExtractionPlan, PlanCache, ServerAggregator, WidthSelection,
+};
 use mhfl_models::{InputKind, ModelFamily, ProxyConfig, ProxyModel};
 
 fn bench_extraction(c: &mut Criterion) {
@@ -45,6 +49,49 @@ fn bench_extraction(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
+        })
+    });
+    // The planned paths the algorithms run in production: the plan is built
+    // once per (shape set, selection) and replayed every round.
+    let cache = PlanCache::new();
+    c.bench_function("extract_planned_rolling_half_width", |b| {
+        b.iter(|| {
+            let plan = cache
+                .for_client_specs(
+                    &global_specs,
+                    &half_specs,
+                    WidthSelection::Rolling { shift: 13 },
+                )
+                .unwrap();
+            black_box(plan.extract(&global_sd).unwrap())
+        })
+    });
+    let update = extract_submodel(
+        &global_sd,
+        &global_specs,
+        &half_specs,
+        WidthSelection::Rolling { shift: 13 },
+    )
+    .unwrap();
+    c.bench_function("aggregate_reference_half_width", |b| {
+        b.iter(|| {
+            let mut agg = ServerAggregator::new(global_specs.clone());
+            agg.add_update(&update, WidthSelection::Rolling { shift: 13 }, 1.0)
+                .unwrap();
+            black_box(agg)
+        })
+    });
+    let plan = ExtractionPlan::for_state(
+        &global_specs,
+        &update,
+        WidthSelection::Rolling { shift: 13 },
+    )
+    .unwrap();
+    c.bench_function("aggregate_planned_half_width", |b| {
+        b.iter(|| {
+            let mut agg = ServerAggregator::new(global_specs.clone());
+            agg.add_update_with_plan(&update, &plan, 1.0).unwrap();
+            black_box(agg)
         })
     });
 }

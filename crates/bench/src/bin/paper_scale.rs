@@ -1,0 +1,353 @@
+//! `paper_scale` — the hot-path engine benchmark at the paper's scale.
+//!
+//! Two sections, both emitted into `BENCH_paper_scale.json`:
+//!
+//! * **micro** — the rebuilt hot paths timed head-to-head against their
+//!   retained reference implementations inside one binary: the blocked /
+//!   transpose-aware matmul kernels vs. the naive transpose-materialising
+//!   data flow, and plan-cached single-pass sub-model extraction +
+//!   scatter-add aggregation vs. the clone-then-gather-per-axis path with
+//!   randomly re-initialised client models. The reported `speedup` values
+//!   are the wall-clock ratios the tentpole rewrite is accountable for.
+//! * **families** — one full `RunScale::Paper` federated round (setup →
+//!   client phase at the paper's client counts → aggregation → global
+//!   evaluation) per algorithm family, with per-phase wall-clock splits.
+//!
+//! Usage: `cargo run --release -p mhfl-bench --bin paper_scale [--quick]`
+//! (`--quick` shrinks everything to CI smoke size).
+
+use std::time::Instant;
+
+use mhfl_bench::{scale_from_args, RunScale};
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_fl::submodel::{
+    extract_submodel, ExtractionPlan, PlanCache, ServerAggregator, WidthSelection,
+};
+use mhfl_fl::{run_clients, ClientPayload, Parallelism, Schedule};
+use mhfl_models::{InputKind, MhflMethod, ModelFamily, ProxyConfig, ProxyModel};
+use mhfl_tensor::{SeededRng, Tensor};
+use pracmhbench_core::ExperimentSpec;
+
+/// One micro-benchmark comparison: reference vs. optimised wall-clock.
+struct Micro {
+    name: &'static str,
+    reference_secs: f64,
+    optimised_secs: f64,
+}
+
+impl Micro {
+    fn speedup(&self) -> f64 {
+        if self.optimised_secs > 0.0 {
+            self.reference_secs / self.optimised_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Linear-layer data flow at a paper-ish shape: forward `x·Wᵀ`, backward
+/// `dYᵀ·X` and `dY·W`, reference = materialised transposes + naive kernel.
+fn micro_linear(reps: usize) -> Micro {
+    let mut rng = SeededRng::new(7);
+    let (batch, inf, outf) = (64usize, 256usize, 256usize);
+    let x = Tensor::randn(&[batch, inf], 1.0, &mut rng);
+    let w = Tensor::randn(&[outf, inf], 0.1, &mut rng);
+    let dy = Tensor::randn(&[batch, outf], 0.5, &mut rng);
+
+    let reference_secs = time(reps, || {
+        let y = x.matmul_naive(&w.transpose().unwrap()).unwrap();
+        let dw = dy.transpose().unwrap().matmul_naive(&x).unwrap();
+        let db = dy.transpose().unwrap().row_sums().unwrap();
+        let dx = dy.matmul_naive(&w).unwrap();
+        (y, dw, db, dx)
+    });
+    let optimised_secs = time(reps, || {
+        let y = x.matmul_nt(&w).unwrap();
+        let dw = dy.matmul_tn(&x).unwrap();
+        let db = dy.col_sums().unwrap();
+        let dx = dy.matmul(&w).unwrap();
+        (y, dw, db, dx)
+    });
+    Micro {
+        name: "linear_forward_backward",
+        reference_secs,
+        optimised_secs,
+    }
+}
+
+fn extraction_fixture() -> (ProxyConfig, ProxyModel) {
+    let cfg = ProxyConfig::for_family(
+        ModelFamily::ResNet101,
+        InputKind::Image {
+            channels: 3,
+            height: 8,
+            width: 8,
+        },
+        100,
+        0,
+    );
+    let global = ProxyModel::new(cfg).unwrap();
+    (cfg, global)
+}
+
+/// Per-round client-model preparation: reference = random-init model +
+/// clone-then-gather-per-axis extraction, optimised = zero-init model +
+/// cached single-pass gather plan.
+fn micro_extraction(reps: usize) -> Micro {
+    let (cfg, global) = extraction_fixture();
+    let global_sd = global.state_dict();
+    let specs = global.param_specs();
+    let half_cfg = cfg.with_width(0.5);
+    let selection = WidthSelection::Rolling { shift: 13 };
+
+    let reference_secs = time(reps, || {
+        let mut model = ProxyModel::new(half_cfg).unwrap();
+        let sub = extract_submodel(&global_sd, &specs, &model.param_specs(), selection).unwrap();
+        model.load_state_dict(&sub).unwrap();
+        model
+    });
+    let cache = PlanCache::new();
+    let optimised_secs = time(reps, || {
+        let mut model = ProxyModel::zeroed(half_cfg).unwrap();
+        let plan = cache
+            .for_client_specs(&specs, &model.param_specs(), selection)
+            .unwrap();
+        model
+            .load_state_dict(&plan.extract(&global_sd).unwrap())
+            .unwrap();
+        model
+    });
+    Micro {
+        name: "submodel_extraction",
+        reference_secs,
+        optimised_secs,
+    }
+}
+
+/// Aggregation return path: reference = per-element coordinate decoding,
+/// optimised = plan-driven scatter-add.
+fn micro_aggregation(reps: usize) -> Micro {
+    let (cfg, global) = extraction_fixture();
+    let global_sd = global.state_dict();
+    let specs = global.param_specs();
+    let selection = WidthSelection::Rolling { shift: 5 };
+    let half_specs = ProxyModel::zeroed(cfg.with_width(0.5))
+        .unwrap()
+        .param_specs();
+    let update = extract_submodel(&global_sd, &specs, &half_specs, selection).unwrap();
+
+    // Accumulate repeatedly into one aggregator per side so the timing
+    // isolates the scatter path itself, not the zero-filled constructor.
+    let mut reference_agg = ServerAggregator::new(specs.clone());
+    let reference_secs = time(reps, || {
+        reference_agg.add_update(&update, selection, 1.0).unwrap();
+    });
+    let plan = ExtractionPlan::for_state(&specs, &update, selection).unwrap();
+    let mut planned_agg = ServerAggregator::new(specs.clone());
+    let optimised_secs = time(reps, || {
+        planned_agg
+            .add_update_with_plan(&update, &plan, 1.0)
+            .unwrap();
+    });
+    Micro {
+        name: "scatter_add_aggregation",
+        reference_secs,
+        optimised_secs,
+    }
+}
+
+/// One paper-scale federated round of one algorithm family, with per-phase
+/// wall-clock splits.
+struct FamilyRound {
+    method: MhflMethod,
+    task: DataTask,
+    clients: usize,
+    selected: usize,
+    setup_secs: f64,
+    client_phase_secs: f64,
+    aggregate_secs: f64,
+    evaluate_secs: f64,
+    global_accuracy: f32,
+}
+
+fn run_family_round(method: MhflMethod, scale: RunScale) -> FamilyRound {
+    let task = DataTask::Cifar10;
+    let spec = ExperimentSpec::new(
+        task,
+        method,
+        ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        },
+    )
+    .with_scale(scale)
+    .with_seed(42);
+    let ctx = spec.build_context().expect("context builds");
+    let clients = ctx.num_clients();
+    // The paper samples 10% of clients per synchronous round.
+    let per_round = ((clients as f64 * 0.1).round() as usize).clamp(1, clients);
+
+    let mut algorithm = mhfl_algorithms::build_algorithm(method);
+    let t = Instant::now();
+    algorithm.setup(&ctx).expect("setup");
+    let setup_secs = t.elapsed().as_secs_f64();
+
+    let scheduler = Schedule::Uniform.build();
+    let mut rng = SeededRng::new(spec.seed ^ 0xF00D);
+    let plan = scheduler.plan_round(1, per_round, 0.0, &ctx, &mut rng);
+
+    let t = Instant::now();
+    let updates = run_clients(
+        algorithm.as_ref(),
+        1,
+        &plan.clients,
+        &ctx,
+        Parallelism::Sequential,
+    )
+    .expect("client phase");
+    let client_phase_secs = t.elapsed().as_secs_f64();
+    let selected = updates.len();
+    // Sanity: real uploads, not empty stubs.
+    assert!(updates
+        .iter()
+        .all(|u| !matches!(u.payload, ClientPayload::Empty)));
+
+    let t = Instant::now();
+    algorithm.aggregate(1, updates, &ctx).expect("aggregate");
+    let aggregate_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let global_accuracy = algorithm
+        .evaluate_global(ctx.data().test())
+        .expect("evaluate");
+    let evaluate_secs = t.elapsed().as_secs_f64();
+
+    FamilyRound {
+        method,
+        task,
+        clients,
+        selected,
+        setup_secs,
+        client_phase_secs,
+        aggregate_secs,
+        evaluate_secs,
+        global_accuracy,
+    }
+}
+
+fn scale_label(scale: RunScale) -> &'static str {
+    match scale {
+        RunScale::Quick => "quick",
+        RunScale::Standard => "standard",
+        RunScale::Paper => "paper",
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    // One process on one machine: let server-phase kernels use every core.
+    mhfl_tensor::set_kernel_workers(0);
+    let micro_reps = match scale {
+        RunScale::Quick => 3,
+        RunScale::Standard => 20,
+        RunScale::Paper => 40,
+    };
+    // `--quick` smoke runs shrink the federated round too; everything else
+    // runs the families at the paper's client counts.
+    let family_scale = match scale {
+        RunScale::Quick => RunScale::Quick,
+        _ => RunScale::Paper,
+    };
+
+    eprintln!("paper_scale: micro benchmarks ({micro_reps} reps)...");
+    let micros = [
+        micro_linear(micro_reps),
+        micro_extraction(micro_reps),
+        micro_aggregation(micro_reps),
+    ];
+    for m in &micros {
+        eprintln!(
+            "  {:<26} reference {:>9.4}s  optimised {:>9.4}s  speedup {:>6.2}x",
+            m.name,
+            m.reference_secs,
+            m.optimised_secs,
+            m.speedup()
+        );
+    }
+
+    let families = [
+        MhflMethod::SHeteroFl,
+        MhflMethod::DepthFl,
+        MhflMethod::FedProto,
+        MhflMethod::FedEt,
+        MhflMethod::HomogeneousSmallest,
+    ];
+    let mut rounds = Vec::new();
+    for method in families {
+        eprintln!(
+            "paper_scale: one {} round of {method}...",
+            scale_label(family_scale)
+        );
+        let round = run_family_round(method, family_scale);
+        eprintln!(
+            "  {} clients, {} selected: client phase {:.2}s, aggregate {:.3}s, eval {:.2}s, acc {:.3}",
+            round.clients,
+            round.selected,
+            round.client_phase_secs,
+            round.aggregate_secs,
+            round.evaluate_secs,
+            round.global_accuracy
+        );
+        rounds.push(round);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"family_scale\": \"{}\",\n",
+        scale_label(family_scale)
+    ));
+    json.push_str(&format!("  \"micro_reps\": {micro_reps},\n"));
+    json.push_str("  \"command\": \"cargo run --release -p mhfl-bench --bin paper_scale\",\n");
+    json.push_str("  \"micro\": {\n");
+    for (i, m) in micros.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"reference_secs\": {:.6}, \"optimised_secs\": {:.6}, \"speedup\": {:.2} }}{}\n",
+            m.name,
+            m.reference_secs / micro_reps as f64,
+            m.optimised_secs / micro_reps as f64,
+            m.speedup(),
+            if i + 1 < micros.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"families\": [\n");
+    for (i, r) in rounds.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"method\": \"{}\", \"task\": \"{:?}\", \"clients\": {}, \"selected\": {}, \
+             \"setup_secs\": {:.3}, \"client_phase_secs\": {:.3}, \"aggregate_secs\": {:.4}, \
+             \"evaluate_secs\": {:.3}, \"global_accuracy\": {:.4} }}{}\n",
+            r.method,
+            r.task,
+            r.clients,
+            r.selected,
+            r.setup_secs,
+            r.client_phase_secs,
+            r.aggregate_secs,
+            r.evaluate_secs,
+            r.global_accuracy,
+            if i + 1 < rounds.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_paper_scale.json", &json).expect("write BENCH_paper_scale.json");
+    println!("{json}");
+    eprintln!("paper_scale: wrote BENCH_paper_scale.json");
+}

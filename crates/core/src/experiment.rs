@@ -5,7 +5,7 @@ use mhfl_data::{DataTask, FederatedDataset, Partition};
 use mhfl_device::{ConstraintCase, CostModel, ModelPool};
 use mhfl_fl::{
     EngineConfig, Execution, FederationContext, FlEngine, FlResult, LocalTrainConfig,
-    MetricsReport, Parallelism, Schedule,
+    MetricsReport, Parallelism, Schedule, Staleness,
 };
 use mhfl_models::MhflMethod;
 use serde::{Deserialize, Serialize};
@@ -100,6 +100,9 @@ pub struct ExperimentSpec {
     /// Round-advancement mode: classic synchronous rounds or FedBuff-style
     /// asynchronous buffered aggregation on an event-driven clock.
     pub execution: Execution,
+    /// Staleness-discount curve for asynchronous execution (sqrt /
+    /// polynomial / hinge, per the FedBuff ablations).
+    pub staleness: Staleness,
 }
 
 impl ExperimentSpec {
@@ -117,6 +120,7 @@ impl ExperimentSpec {
             schedule: Schedule::Uniform,
             parallelism: Parallelism::Sequential,
             execution: Execution::Synchronous,
+            staleness: Staleness::Sqrt,
         }
     }
 
@@ -169,6 +173,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Sets the asynchronous staleness-discount curve.
+    pub fn with_staleness(mut self, staleness: Staleness) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
     /// Builds the federation context this spec describes.
     ///
     /// # Errors
@@ -214,6 +224,7 @@ impl ExperimentSpec {
             schedule: self.schedule,
             parallelism: self.parallelism,
             execution: self.execution,
+            staleness: self.staleness,
         });
         let mut algorithm = build_algorithm(self.method);
         let report = engine.run(algorithm.as_mut(), &ctx)?;

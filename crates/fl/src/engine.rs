@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::parallel::run_clients;
 use crate::{
     ClientRoundStat, ClientScheduler, ClientUpdate, FederationContext, FlResult, MetricsReport,
-    Parallelism, RoundRecord, Schedule,
+    Parallelism, RoundRecord, Schedule, Staleness,
 };
 
 /// A federated learning algorithm as seen by the engine, split into an
@@ -133,6 +133,9 @@ pub struct EngineConfig {
     /// Round-advancement mode: synchronous rounds or asynchronous buffered
     /// aggregation.
     pub execution: Execution,
+    /// Staleness-discount curve applied by the asynchronous buffered engine
+    /// (ignored by synchronous execution, whose updates are never stale).
+    pub staleness: Staleness,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +148,7 @@ impl Default for EngineConfig {
             schedule: Schedule::Uniform,
             parallelism: Parallelism::Sequential,
             execution: Execution::Synchronous,
+            staleness: Staleness::Sqrt,
         }
     }
 }
@@ -213,6 +217,14 @@ impl FlEngine {
         algorithm: &mut dyn FlAlgorithm,
         ctx: &FederationContext,
     ) -> FlResult<MetricsReport> {
+        // Grant the tensor kernels the same worker budget as the client
+        // fan-out: server-phase matmuls (aggregation, evaluation) thread
+        // their row ranges, while kernels inside client worker threads stay
+        // sequential (the fan-out already owns the cores). Reports are
+        // bitwise independent of this setting, and the previous value is
+        // restored when the run finishes so the engine does not leak its
+        // budget into unrelated tensor work in the same process.
+        let _workers = KernelWorkersGuard::set(self.config.parallelism.kernel_workers());
         algorithm.setup(ctx)?;
         let scheduler = self.config.schedule.build();
         let mut rng = SeededRng::new(ctx.seed() ^ 0xF00D);
@@ -284,6 +296,29 @@ impl FlEngine {
             }
         }
         Ok(report)
+    }
+}
+
+/// Restores the previous process-global kernel worker count when dropped,
+/// so an engine run's worker budget does not outlive the run. The setting
+/// is still process-global while the run is in flight — concurrent engines
+/// in one process share it — which only ever affects wall-clock, never
+/// results (kernels are worker-count invariant).
+struct KernelWorkersGuard {
+    previous: usize,
+}
+
+impl KernelWorkersGuard {
+    fn set(workers: usize) -> Self {
+        let previous = mhfl_tensor::kernel_workers();
+        mhfl_tensor::set_kernel_workers(workers);
+        KernelWorkersGuard { previous }
+    }
+}
+
+impl Drop for KernelWorkersGuard {
+    fn drop(&mut self) {
+        mhfl_tensor::set_kernel_workers(self.previous);
     }
 }
 

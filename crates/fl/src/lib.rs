@@ -42,6 +42,7 @@ mod buffered;
 mod context;
 mod engine;
 mod error;
+mod fnv;
 mod metrics;
 mod parallel;
 mod schedule;
@@ -49,7 +50,7 @@ pub mod submodel;
 pub mod train;
 mod update;
 
-pub use buffered::staleness_weight;
+pub use buffered::{staleness_weight, Staleness};
 pub use context::{FederationContext, LocalTrainConfig};
 pub use engine::{EngineConfig, Execution, FlAlgorithm, FlEngine};
 pub use error::FlError;

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fnv::Fnv1a;
+
 /// Telemetry for one client's contribution to one server round: when it was
 /// dispatched and when its update arrived on the simulated clock, how stale
 /// the update was by the time the server folded it in, and how many bytes it
@@ -151,6 +153,80 @@ impl MetricsReport {
         self.client_stats().map(|s| s.payload_bytes).sum()
     }
 
+    /// Per-client participation counts over the whole run: how many
+    /// aggregated updates each client contributed, as `(client, count)`
+    /// pairs in ascending client order. Clients that never participated do
+    /// not appear (use [`participation_fairness`] to reason about them).
+    ///
+    /// Under uniform sampling every client's count concentrates around
+    /// `rounds × sample_ratio`; cost-sensitive policies (bandwidth-aware,
+    /// fastest-of-k) and the asynchronous engine skew the distribution
+    /// toward cheap/fast clients — this accessor is the raw material for
+    /// quantifying that selection bias.
+    ///
+    /// [`participation_fairness`]: MetricsReport::participation_fairness
+    pub fn participation_counts(&self) -> Vec<(usize, usize)> {
+        let mut counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for stat in self.client_stats() {
+            *counts.entry(stat.client).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Jain's fairness index of the per-client participation counts over a
+    /// population of `num_clients`: `(Σxᵢ)² / (n · Σxᵢ²)`, counting clients
+    /// that never participated as zeros.
+    ///
+    /// `1.0` means perfectly even participation; `1/n` means a single
+    /// client did all the work. Returns `0.0` for an empty report or a
+    /// zero-client population.
+    pub fn participation_fairness(&self, num_clients: usize) -> f64 {
+        if num_clients == 0 {
+            return 0.0;
+        }
+        let counts = self.participation_counts();
+        let sum: f64 = counts.iter().map(|&(_, c)| c as f64).sum();
+        let sum_sq: f64 = counts.iter().map(|&(_, c)| (c as f64) * (c as f64)).sum();
+        if sum_sq == 0.0 {
+            return 0.0;
+        }
+        (sum * sum) / (num_clients as f64 * sum_sq)
+    }
+
+    /// A canonical 64-bit digest of the full report: every field of every
+    /// record — including per-client telemetry — is folded bit-exactly
+    /// (`f32::to_bits`/`f64::to_bits`) into an FNV-1a hash.
+    ///
+    /// Two reports have equal digests iff they are byte-identical, which is
+    /// what the golden-trace regression harness (`tests/golden.rs`) pins per
+    /// seed: any kernel or scheduling change that alters even one ULP of one
+    /// metric changes the digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.algorithm.as_bytes());
+        h.write_u64(self.records.len() as u64);
+        for record in &self.records {
+            h.write_u64(record.round as u64);
+            h.write_u64(record.sim_time_secs.to_bits());
+            h.write_u32(record.global_accuracy.to_bits());
+            h.write_u64(record.per_client_accuracy.len() as u64);
+            for acc in &record.per_client_accuracy {
+                h.write_u32(acc.to_bits());
+            }
+            h.write_u64(record.client_stats.len() as u64);
+            for stat in &record.client_stats {
+                h.write_u64(stat.client as u64);
+                h.write_u64(stat.round as u64);
+                h.write_u64(stat.dispatch_secs.to_bits());
+                h.write_u64(stat.arrival_secs.to_bits());
+                h.write_u64(stat.staleness as u64);
+                h.write_u64(stat.payload_bytes);
+            }
+        }
+        h.finish()
+    }
+
     /// Client-slot utilisation: the fraction of available client-slot time
     /// spent training or communicating, `sum(busy) / (peak_concurrency ×
     /// span)`. A fully synchronous run is dragged below `1.0` by stragglers
@@ -298,6 +374,58 @@ mod tests {
         // Stalenesses: 0, 0, 1, 1, 0, 2.
         assert!((r.mean_staleness() - 4.0 / 6.0).abs() < 1e-12);
         assert_eq!(r.total_payload_bytes(), 3 * 100 + 3 * 200);
+    }
+
+    #[test]
+    fn participation_counts_and_fairness() {
+        let r = report();
+        // Clients 0 and 1 each contributed three updates.
+        assert_eq!(r.participation_counts(), vec![(0, 3), (1, 3)]);
+        // Perfectly even over a two-client population.
+        assert!((r.participation_fairness(2) - 1.0).abs() < 1e-12);
+        // Over a larger population the never-selected clients drag it down:
+        // (6)^2 / (4 * 18) = 0.5.
+        assert!((r.participation_fairness(4) - 0.5).abs() < 1e-12);
+        // Degenerate inputs are safe.
+        assert_eq!(r.participation_fairness(0), 0.0);
+        let empty = MetricsReport::new("Empty");
+        assert!(empty.participation_counts().is_empty());
+        assert_eq!(empty.participation_fairness(10), 0.0);
+        // A single client doing all the work scores 1/n.
+        let mut skewed = MetricsReport::new("Skewed");
+        skewed.push(RoundRecord {
+            round: 1,
+            sim_time_secs: 1.0,
+            global_accuracy: 0.1,
+            per_client_accuracy: vec![],
+            client_stats: vec![stat(7, 1, 0.0, 1.0, 0, 10), stat(7, 1, 0.0, 1.0, 0, 10)],
+        });
+        assert_eq!(skewed.participation_counts(), vec![(7, 2)]);
+        assert!((skewed.participation_fairness(5) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_stable_and_bit_sensitive() {
+        let r = report();
+        assert_eq!(r.digest(), r.digest(), "digest must be deterministic");
+        assert_eq!(r.digest(), r.clone().digest());
+        // One-ULP changes anywhere in the report change the digest.
+        let mut nudged = report();
+        let acc = nudged.records[1].global_accuracy;
+        nudged.records[1].global_accuracy = f32::from_bits(acc.to_bits() + 1);
+        assert_ne!(r.digest(), nudged.digest());
+        let mut stat_nudged = report();
+        stat_nudged.records[2].client_stats[1].payload_bytes += 1;
+        assert_ne!(r.digest(), stat_nudged.digest());
+        // Different algorithm names differ even with identical records.
+        let mut renamed = report();
+        renamed.algorithm = "OtherAlg".into();
+        assert_ne!(r.digest(), renamed.digest());
+        // Empty reports still digest (and differ by name).
+        assert_ne!(
+            MetricsReport::new("A").digest(),
+            MetricsReport::new("B").digest()
+        );
     }
 
     #[test]

@@ -45,6 +45,21 @@ impl Parallelism {
             Parallelism::Threads { workers } => workers.min(jobs.max(1)),
         }
     }
+
+    /// The worker budget this mode grants the tensor kernels: matmul calls
+    /// issued *outside* the client fan-out (server-phase aggregation,
+    /// evaluation) may split their output rows across this many threads.
+    /// `Sequential` keeps everything on one thread. Results are bitwise
+    /// independent of the value; only wall-clock time changes.
+    pub fn kernel_workers(&self) -> usize {
+        match *self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads { workers: 0 } => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads { workers } => workers.max(1),
+        }
+    }
 }
 
 /// Runs the client phase for every client in `clients`, honouring the
@@ -82,21 +97,28 @@ pub fn run_clients(
         Mutex::new((0..clients.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                // Stop pulling work once any client has failed: the round is
-                // lost either way, so don't pay for the remaining training.
-                if failed.load(Ordering::Relaxed) {
-                    break;
+            scope.spawn(|| {
+                // The cores are already saturated by this fan-out: kernels
+                // issued from a client worker must not spawn another level
+                // of row-range threads on top of it.
+                mhfl_tensor::mark_worker_thread();
+                loop {
+                    // Stop pulling work once any client has failed: the
+                    // round is lost either way, so don't pay for the
+                    // remaining training.
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&client) = clients.get(index) else {
+                        break;
+                    };
+                    let result = algorithm.client_update(round, client, ctx);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    slots.lock().expect("client slot lock")[index] = Some(result);
                 }
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&client) = clients.get(index) else {
-                    break;
-                };
-                let result = algorithm.client_update(round, client, ctx);
-                if result.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                slots.lock().expect("client slot lock")[index] = Some(result);
             });
         }
     });

@@ -12,8 +12,20 @@
 //!   coordinate space and averages every global entry by how many clients
 //!   actually covered it, keeping the previous global value for uncovered
 //!   entries (HeteroFL-style partial averaging).
+//!
+//! Both primitives run fastest through an [`ExtractionPlan`]: the
+//! per-parameter, per-axis gather offsets for one `(client shape set,
+//! selection)` pair are computed **once** and then replayed every round as
+//! a single-pass multi-axis gather (extraction) or scatter-add
+//! (aggregation), instead of clone-then-gather-per-axis and per-element
+//! coordinate decoding. Plans are cached across rounds by a [`PlanCache`]
+//! owned by each algorithm. The planned paths are bit-for-bit identical to
+//! the retained sequential reference implementations
+//! ([`extract_submodel`], [`ServerAggregator::add_update`]) — the golden
+//! trace harness and the property suite pin this.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 use mhfl_nn::{AxisRole, ParamSpec, StateDict};
 use mhfl_tensor::Tensor;
@@ -125,6 +137,422 @@ pub fn extract_submodel(
     Ok(out)
 }
 
+/// One parameter's precomputed gather recipe inside an [`ExtractionPlan`].
+#[derive(Debug)]
+struct PlanEntry {
+    /// Fully-qualified parameter name.
+    name: String,
+    /// Client-side tensor shape.
+    client_dims: Vec<usize>,
+    /// Global-side tensor shape (for allocating scatter targets).
+    global_dims: Vec<usize>,
+    /// `axis_offsets[a][i]` is the flat-offset contribution of client
+    /// coordinate `i` on axis `a`: `global_index(a, i) × global_stride(a)`.
+    /// Summing one offset per axis yields the flat global position, so a
+    /// single odometer pass visits every element — no per-element
+    /// coordinate decode, no per-axis intermediate tensors.
+    axis_offsets: Vec<Vec<usize>>,
+    /// Number of client elements.
+    client_len: usize,
+    /// Every axis maps identically (extraction is a straight copy).
+    identity: bool,
+    /// The innermost axis maps to a contiguous global run starting at the
+    /// base offset, so the inner loop is a `copy_from_slice`.
+    tail_contiguous: bool,
+}
+
+impl PlanEntry {
+    /// Invokes `f` with the global base offset of every client "row" (all
+    /// axes but the innermost), in row-major client order.
+    fn for_each_base(&self, f: &mut impl FnMut(usize)) {
+        let outer = self.client_dims.len().saturating_sub(1);
+        if self.client_dims.contains(&0) {
+            return;
+        }
+        let mut coord = vec![0usize; outer];
+        loop {
+            let base: usize = coord
+                .iter()
+                .enumerate()
+                .map(|(axis, &c)| self.axis_offsets[axis][c])
+                .sum();
+            f(base);
+            // Row-major odometer: bump the last outer axis first.
+            let mut axis = outer;
+            loop {
+                if axis == 0 {
+                    return;
+                }
+                axis -= 1;
+                coord[axis] += 1;
+                if coord[axis] < self.client_dims[axis] {
+                    break;
+                }
+                coord[axis] = 0;
+            }
+        }
+    }
+
+    /// Single-pass gather of this parameter out of the global tensor.
+    fn gather(&self, src: &Tensor) -> FlResult<Tensor> {
+        if self.identity {
+            return Ok(src.clone());
+        }
+        let src_data = src.as_slice();
+        let mut data = Vec::with_capacity(self.client_len);
+        let tail = self.axis_offsets.last().map_or(&[][..], Vec::as_slice);
+        self.for_each_base(&mut |base| {
+            if self.tail_contiguous {
+                data.extend_from_slice(&src_data[base..base + tail.len()]);
+            } else {
+                for &off in tail {
+                    data.push(src_data[base + off]);
+                }
+            }
+        });
+        Ok(Tensor::from_vec(data, &self.client_dims)?)
+    }
+
+    /// Single-pass scatter-add of a client tensor into `sums`/`counts`
+    /// (the aggregation return path), visiting client elements in the same
+    /// row-major order as the reference implementation.
+    fn scatter_add(&self, client: &[f32], sums: &mut [f32], counts: &mut [f32], weight: f32) {
+        if self.client_dims.is_empty() {
+            // Rank-0 degenerate case: a single scalar at offset 0.
+            sums[0] += weight * client[0];
+            counts[0] += weight;
+            return;
+        }
+        let tail = self.axis_offsets.last().map_or(&[][..], Vec::as_slice);
+        let mut pos = 0usize;
+        self.for_each_base(&mut |base| {
+            for &off in tail {
+                sums[base + off] += weight * client[pos];
+                counts[base + off] += weight;
+                pos += 1;
+            }
+        });
+    }
+}
+
+/// A precomputed, reusable recipe mapping one set of client-shaped tensors
+/// onto the global coordinate space under one [`WidthSelection`].
+///
+/// Building a plan costs one [`axis_indices`] evaluation per parameter;
+/// replaying it performs extraction as a single-pass multi-axis gather and
+/// aggregation as a single-pass scatter-add. Plans are immutable and
+/// shareable across threads ([`PlanCache`] hands them out as [`Arc`]s).
+#[derive(Debug)]
+pub struct ExtractionPlan {
+    entries: Vec<PlanEntry>,
+    /// Client parameters the global model does not track (skipped by
+    /// aggregation, an error for extraction).
+    skipped: Vec<String>,
+}
+
+impl ExtractionPlan {
+    /// Builds the plan for `client_shapes` (name → shape, in the order the
+    /// tensors will be presented) against the global parameter specs.
+    ///
+    /// Client names missing from `global_specs` are recorded as skipped:
+    /// [`ExtractionPlan::extract`] refuses to run with skipped entries
+    /// (the global model cannot produce them) while the scatter-add path
+    /// ignores them, mirroring [`ServerAggregator::add_update`].
+    ///
+    /// # Errors
+    /// Returns [`FlError::InvalidConfig`] when a shape cannot be mapped
+    /// (rank mismatch or a shrunken `Fixed` axis).
+    pub fn build<'a>(
+        global_specs: &[ParamSpec],
+        client_shapes: impl IntoIterator<Item = (&'a str, &'a [usize])>,
+        selection: WidthSelection,
+    ) -> FlResult<Self> {
+        let spec_index: BTreeMap<&str, &ParamSpec> =
+            global_specs.iter().map(|s| (s.name.as_str(), s)).collect();
+        let mut entries = Vec::new();
+        let mut skipped = Vec::new();
+        for (name, client_dims) in client_shapes {
+            let Some(spec) = spec_index.get(name) else {
+                skipped.push(name.to_string());
+                continue;
+            };
+            let indices = axis_indices(&spec.shape, client_dims, &spec.roles, selection)?;
+            let mut strides = vec![1usize; spec.shape.len()];
+            for i in (0..spec.shape.len().saturating_sub(1)).rev() {
+                strides[i] = strides[i + 1] * spec.shape[i + 1];
+            }
+            let identity = indices
+                .iter()
+                .zip(spec.shape.iter())
+                .all(|(idx, &g)| idx.len() == g && idx.iter().enumerate().all(|(i, &v)| i == v));
+            let tail_contiguous = indices
+                .last()
+                .is_some_and(|idx| idx.iter().enumerate().all(|(i, &v)| i == v));
+            let axis_offsets: Vec<Vec<usize>> = indices
+                .iter()
+                .enumerate()
+                .map(|(axis, idx)| idx.iter().map(|&v| v * strides[axis]).collect())
+                .collect();
+            entries.push(PlanEntry {
+                name: name.to_string(),
+                client_dims: client_dims.to_vec(),
+                global_dims: spec.shape.clone(),
+                axis_offsets,
+                client_len: client_dims.iter().product(),
+                identity,
+                tail_contiguous,
+            });
+        }
+        Ok(ExtractionPlan { entries, skipped })
+    }
+
+    /// Plan for a client model described by its [`ParamSpec`]s (the
+    /// extraction direction).
+    ///
+    /// # Errors
+    /// Propagates [`ExtractionPlan::build`] failures.
+    pub fn for_client_specs(
+        global_specs: &[ParamSpec],
+        client_specs: &[ParamSpec],
+        selection: WidthSelection,
+    ) -> FlResult<Self> {
+        Self::build(
+            global_specs,
+            client_specs
+                .iter()
+                .map(|s| (s.name.as_str(), s.shape.as_slice())),
+            selection,
+        )
+    }
+
+    /// Plan for an uploaded client state dict (the aggregation direction).
+    ///
+    /// # Errors
+    /// Propagates [`ExtractionPlan::build`] failures.
+    pub fn for_state(
+        global_specs: &[ParamSpec],
+        state: &StateDict,
+        selection: WidthSelection,
+    ) -> FlResult<Self> {
+        Self::build(
+            global_specs,
+            state.iter().map(|(name, t)| (name.as_str(), t.dims())),
+            selection,
+        )
+    }
+
+    /// Number of parameters the plan maps.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the plan maps no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Extracts the client-sized sub-model from the global state dict in a
+    /// single gather pass per parameter. Identical output to
+    /// [`extract_submodel`] with the plan's selection.
+    ///
+    /// # Errors
+    /// Returns an error if the plan recorded parameters the global model
+    /// lacks, or a tensor is missing from `global`.
+    pub fn extract(&self, global: &StateDict) -> FlResult<StateDict> {
+        if let Some(missing) = self.skipped.first() {
+            return Err(FlError::InvalidConfig(format!(
+                "global model lacks {missing}"
+            )));
+        }
+        let mut out = StateDict::new();
+        for entry in &self.entries {
+            let tensor = global.require(&entry.name)?;
+            out.insert(entry.name.clone(), entry.gather(tensor)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A per-algorithm cache of [`ExtractionPlan`]s, keyed by the client's
+/// `(name, shape)` set and the [`WidthSelection`].
+///
+/// The engine runs one algorithm instance for the whole experiment, so a
+/// cache owned by the algorithm persists plans across rounds: nested-prefix
+/// recipes (HeteroFL/Fjord, depth prefixes, the homogeneous baseline) hit
+/// the cache every round after the first, and FedRolex's rolling window
+/// costs one rebuild per `(shape set, shift)`. Interior mutability keeps
+/// lookups available from the `&self` client phase across threads.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<u64, CachedPlan>>,
+}
+
+/// One cache slot: the plan plus the exact request it was built for, so a
+/// hit is verified structurally instead of trusted to the 64-bit hash.
+#[derive(Debug)]
+struct CachedPlan {
+    selection: WidthSelection,
+    /// Canonically ordered client `(name, shape)` pairs.
+    shapes: Vec<(String, Vec<usize>)>,
+    plan: Arc<ExtractionPlan>,
+}
+
+impl CachedPlan {
+    /// Whether this slot was built for exactly the given request (the
+    /// global side is covered by the key fingerprint: one cache serves one
+    /// algorithm, whose global specs never change).
+    fn matches(&self, shapes: &[(&str, &[usize])], selection: WidthSelection) -> bool {
+        self.selection == selection
+            && self.shapes.len() == shapes.len()
+            && self
+                .shapes
+                .iter()
+                .zip(shapes.iter())
+                .all(|((name, dims), (req_name, req_dims))| {
+                    name == req_name && dims.as_slice() == *req_dims
+                })
+    }
+}
+
+/// Plans are tiny (per-axis offset tables), but FedRolex mints a new shift
+/// every round; cap the cache so a 1000-round run cannot grow unboundedly.
+const PLAN_CACHE_CAP: usize = 128;
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// FNV-1a fingerprint of the global specs, the client `(name, shape)`
+    /// set and the selection. The global side is part of the key because
+    /// the plan's offsets and strides are computed from it: the same client
+    /// shapes against a different global model must not share a slot.
+    fn key<'a>(
+        global_specs: &[ParamSpec],
+        client_shapes: impl Iterator<Item = (&'a str, &'a [usize])>,
+        selection: WidthSelection,
+    ) -> u64 {
+        let mut h = crate::fnv::Fnv1a::new();
+        match selection {
+            WidthSelection::Prefix => h.write(&[0u8]),
+            WidthSelection::Rolling { shift } => {
+                h.write(&[1u8]);
+                h.write_u64(shift as u64);
+            }
+        }
+        for spec in global_specs {
+            h.write(spec.name.as_bytes());
+            h.write(&[0xFE]);
+            h.write_u64(spec.shape.len() as u64);
+            for &d in &spec.shape {
+                h.write_u64(d as u64);
+            }
+        }
+        for (name, dims) in client_shapes {
+            h.write(name.as_bytes());
+            h.write(&[0xFF]);
+            h.write_u64(dims.len() as u64);
+            for &d in dims {
+                h.write_u64(d as u64);
+            }
+        }
+        h.finish()
+    }
+
+    fn get_or_build<'a>(
+        &self,
+        global_specs: &[ParamSpec],
+        shapes: &mut Vec<(&'a str, &'a [usize])>,
+        selection: WidthSelection,
+    ) -> FlResult<Arc<ExtractionPlan>> {
+        // Canonical name order: spec-keyed (model visit order) and
+        // state-keyed (BTreeMap order) lookups of the same shape set must
+        // share one cache slot. Per-parameter gathers are independent, so
+        // plan entry order never affects results.
+        shapes.sort_unstable_by_key(|(name, _)| *name);
+        let key = Self::key(global_specs, shapes.iter().copied(), selection);
+        let mut collision = false;
+        if let Some(slot) = self.plans.lock().expect("plan cache lock").get(&key) {
+            if slot.matches(shapes, selection) {
+                return Ok(Arc::clone(&slot.plan));
+            }
+            // A 64-bit fingerprint collision between two distinct requests
+            // (astronomically unlikely, but the repo's contract is
+            // exactness, not probability): serve a fresh uncached build
+            // and leave the slot's first occupant in place.
+            collision = true;
+        }
+        let plan = Arc::new(ExtractionPlan::build(
+            global_specs,
+            shapes.iter().copied(),
+            selection,
+        )?);
+        if !collision {
+            let mut cache = self.plans.lock().expect("plan cache lock");
+            if cache.len() >= PLAN_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(
+                key,
+                CachedPlan {
+                    selection,
+                    shapes: shapes
+                        .iter()
+                        .map(|(name, dims)| (name.to_string(), dims.to_vec()))
+                        .collect(),
+                    plan: Arc::clone(&plan),
+                },
+            );
+        }
+        Ok(plan)
+    }
+
+    /// The cached (or freshly built) plan for a client model's specs.
+    ///
+    /// # Errors
+    /// Propagates plan-construction failures.
+    pub fn for_client_specs(
+        &self,
+        global_specs: &[ParamSpec],
+        client_specs: &[ParamSpec],
+        selection: WidthSelection,
+    ) -> FlResult<Arc<ExtractionPlan>> {
+        let mut shapes: Vec<(&str, &[usize])> = client_specs
+            .iter()
+            .map(|s| (s.name.as_str(), s.shape.as_slice()))
+            .collect();
+        self.get_or_build(global_specs, &mut shapes, selection)
+    }
+
+    /// The cached (or freshly built) plan for an uploaded state dict.
+    ///
+    /// # Errors
+    /// Propagates plan-construction failures.
+    pub fn for_state(
+        &self,
+        global_specs: &[ParamSpec],
+        state: &StateDict,
+        selection: WidthSelection,
+    ) -> FlResult<Arc<ExtractionPlan>> {
+        let mut shapes: Vec<(&str, &[usize])> = state
+            .iter()
+            .map(|(name, t)| (name.as_str(), t.dims()))
+            .collect();
+        self.get_or_build(global_specs, &mut shapes, selection)
+    }
+
+    /// Number of cached plans (for tests and telemetry).
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// `true` when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Accumulates heterogeneous client updates into the global coordinate space
 /// and produces the HeteroFL-style partial average.
 #[derive(Debug, Clone)]
@@ -182,6 +610,61 @@ impl ServerAggregator {
                 .get_mut(name)
                 .expect("initialised with all specs");
             accumulate_mapped(sums, counts, client_tensor, &indices, weight)?;
+        }
+        Ok(())
+    }
+
+    /// Adds one client's updated sub-model through a precomputed
+    /// [`ExtractionPlan`] (the same plan that extracted the sub-model),
+    /// replacing per-element coordinate decoding with a single scatter-add
+    /// pass per parameter. Bit-identical to
+    /// [`add_update`](ServerAggregator::add_update) with the plan's
+    /// selection: client elements are visited in the same row-major order.
+    ///
+    /// # Errors
+    /// Returns an error if a tensor's shape disagrees with the plan.
+    pub fn add_update_with_plan(
+        &mut self,
+        client_update: &StateDict,
+        plan: &ExtractionPlan,
+        weight: f32,
+    ) -> FlResult<()> {
+        for entry in &plan.entries {
+            let Some(client_tensor) = client_update.get(&entry.name) else {
+                return Err(FlError::InvalidConfig(format!(
+                    "update lacks {} required by its extraction plan",
+                    entry.name
+                )));
+            };
+            if client_tensor.dims() != entry.client_dims {
+                return Err(FlError::InvalidConfig(format!(
+                    "{}: update shape {:?} does not match plan shape {:?}",
+                    entry.name,
+                    client_tensor.dims(),
+                    entry.client_dims
+                )));
+            }
+            let sums = self.sums.get_mut(&entry.name).ok_or_else(|| {
+                FlError::InvalidConfig(format!("unknown parameter {}", entry.name))
+            })?;
+            if sums.dims() != entry.global_dims {
+                return Err(FlError::InvalidConfig(format!(
+                    "{}: aggregator shape {:?} does not match plan shape {:?}",
+                    entry.name,
+                    sums.dims(),
+                    entry.global_dims
+                )));
+            }
+            let counts = self
+                .counts
+                .get_mut(&entry.name)
+                .expect("initialised with all specs");
+            entry.scatter_add(
+                client_tensor.as_slice(),
+                sums.as_mut_slice(),
+                counts.as_mut_slice(),
+                weight,
+            );
         }
         Ok(())
     }
@@ -423,6 +906,152 @@ mod tests {
             head_new.at(&[0, half_cols + 1]).unwrap(),
             head_old.at(&[0, half_cols + 1]).unwrap()
         );
+    }
+
+    #[test]
+    fn planned_extraction_matches_reference_bitwise() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let global_sd = global.state_dict();
+        let specs = global.param_specs();
+        for width in [0.25, 0.5, 1.0] {
+            let client_specs = ProxyModel::new(cifar_cfg().with_width(width))
+                .unwrap()
+                .param_specs();
+            for selection in [
+                WidthSelection::Prefix,
+                WidthSelection::Rolling { shift: 3 },
+                WidthSelection::Rolling { shift: 11 },
+            ] {
+                let reference =
+                    extract_submodel(&global_sd, &specs, &client_specs, selection).unwrap();
+                let plan =
+                    ExtractionPlan::for_client_specs(&specs, &client_specs, selection).unwrap();
+                let planned = plan.extract(&global_sd).unwrap();
+                assert_eq!(
+                    reference, planned,
+                    "planned extraction diverged (width {width}, {selection:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_aggregation_matches_reference_bitwise() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let global_sd = global.state_dict();
+        let specs = global.param_specs();
+        let half_specs = ProxyModel::new(cifar_cfg().with_width(0.5))
+            .unwrap()
+            .param_specs();
+        for selection in [WidthSelection::Prefix, WidthSelection::Rolling { shift: 5 }] {
+            let update = extract_submodel(&global_sd, &specs, &half_specs, selection).unwrap();
+            let mut reference = ServerAggregator::new(specs.clone());
+            reference.add_update(&update, selection, 2.5).unwrap();
+            reference
+                .add_update(&global_sd, WidthSelection::Prefix, 1.5)
+                .unwrap();
+            let mut planned = ServerAggregator::new(specs.clone());
+            let plan = ExtractionPlan::for_state(&specs, &update, selection).unwrap();
+            planned.add_update_with_plan(&update, &plan, 2.5).unwrap();
+            let full_plan =
+                ExtractionPlan::for_state(&specs, &global_sd, WidthSelection::Prefix).unwrap();
+            planned
+                .add_update_with_plan(&global_sd, &full_plan, 1.5)
+                .unwrap();
+            let ref_final = reference.finalize(&global_sd).unwrap();
+            let plan_final = planned.finalize(&global_sd).unwrap();
+            assert_eq!(ref_final, plan_final, "planned aggregation diverged");
+            assert_eq!(reference.covered_params(), planned.covered_params());
+        }
+    }
+
+    #[test]
+    fn plan_rejects_unknown_parameters_on_extract_but_skips_on_scatter() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let mut state = StateDict::new();
+        state.insert("not.a.param", Tensor::zeros(&[2]));
+        let plan = ExtractionPlan::for_state(&specs, &state, WidthSelection::Prefix).unwrap();
+        assert!(plan.is_empty());
+        assert!(plan.extract(&global.state_dict()).is_err());
+        // Scatter-add simply contributes nothing, like the reference path.
+        let mut agg = ServerAggregator::new(specs);
+        agg.add_update_with_plan(&state, &plan, 1.0).unwrap();
+        assert_eq!(agg.covered_params(), 0);
+    }
+
+    #[test]
+    fn plan_cache_reuses_and_distinguishes_selections() {
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let client_specs = ProxyModel::new(cifar_cfg().with_width(0.5))
+            .unwrap()
+            .param_specs();
+        let cache = PlanCache::new();
+        let a = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Prefix)
+            .unwrap();
+        let b = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Prefix)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical requests must share a plan");
+        assert_eq!(cache.len(), 1);
+        let c = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 1 })
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "selections must not collide");
+        assert_eq!(cache.len(), 2);
+        // The state-keyed lookup with the same shapes shares the cache slot.
+        let sub = a.extract(&global.state_dict()).unwrap();
+        let d = cache
+            .for_state(&specs, &sub, WidthSelection::Prefix)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &d),
+            "spec- and state-keyed plans must share"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_global_models_with_identical_client_shapes() {
+        // A quarter-width client is extractable from both the full-width and
+        // the half-width global; the two plans have identical client shapes
+        // but different global strides, so they must not share a cache slot.
+        let full = ProxyModel::new(cifar_cfg()).unwrap();
+        let half = ProxyModel::new(cifar_cfg().with_width(0.5)).unwrap();
+        let quarter_specs = ProxyModel::new(cifar_cfg().with_width(0.25))
+            .unwrap()
+            .param_specs();
+        let cache = PlanCache::new();
+        let from_full = cache
+            .for_client_specs(&full.param_specs(), &quarter_specs, WidthSelection::Prefix)
+            .unwrap();
+        let from_half = cache
+            .for_client_specs(&half.param_specs(), &quarter_specs, WidthSelection::Prefix)
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&from_full, &from_half),
+            "plans for different global models must not collide"
+        );
+        assert_eq!(cache.len(), 2);
+        // And each plan extracts correctly from its own global.
+        let ref_full = extract_submodel(
+            &full.state_dict(),
+            &full.param_specs(),
+            &quarter_specs,
+            WidthSelection::Prefix,
+        )
+        .unwrap();
+        assert_eq!(from_full.extract(&full.state_dict()).unwrap(), ref_full);
+        let ref_half = extract_submodel(
+            &half.state_dict(),
+            &half.param_specs(),
+            &quarter_specs,
+            WidthSelection::Prefix,
+        )
+        .unwrap();
+        assert_eq!(from_half.extract(&half.state_dict()).unwrap(), ref_half);
     }
 
     #[test]

@@ -318,9 +318,23 @@ impl ProxyModel {
     /// Returns an error if the configuration is degenerate or the snapshot
     /// is missing parameters / has mismatched shapes for this configuration.
     pub fn from_state(config: ProxyConfig, state: &StateDict) -> Result<Self> {
-        let mut model = Self::build(config, &mut SeededRng::zero_init())?;
+        let mut model = Self::zeroed(config)?;
         model.load_state_dict(state)?;
         Ok(model)
+    }
+
+    /// Builds the model with every parameter zero-filled (no random draws).
+    ///
+    /// Used when the parameters will be overwritten wholesale immediately
+    /// after construction — e.g. loading an extracted sub-model whose plan
+    /// needs the model's [`param_specs`](ProxyModel::param_specs) first —
+    /// so the Box–Muller initialisation of [`ProxyModel::new`] would be
+    /// thrown away.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is degenerate.
+    pub fn zeroed(config: ProxyConfig) -> Result<Self> {
+        Self::build(config, &mut SeededRng::zero_init())
     }
 
     fn build(config: ProxyConfig, rng: &mut SeededRng) -> Result<Self> {

@@ -64,7 +64,7 @@ impl SelfAttention {
     }
 
     fn project(x: &Tensor, w: &Tensor) -> Result<Tensor> {
-        Ok(x.matmul(&w.transpose()?)?)
+        Ok(x.matmul_nt(w)?)
     }
 }
 
@@ -95,7 +95,7 @@ impl Layer for SelfAttention {
             let q = Self::project(&x, &self.wq.value)?;
             let k = Self::project(&x, &self.wk.value)?;
             let v = Self::project(&x, &self.wv.value)?;
-            let scores = q.matmul(&k.transpose()?)?.scale(scale);
+            let scores = q.matmul_nt(&k)?.scale(scale);
             let attn = scores.softmax_rows()?;
             let ctx = attn.matmul(&v)?;
             let out = Self::project(&ctx, &self.wo.value)?;
@@ -138,12 +138,12 @@ impl Layer for SelfAttention {
             let ctx = &cache.ctx[n];
 
             // out = ctx Woᵀ  ⇒  dctx = dy Wo, dWo += dyᵀ ctx
-            self.wo.grad.axpy(1.0, &dy.transpose()?.matmul(ctx)?)?;
+            self.wo.grad.axpy(1.0, &dy.matmul_tn(ctx)?)?;
             let dctx = dy.matmul(&self.wo.value)?;
 
             // ctx = attn V  ⇒  dattn = dctx Vᵀ, dV = attnᵀ dctx
-            let dattn = dctx.matmul(&v.transpose()?)?;
-            let dv = attn.transpose()?.matmul(&dctx)?;
+            let dattn = dctx.matmul_nt(v)?;
+            let dv = attn.matmul_tn(&dctx)?;
 
             // softmax backward (row-wise): ds = attn ⊙ (dattn - rowsum(dattn ⊙ attn))
             let prod = dattn.mul(attn)?;
@@ -160,12 +160,12 @@ impl Layer for SelfAttention {
 
             // scores = Q Kᵀ ⇒ dQ = ds K, dK = dsᵀ Q
             let dq = ds.matmul(k)?;
-            let dk = ds.transpose()?.matmul(q)?;
+            let dk = ds.matmul_tn(q)?;
 
             // projections: P = X Wᵀ ⇒ dW += dPᵀ X, dX += dP W
-            self.wq.grad.axpy(1.0, &dq.transpose()?.matmul(x)?)?;
-            self.wk.grad.axpy(1.0, &dk.transpose()?.matmul(x)?)?;
-            self.wv.grad.axpy(1.0, &dv.transpose()?.matmul(x)?)?;
+            self.wq.grad.axpy(1.0, &dq.matmul_tn(x)?)?;
+            self.wk.grad.axpy(1.0, &dk.matmul_tn(x)?)?;
+            self.wv.grad.axpy(1.0, &dv.matmul_tn(x)?)?;
 
             let mut dx = dq.matmul(&self.wq.value)?;
             dx.axpy(1.0, &dk.matmul(&self.wk.value)?)?;

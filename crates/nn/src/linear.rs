@@ -95,10 +95,13 @@ impl Layer for Linear {
                 got: input.dims().to_vec(),
             });
         }
-        self.cached_input = Some(flat.clone());
+        // y = x Wᵀ via the transpose-aware kernel: no explicit Wᵀ is ever
+        // materialised, and the flattened input moves into the cache instead
+        // of being cloned.
         let out = flat
-            .matmul(&self.weight.value.transpose()?)?
+            .matmul_nt(&self.weight.value)?
             .add_row_broadcast(&self.bias.value)?;
+        self.cached_input = Some(flat);
         match orig {
             None => Ok(out),
             Some(dims) => Ok(out.reshape(&[dims[0], dims[1], self.out_features])?),
@@ -111,10 +114,11 @@ impl Layer for Linear {
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardCache("Linear".into()))?;
         let (grad_flat, orig) = self.to_2d(grad_output)?;
-        // dW += dYᵀ X, db += colsum(dY), dX = dY W
-        let dw = grad_flat.transpose()?.matmul(input)?;
+        // dW += dYᵀ X, db += colsum(dY), dX = dY W — all without
+        // materialising dYᵀ.
+        let dw = grad_flat.matmul_tn(input)?;
         self.weight.grad.axpy(1.0, &dw)?;
-        let db = grad_flat.transpose()?.row_sums()?;
+        let db = grad_flat.col_sums()?;
         self.bias.grad.axpy(1.0, &db)?;
         let dx = grad_flat.matmul(&self.weight.value)?;
         match orig {

@@ -12,9 +12,13 @@
 //!   extraction),
 //! * seeded random initialisation so every experiment is reproducible.
 //!
-//! The library intentionally avoids `unsafe`, SIMD and GPU support: the
-//! proxy models used by the benchmark are tiny, and determinism plus clarity
-//! matter more than raw throughput here.
+//! The library intentionally avoids `unsafe`, SIMD intrinsics and GPU
+//! support, but the matmul path is performance-engineered: [`kernels`]
+//! provides blocked/tiled kernels with L1-sized packed panels,
+//! transpose-aware `A·Bᵀ`/`Aᵀ·B` variants and optional row-range threading
+//! over a worker pool ([`set_kernel_workers`]) — all bitwise identical to
+//! the retained naive reference kernel ([`Tensor::matmul_naive`]), so
+//! reproducibility survives every optimisation.
 //!
 //! ```
 //! use mhfl_tensor::Tensor;
@@ -30,12 +34,14 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod kernels;
 mod ops;
 mod rng;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use kernels::{kernel_workers, mark_worker_thread, set_kernel_workers};
 pub use rng::SeededRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -125,28 +125,60 @@ impl Tensor {
         Ok(out)
     }
 
-    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
-    ///
-    /// # Errors
-    /// Returns an error if either operand is not rank-2 or the inner
-    /// dimensions disagree.
-    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+    /// Validates a rank-2 × rank-2 product and returns `(m, inner_a,
+    /// inner_b, n)` where `inner_a`/`inner_b` are the contraction extents
+    /// the caller must match up.
+    fn matmul_dims(&self, rhs: &Tensor, op: &'static str) -> Result<[usize; 4]> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
                 actual: self.rank(),
-                op: "matmul",
+                op,
             });
         }
         if rhs.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
                 actual: rhs.rank(),
+                op,
+            });
+        }
+        Ok([self.dims()[0], self.dims()[1], rhs.dims()[0], rhs.dims()[1]])
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Runs the blocked kernel of [`crate::kernels`]; bitwise identical to
+    /// [`Tensor::matmul_naive`] for finite inputs and independent of the
+    /// configured kernel worker count.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank-2 or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let [m, k, k2, n] = self.matmul_dims(rhs, "matmul")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
                 op: "matmul",
             });
         }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul(self.as_slice(), rhs.as_slice(), m, k, n, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// The retained naive reference kernel: `ikj` loop order, one pass, no
+    /// blocking, no threading. Kept (and property-tested) as the ground
+    /// truth the blocked [`Tensor::matmul`] and the transpose-aware
+    /// variants must agree with bit-for-bit.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank-2 or the inner
+    /// dimensions disagree.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Result<Tensor> {
+        let [m, k, k2, n] = self.matmul_dims(rhs, "matmul")?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
                 left: self.dims().to_vec(),
@@ -171,6 +203,50 @@ impl Tensor {
                 }
             }
         }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose-aware product `self × rhsᵀ`: `[m, k] x [n, k] -> [m, n]`,
+    /// without materialising the transpose. Bitwise identical to
+    /// `self.matmul(&rhs.transpose()?)` for finite inputs — this is the
+    /// kernel behind `y = x Wᵀ` in `Linear::forward`.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank-2 or the trailing
+    /// dimensions disagree.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        let [m, k, n, k2] = self.matmul_dims(rhs, "matmul_nt")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "matmul_nt",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul_nt(self.as_slice(), rhs.as_slice(), m, k, n, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose-aware product `selfᵀ × rhs`: `[k, m] x [k, n] -> [m, n]`,
+    /// without materialising the transpose. Bitwise identical to
+    /// `self.transpose()?.matmul(rhs)` for finite inputs — this is the
+    /// kernel behind `dW = dYᵀ X` in `Linear::backward`.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank-2 or the leading
+    /// dimensions disagree.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        let [k, m, k2, n] = self.matmul_dims(rhs, "matmul_tn")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: rhs.dims().to_vec(),
+                op: "matmul_tn",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul_tn(self.as_slice(), rhs.as_slice(), m, k, n, &mut out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -252,6 +328,32 @@ impl Tensor {
             .map(|r| self.as_slice()[r * cols..(r + 1) * cols].iter().sum())
             .collect();
         Tensor::from_vec(data, &[rows])
+    }
+
+    /// Per-column sums of a rank-2 tensor. Each column is accumulated in
+    /// ascending row order, so the result is bitwise identical to
+    /// `self.transpose()?.row_sums()?` without materialising the transpose
+    /// (the kernel behind `db = colsum(dY)` in `Linear::backward`).
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not rank-2.
+    pub fn col_sums(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "col_sums",
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut data = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            for (acc, value) in data.iter_mut().zip(row) {
+                *acc += value;
+            }
+        }
+        Tensor::from_vec(data, &[cols])
     }
 
     /// Per-column means of a rank-2 tensor.
@@ -399,6 +501,81 @@ mod tests {
         assert!(a.matmul(&b).is_err());
         let v = Tensor::from_vec(vec![1.0], &[1]).unwrap();
         assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn blocked_and_transpose_aware_kernels_match_naive_bitwise() {
+        let mut rng = crate::SeededRng::new(7);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 2),
+            (5, 7, 9),
+            (1, 16, 130), // wide output: exercises the packed-panel path
+            (3, 0, 4),    // k = 0: all-zero output
+            (17, 70, 33), // non-multiple-of-tile dims
+        ] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let naive = a.matmul_naive(&b).unwrap();
+            let blocked = a.matmul(&b).unwrap();
+            assert_eq!(
+                naive
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                blocked
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "blocked matmul diverged at {m}x{k}x{n}"
+            );
+            let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+            let nt = a.matmul_nt(&bt).unwrap();
+            let nt_ref = a.matmul_naive(&bt.transpose().unwrap()).unwrap();
+            assert_eq!(nt, nt_ref, "matmul_nt diverged at {m}x{k}x{n}");
+            let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+            let tn = at.matmul_tn(&b).unwrap();
+            let tn_ref = at.transpose().unwrap().matmul_naive(&b).unwrap();
+            assert_eq!(tn, tn_ref, "matmul_tn diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_is_worker_count_invariant() {
+        let _guard = crate::kernels::worker_test_lock();
+        let mut rng = crate::SeededRng::new(11);
+        let a = Tensor::randn(&[64, 48], 1.0, &mut rng);
+        let b = Tensor::randn(&[48, 160], 1.0, &mut rng);
+        let sequential = a.matmul(&b).unwrap();
+        crate::set_kernel_workers(4);
+        let threaded = a.matmul(&b).unwrap();
+        crate::set_kernel_workers(1);
+        assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn transpose_aware_shape_errors() {
+        let a = t2(&[1.0, 2.0], 1, 2);
+        // matmul_nt needs matching trailing dims.
+        assert!(a.matmul_nt(&t2(&[1.0, 2.0, 3.0], 1, 3)).is_err());
+        // matmul_tn needs matching leading dims.
+        assert!(a.matmul_tn(&t2(&[1.0, 2.0, 3.0], 3, 1)).is_err());
+        let v = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        assert!(v.matmul_nt(&a).is_err());
+        assert!(v.matmul_tn(&a).is_err());
+        assert!(a.matmul_naive(&t2(&[1.0, 2.0, 3.0], 3, 1)).is_err());
+    }
+
+    #[test]
+    fn col_sums_match_transposed_row_sums() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(a.col_sums().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        let via_transpose = a.transpose().unwrap().row_sums().unwrap();
+        assert_eq!(a.col_sums().unwrap(), via_transpose);
+        let v = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        assert!(v.col_sums().is_err());
     }
 
     #[test]

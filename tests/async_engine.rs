@@ -4,7 +4,7 @@ use mhfl_data::{DataTask, Dataset, FederatedDataset};
 use mhfl_device::{ConstraintCase, CostModel, ModelPool};
 use mhfl_fl::{
     staleness_weight, ClientPayload, ClientUpdate, EngineConfig, Execution, FederationContext,
-    FlAlgorithm, FlEngine, FlResult, LocalTrainConfig, Parallelism, Schedule,
+    FlAlgorithm, FlEngine, FlResult, LocalTrainConfig, Parallelism, Schedule, Staleness,
 };
 use mhfl_models::{MhflMethod, ModelFamily};
 use pracmhbench_core::{ExperimentSpec, RunScale};
@@ -232,4 +232,50 @@ fn real_algorithms_run_async_end_to_end() {
         let again = spec.run().unwrap();
         assert_eq!(outcome.report, again.report, "{method} async run diverged");
     }
+}
+
+#[test]
+fn staleness_curve_is_configurable_on_the_engine() {
+    let ctx = context(12, 7);
+    let base = async_config(10, 2);
+    let run = |staleness| {
+        let mut alg = RecordingAlgorithm::default();
+        let report = FlEngine::new(EngineConfig { staleness, ..base })
+            .run(&mut alg, &ctx)
+            .unwrap();
+        let weights: Vec<f32> = alg
+            .batches
+            .iter()
+            .flatten()
+            .map(|u| u.staleness_weight)
+            .collect();
+        (report, weights)
+    };
+
+    // Every update's weight follows the configured curve exactly.
+    let (sqrt_report, sqrt_weights) = run(Staleness::Sqrt);
+    let (hinge_report, hinge_weights) = run(Staleness::Hinge { cutoff: 1_000 });
+    let (poly_report, poly_weights) = run(Staleness::Polynomial { exp: 0.0 });
+
+    // A hinge far beyond any observed staleness and a zero-exponent
+    // polynomial both accept every update at full weight — and since the
+    // event schedule is identical, their traces are byte-identical.
+    assert!(hinge_weights.iter().all(|&w| w == 1.0));
+    assert!(poly_weights.iter().all(|&w| w == 1.0));
+    assert_eq!(hinge_report.digest(), poly_report.digest());
+
+    // The sqrt curve discounts the stale updates this run provably has.
+    // (The recording stub ignores weights when "evaluating", so only the
+    // weights themselves — not the stub's telemetry — can differ.)
+    assert!(sqrt_weights.iter().any(|&w| w < 1.0));
+    assert!(sqrt_report.mean_staleness() > 0.0);
+    assert_eq!(sqrt_weights.len(), hinge_weights.len());
+    assert!(
+        sqrt_weights.iter().zip(&hinge_weights).any(|(s, h)| s < h),
+        "some stale update must be discounted only by sqrt"
+    );
+
+    // And the engine reproduces each curve deterministically.
+    let (sqrt_again, _) = run(Staleness::Sqrt);
+    assert_eq!(sqrt_report, sqrt_again);
 }

@@ -149,3 +149,104 @@ proptest! {
         prop_assert_eq!(sequential.summary, threaded.summary);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked matmul and both transpose-aware variants agree **bitwise**
+    /// with the retained naive reference kernel across randomised shapes,
+    /// including degenerate (`k = 0`, single-row/column) and
+    /// non-multiple-of-tile dimensions.
+    #[test]
+    fn blocked_kernels_agree_bitwise_with_naive(
+        m in 1usize..40,
+        k in 0usize..80,
+        n in 1usize..160,
+        seed in 0u64..1000,
+        workers in 1usize..4,
+    ) {
+        mhfl_tensor::set_kernel_workers(workers);
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        let naive = a.matmul_naive(&b).unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        prop_assert_eq!(naive.dims(), blocked.dims());
+        prop_assert_eq!(bits(&naive), bits(&blocked), "blocked kernel diverged at {}x{}x{}", m, k, n);
+
+        // A·Bᵀ without the transpose == naive with the materialised transpose.
+        let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+        let nt = a.matmul_nt(&bt).unwrap();
+        let nt_ref = a.matmul_naive(&bt.transpose().unwrap()).unwrap();
+        prop_assert_eq!(bits(&nt), bits(&nt_ref), "matmul_nt diverged at {}x{}x{}", m, k, n);
+
+        // Aᵀ·B without the transpose == naive with the materialised transpose.
+        let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+        let tn = at.matmul_tn(&b).unwrap();
+        let tn_ref = at.transpose().unwrap().matmul_naive(&b).unwrap();
+        prop_assert_eq!(bits(&tn), bits(&tn_ref), "matmul_tn diverged at {}x{}x{}", m, k, n);
+        mhfl_tensor::set_kernel_workers(1);
+    }
+
+    /// `col_sums` is bitwise the transpose-then-row-sums reduction.
+    #[test]
+    fn col_sums_agree_with_transposed_row_sums(
+        rows in 1usize..30,
+        cols in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let t = Tensor::randn(&[rows, cols], 2.0, &mut rng);
+        let direct = t.col_sums().unwrap();
+        let reference = t.transpose().unwrap().row_sums().unwrap();
+        let bits = |x: &Tensor| x.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&direct), bits(&reference));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The single-pass multi-axis gather of an [`ExtractionPlan`] agrees
+    /// element-for-element with the sequential per-axis `gather_axis`
+    /// reference ([`extract_submodel`]), for every width fraction and both
+    /// selection families; and the planned scatter-add aggregation matches
+    /// the reference coordinate-decoding path bitwise.
+    #[test]
+    fn planned_gather_and_scatter_match_sequential_reference(
+        width in 0.2f64..1.0,
+        shift in 0usize..40,
+        seed in 0u64..200,
+        weight in 0.5f32..4.0,
+    ) {
+        use mhfl_fl::submodel::ExtractionPlan;
+
+        let cfg = ProxyConfig::for_family(
+            ModelFamily::ResNet34,
+            InputKind::Features { dim: 8 },
+            5,
+            seed,
+        );
+        let global = ProxyModel::new(cfg).unwrap();
+        let global_sd = global.state_dict();
+        let specs = global.param_specs();
+        let client_specs = ProxyModel::new(cfg.with_width(width)).unwrap().param_specs();
+
+        for selection in [WidthSelection::Prefix, WidthSelection::Rolling { shift }] {
+            let reference = extract_submodel(&global_sd, &specs, &client_specs, selection).unwrap();
+            let plan = ExtractionPlan::for_client_specs(&specs, &client_specs, selection).unwrap();
+            let planned = plan.extract(&global_sd).unwrap();
+            prop_assert_eq!(&reference, &planned, "gather diverged under {:?}", selection);
+
+            let mut ref_agg = ServerAggregator::new(specs.clone());
+            ref_agg.add_update(&reference, selection, weight).unwrap();
+            let mut plan_agg = ServerAggregator::new(specs.clone());
+            plan_agg.add_update_with_plan(&planned, &plan, weight).unwrap();
+            let ref_merged = ref_agg.finalize(&global_sd).unwrap();
+            let plan_merged = plan_agg.finalize(&global_sd).unwrap();
+            prop_assert_eq!(&ref_merged, &plan_merged, "scatter-add diverged under {:?}", selection);
+        }
+    }
+}

@@ -106,3 +106,39 @@ proptest! {
         assert_telemetry_consistent(&outcome.report);
     }
 }
+
+/// Participation counts cover exactly the aggregated updates, and fairness
+/// responds to selection bias: a bandwidth-aware scheduler that repeatedly
+/// picks the cheapest uploads cannot be fairer than uniform sampling over
+/// the same population.
+#[test]
+fn participation_counts_track_selection_bias() {
+    use pracmhbench_core::Schedule;
+
+    let uniform = quick(11).run().unwrap().report;
+    let total_updates: usize = uniform.participation_counts().iter().map(|&(_, c)| c).sum();
+    assert_eq!(
+        total_updates,
+        uniform.client_stats().count(),
+        "every aggregated update must be counted exactly once"
+    );
+    assert!(uniform
+        .participation_counts()
+        .iter()
+        .all(|&(client, count)| client < 6 && count > 0));
+
+    let biased = quick(11)
+        .with_schedule(Schedule::BandwidthAware { factor: 3 })
+        .run()
+        .unwrap()
+        .report;
+    let uniform_fairness = uniform.participation_fairness(6);
+    let biased_fairness = biased.participation_fairness(6);
+    assert!(uniform_fairness > 0.0 && uniform_fairness <= 1.0);
+    assert!(biased_fairness > 0.0 && biased_fairness <= 1.0);
+    assert!(
+        biased_fairness <= uniform_fairness + 1e-12,
+        "cheapest-upload selection ({biased_fairness:.3}) should not be fairer \
+         than uniform sampling ({uniform_fairness:.3})"
+    );
+}
