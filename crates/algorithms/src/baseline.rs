@@ -9,7 +9,9 @@
 use mhfl_data::Dataset;
 use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
-use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{
+    AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::{ParamSpec, StateDict};
 use mhfl_tensor::SeededRng;
@@ -138,6 +140,18 @@ impl FlAlgorithm for SmallestHomogeneous {
     fn evaluate_client(&mut self, _client: usize, data: &Dataset) -> FlResult<f32> {
         // Every client deploys the identical homogeneous model.
         self.evaluate_global(data)
+    }
+
+    fn snapshot(&self) -> FlResult<AlgorithmState> {
+        let mut state = AlgorithmState::new();
+        state.insert_state("global", self.global_sd.clone());
+        Ok(state)
+    }
+
+    fn restore(&mut self, mut state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
+        self.setup(ctx)?;
+        self.global_sd = state.take_state("global")?;
+        Ok(())
     }
 }
 

@@ -21,7 +21,7 @@ use mhfl_data::Dataset;
 use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::evaluate_accuracy;
 use mhfl_fl::{
-    ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+    AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
     LocalTrainConfig,
 };
 use mhfl_models::{MhflMethod, ProxyModel};
@@ -320,6 +320,20 @@ impl FlAlgorithm for DepthAlgorithm {
         } else {
             evaluate_accuracy(&mut model, data)
         }
+    }
+
+    fn snapshot(&self) -> FlResult<AlgorithmState> {
+        // As in the width family, the global state dict is the only mutable
+        // state across rounds.
+        let mut state = AlgorithmState::new();
+        state.insert_state("global", self.global_sd.clone());
+        Ok(state)
+    }
+
+    fn restore(&mut self, mut state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
+        self.setup(ctx)?;
+        self.global_sd = state.take_state("global")?;
+        Ok(())
     }
 }
 

@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 
 use mhfl_data::Dataset;
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
-use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{
+    AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::loss::soft_cross_entropy;
 use mhfl_nn::{Layer, Sgd, StateDict};
@@ -239,6 +241,53 @@ impl FlAlgorithm for FedEt {
             }
             None => Ok(1.0 / self.num_classes.max(1) as f32),
         }
+    }
+
+    fn snapshot(&self) -> FlResult<AlgorithmState> {
+        self.require_setup()?;
+        let mut state = AlgorithmState::new();
+        // The server model is *trained* (distilled) across rounds, so its
+        // weights must be captured — unlike the client configs, which are
+        // recomputed from the context.
+        let server = self
+            .server_model
+            .as_ref()
+            .expect("checked by require_setup");
+        state.insert_state("server", server.state_dict());
+        if let Some(probs) = &self.server_public_probs {
+            state.insert_tensor("server_public_probs", probs.clone());
+        }
+        for (&client, (_, sd)) in &self.client_states {
+            state.insert_state(AlgorithmState::client_state_key(client), sd.clone());
+        }
+        Ok(state)
+    }
+
+    fn restore(&mut self, mut state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
+        self.num_classes = ctx.data().task().num_classes();
+        let server_sd = state.take_state("server")?;
+        // from_state skips the random initialisation the snapshot would
+        // overwrite anyway.
+        self.server_model = Some(ProxyModel::from_state(
+            crate::common::global_proxy_config(ctx, MhflMethod::FedEt),
+            &server_sd,
+        )?);
+        self.server_public_probs = state.try_take_tensor("server_public_probs");
+        self.client_states.clear();
+        for (name, sd) in state.take_states_with_prefix("client.") {
+            let client = AlgorithmState::parse_client_key(&name).ok_or_else(|| {
+                FlError::InvalidConfig(format!("malformed client snapshot slot {name:?}"))
+            })?;
+            if client >= ctx.num_clients() {
+                return Err(FlError::InvalidConfig(format!(
+                    "snapshot covers client {client} but the context has only {} clients",
+                    ctx.num_clients()
+                )));
+            }
+            self.client_states
+                .insert(client, (Self::client_config(ctx, client), sd));
+        }
+        Ok(())
     }
 }
 

@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 
 use mhfl_data::Dataset;
 use mhfl_fl::train::evaluate_accuracy;
-use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{
+    AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+};
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::loss::{accuracy, cross_entropy, prototype_loss};
 use mhfl_nn::{Layer, Sgd, StateDict};
@@ -262,6 +264,39 @@ impl FlAlgorithm for FedProto {
             // A client that never participated deploys an untrained model.
             None => Ok(1.0 / self.num_classes.max(1) as f32),
         }
+    }
+
+    fn snapshot(&self) -> FlResult<AlgorithmState> {
+        // Per-client model snapshots plus the server's prototype table; the
+        // ProxyConfigs are recomputed from the context on restore.
+        let mut state = AlgorithmState::new();
+        state.insert_tensor("prototypes", self.prototypes.clone());
+        state.insert_scalars("proto_counts", self.proto_counts.clone());
+        for (&client, (_, sd)) in &self.client_states {
+            state.insert_state(AlgorithmState::client_state_key(client), sd.clone());
+        }
+        Ok(state)
+    }
+
+    fn restore(&mut self, mut state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
+        self.setup(ctx)?;
+        self.prototypes = state.take_tensor("prototypes")?;
+        self.proto_counts = state.take_scalars("proto_counts")?;
+        self.client_states.clear();
+        for (name, sd) in state.take_states_with_prefix("client.") {
+            let client = AlgorithmState::parse_client_key(&name).ok_or_else(|| {
+                FlError::InvalidConfig(format!("malformed client snapshot slot {name:?}"))
+            })?;
+            if client >= ctx.num_clients() {
+                return Err(FlError::InvalidConfig(format!(
+                    "snapshot covers client {client} but the context has only {} clients",
+                    ctx.num_clients()
+                )));
+            }
+            self.client_states
+                .insert(client, (Self::client_config(ctx, client), sd));
+        }
+        Ok(())
     }
 }
 

@@ -16,7 +16,9 @@
 use mhfl_data::Dataset;
 use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
-use mhfl_fl::{ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult};
+use mhfl_fl::{
+    AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+};
 use mhfl_models::{MhflMethod, ProxyModel};
 use mhfl_nn::{ParamSpec, StateDict};
 use mhfl_tensor::SeededRng;
@@ -187,6 +189,20 @@ impl FlAlgorithm for WidthAlgorithm {
         )?;
         model.load_state_dict(&plan.extract(&self.global_sd)?)?;
         evaluate_accuracy(&mut model, data)
+    }
+
+    fn snapshot(&self) -> FlResult<AlgorithmState> {
+        // The global state dict is the only mutable state: the model shell,
+        // parameter specs and plan cache are all rebuilt from the context.
+        let mut state = AlgorithmState::new();
+        state.insert_state("global", self.global_sd.clone());
+        Ok(state)
+    }
+
+    fn restore(&mut self, mut state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
+        self.setup(ctx)?;
+        self.global_sd = state.take_state("global")?;
+        Ok(())
     }
 }
 

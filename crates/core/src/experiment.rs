@@ -103,6 +103,11 @@ pub struct ExperimentSpec {
     /// Staleness-discount curve for asynchronous execution (sqrt /
     /// polynomial / hinge, per the FedBuff ablations).
     pub staleness: Staleness,
+    /// Per-update staleness bound for asynchronous execution: updates
+    /// staler than this are discarded before aggregation (counted by
+    /// [`MetricsReport::dropped_updates`](mhfl_fl::MetricsReport)).
+    /// `None` keeps every update.
+    pub max_staleness: Option<usize>,
 }
 
 impl ExperimentSpec {
@@ -121,6 +126,7 @@ impl ExperimentSpec {
             parallelism: Parallelism::Sequential,
             execution: Execution::Synchronous,
             staleness: Staleness::Sqrt,
+            max_staleness: None,
         }
     }
 
@@ -179,6 +185,13 @@ impl ExperimentSpec {
         self
     }
 
+    /// Bounds per-update staleness for asynchronous execution: staler
+    /// updates are dropped before aggregation.
+    pub fn with_max_staleness(mut self, max_staleness: Option<usize>) -> Self {
+        self.max_staleness = max_staleness;
+        self
+    }
+
     /// Builds the federation context this spec describes.
     ///
     /// # Errors
@@ -209,14 +222,32 @@ impl ExperimentSpec {
         FederationContext::new(data, assignments, train, self.seed)
     }
 
-    /// Runs the experiment.
+    /// The engine this spec runs under — the entry point for driving the
+    /// experiment through the streaming session API
+    /// ([`FlEngine::session`]) instead of the blocking
+    /// [`run`](ExperimentSpec::run):
     ///
-    /// # Errors
-    /// Propagates engine/algorithm failures.
-    pub fn run(&self) -> FlResult<ExperimentOutcome> {
+    /// ```no_run
+    /// # use mhfl_data::DataTask;
+    /// # use mhfl_device::ConstraintCase;
+    /// # use mhfl_models::MhflMethod;
+    /// # use pracmhbench_core::ExperimentSpec;
+    /// let spec = ExperimentSpec::new(
+    ///     DataTask::UciHar,
+    ///     MhflMethod::SHeteroFl,
+    ///     ConstraintCase::Memory,
+    /// );
+    /// let ctx = spec.build_context()?;
+    /// let mut algorithm = mhfl_algorithms::build_algorithm(spec.method);
+    /// let mut session = spec.engine().session(algorithm.as_mut(), &ctx)?;
+    /// while let Some(_event) = session.next_event()? {
+    ///     // observe, checkpoint, stop early ...
+    /// }
+    /// # Ok::<(), mhfl_fl::FlError>(())
+    /// ```
+    pub fn engine(&self) -> FlEngine {
         let (_clients, _spc, rounds, sample_ratio) = self.scale.parameters(self.task);
-        let ctx = self.build_context()?;
-        let engine = FlEngine::new(EngineConfig {
+        FlEngine::new(EngineConfig {
             rounds,
             sample_ratio,
             eval_every: (rounds / 4).max(1),
@@ -225,7 +256,17 @@ impl ExperimentSpec {
             parallelism: self.parallelism,
             execution: self.execution,
             staleness: self.staleness,
-        });
+            max_staleness: self.max_staleness,
+        })
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    /// Propagates engine/algorithm failures.
+    pub fn run(&self) -> FlResult<ExperimentOutcome> {
+        let ctx = self.build_context()?;
+        let engine = self.engine();
         let mut algorithm = build_algorithm(self.method);
         let report = engine.run(algorithm.as_mut(), &ctx)?;
         let summary = MetricSummary {

@@ -1,39 +1,24 @@
-//! FedBuff-style asynchronous buffered aggregation.
+//! Staleness handling for FedBuff-style asynchronous buffered aggregation.
 //!
 //! The synchronous engine advances the clock by whole rounds: every
 //! selected client launches together and the round lasts as long as its
-//! slowest participant. This module replaces that with an event-driven
-//! simulation ([`Execution::AsyncBuffered`](crate::Execution)):
+//! slowest participant. [`Execution::AsyncBuffered`](crate::Execution)
+//! replaces that with an event-driven simulation — the server keeps a fixed
+//! number of clients in flight, arrivals accumulate in a buffer, and once
+//! `buffer_size` updates are waiting the server aggregates them, weighting
+//! each by the staleness-discount curve defined here. The event loop itself
+//! lives in the unified session driver ([`crate::Session`]), which the
+//! synchronous mode shares; this module owns the staleness *policy*:
 //!
-//! * the server keeps a fixed number of clients *in flight*;
-//! * each dispatched client's update arrives at
-//!   `dispatch_time + cost.total_secs()` on the simulated clock;
-//! * arrivals accumulate in a buffer; once `buffer_size` updates are
-//!   waiting, the server aggregates them — one aggregation is one "round"
-//!   against [`EngineConfig::rounds`](crate::EngineConfig) — weighting each
-//!   update by [`staleness_weight`] of the number of aggregations that
-//!   completed while it was in flight;
-//! * every arrival frees a slot, which is refilled immediately through the
-//!   scheduler's [`pick_next`](crate::ClientScheduler::pick_next) /
-//!   [`is_available`](crate::ClientScheduler::is_available) hooks, so fast
-//!   clients contribute many updates while stragglers are still training.
-//!
-//! Everything is deterministic: events are ordered by `(arrival time,
-//! dispatch sequence)` and all randomness derives from the experiment seed,
-//! so two runs with the same seed produce byte-identical reports.
+//! * [`Staleness`] — the configurable discount curves (the `s(t, τ)`
+//!   ablations of the FedBuff paper), applied per update by the driver;
+//! * [`staleness_weight`] — the default `1/sqrt(1 + s)` shorthand;
+//! * the per-update [`max_staleness`](crate::EngineConfig::max_staleness)
+//!   bound is enforced by the driver before an update enters the buffer,
+//!   with discarded updates counted by
+//!   [`MetricsReport::dropped_updates`](crate::MetricsReport).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use mhfl_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
-
-use crate::engine::record_evaluation;
-use crate::parallel::run_clients;
-use crate::{
-    ClientRoundStat, ClientScheduler, ClientUpdate, FederationContext, FlAlgorithm, FlEngine,
-    FlResult, MetricsReport,
-};
 
 /// The staleness-discount curve applied to asynchronously buffered updates
 /// (the `s(t, τ)` ablations of the FedBuff paper). An update that watched
@@ -87,222 +72,6 @@ impl Staleness {
 /// [`EngineConfig::staleness`](crate::EngineConfig).
 pub fn staleness_weight(staleness: usize) -> f32 {
     Staleness::Sqrt.weight(staleness)
-}
-
-/// Consecutive idle clock advances (no client dispatchable, nothing in
-/// flight) after which the run gives up instead of spinning forever — only
-/// reachable when the availability trace keeps every client offline for
-/// this many slots in a row.
-const MAX_IDLE_ADVANCES: usize = 10_000;
-
-/// One in-flight client update travelling towards the server.
-struct Arrival {
-    /// Simulated time at which the update reaches the server.
-    time: f64,
-    /// Dispatch sequence number: deterministic FIFO tie-break for
-    /// simultaneous arrivals.
-    seq: u64,
-    /// Simulated time the client was dispatched.
-    dispatched_at: f64,
-    /// Server version (completed aggregations) at dispatch.
-    dispatched_version: usize,
-    /// The computed update.
-    update: ClientUpdate,
-}
-
-impl PartialEq for Arrival {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Arrival {}
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap but we pop earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-/// Runs the asynchronous buffered experiment. See the module docs for the
-/// event model; evaluation cadence, the stability sample and the metric
-/// report format are identical to the synchronous path.
-pub(crate) fn run_async(
-    engine: &FlEngine,
-    algorithm: &mut dyn FlAlgorithm,
-    ctx: &FederationContext,
-    scheduler: &dyn ClientScheduler,
-    rng: &mut SeededRng,
-    buffer_size: usize,
-    concurrency: usize,
-) -> FlResult<MetricsReport> {
-    let mut report = MetricsReport::new(algorithm.name());
-    let config = *engine.config();
-    let num_clients = ctx.num_clients();
-    let slots = if concurrency == 0 {
-        engine.per_round(ctx)
-    } else {
-        concurrency.clamp(1, num_clients)
-    };
-    let buffer_size = buffer_size.max(1);
-    let stability_sample = engine.stability_sample(ctx);
-
-    let mut now = 0.0f64;
-    let mut version = 0usize; // completed server aggregations
-    let mut seq = 0u64;
-    let mut in_flight = vec![false; num_clients];
-    let mut in_flight_count = 0usize;
-    let mut events: BinaryHeap<Arrival> = BinaryHeap::new();
-    let mut buffer: Vec<(ClientUpdate, ClientRoundStat)> = Vec::new();
-    let mut pending_stats: Vec<ClientRoundStat> = Vec::new();
-    let mut idle_advances = 0usize;
-
-    // Picks clients for every free slot at `now` and launches them. The
-    // client phase of a batch fans out over the configured parallelism;
-    // updates land in pick order so results are execution-mode independent.
-    let dispatch_free_slots = |now: f64,
-                               version: usize,
-                               seq: &mut u64,
-                               in_flight: &mut Vec<bool>,
-                               in_flight_count: &mut usize,
-                               events: &mut BinaryHeap<Arrival>,
-                               algorithm: &dyn FlAlgorithm,
-                               rng: &mut SeededRng|
-     -> FlResult<usize> {
-        let mut picked = Vec::new();
-        while *in_flight_count + picked.len() < slots {
-            let eligible: Vec<usize> = (0..num_clients)
-                .filter(|&c| !in_flight[c] && scheduler.is_available(c, now, ctx))
-                .collect();
-            let Some(client) = scheduler.pick_next(now, &eligible, ctx, rng) else {
-                break;
-            };
-            in_flight[client] = true;
-            picked.push(client);
-        }
-        if picked.is_empty() {
-            return Ok(0);
-        }
-        // Clients dispatched at version `v` train on the state produced by
-        // the v-th aggregation, i.e. they run "round" v + 1.
-        let updates = run_clients(algorithm, version + 1, &picked, ctx, config.parallelism)?;
-        let launched = updates.len();
-        for update in updates {
-            let cost = ctx.assignment(update.client).cost;
-            events.push(Arrival {
-                time: now + cost.total_secs(),
-                seq: *seq,
-                dispatched_at: now,
-                dispatched_version: version,
-                update,
-            });
-            *seq += 1;
-        }
-        *in_flight_count += launched;
-        Ok(launched)
-    };
-
-    dispatch_free_slots(
-        now,
-        version,
-        &mut seq,
-        &mut in_flight,
-        &mut in_flight_count,
-        &mut events,
-        &*algorithm,
-        rng,
-    )?;
-
-    while version < config.rounds {
-        let Some(arrival) = events.pop() else {
-            // Nothing in flight and nothing arriving: advance the clock to
-            // the next point where availability can change and retry.
-            now += scheduler.idle_wait_secs().max(f64::EPSILON);
-            idle_advances += 1;
-            let launched = dispatch_free_slots(
-                now,
-                version,
-                &mut seq,
-                &mut in_flight,
-                &mut in_flight_count,
-                &mut events,
-                &*algorithm,
-                rng,
-            )?;
-            if launched > 0 {
-                idle_advances = 0;
-            } else if idle_advances >= MAX_IDLE_ADVANCES {
-                // Every client has been offline for the entire horizon;
-                // return what we have instead of spinning forever.
-                break;
-            }
-            continue;
-        };
-        idle_advances = 0;
-        now = arrival.time;
-        in_flight[arrival.update.client] = false;
-        in_flight_count -= 1;
-
-        let staleness = version - arrival.dispatched_version;
-        let mut update = arrival.update;
-        update.staleness_weight = config.staleness.weight(staleness);
-        let stat = ClientRoundStat {
-            client: update.client,
-            // Patched to the actual aggregation round when the buffer flushes.
-            round: version + 1,
-            dispatch_secs: arrival.dispatched_at,
-            arrival_secs: arrival.time,
-            staleness,
-            payload_bytes: update.payload.payload_bytes(),
-        };
-        buffer.push((update, stat));
-
-        if buffer.len() >= buffer_size {
-            version += 1;
-            let mut updates = Vec::with_capacity(buffer.len());
-            for (update, mut stat) in buffer.drain(..) {
-                stat.round = version;
-                pending_stats.push(stat);
-                updates.push(update);
-            }
-            algorithm.aggregate(version, updates, ctx)?;
-            if engine.is_eval_round(version) {
-                record_evaluation(
-                    &mut report,
-                    algorithm,
-                    ctx,
-                    &stability_sample,
-                    version,
-                    now,
-                    std::mem::take(&mut pending_stats),
-                )?;
-            }
-        }
-
-        // After the final aggregation the run is over: don't pay for
-        // training replacement clients whose updates would be discarded.
-        if version < config.rounds {
-            dispatch_free_slots(
-                now,
-                version,
-                &mut seq,
-                &mut in_flight,
-                &mut in_flight_count,
-                &mut events,
-                &*algorithm,
-                rng,
-            )?;
-        }
-    }
-
-    Ok(report)
 }
 
 #[cfg(test)]
@@ -364,25 +133,5 @@ mod tests {
         for s in 0..10 {
             assert_eq!(staleness_weight(s), Staleness::Sqrt.weight(s));
         }
-    }
-
-    #[test]
-    fn arrivals_pop_earliest_first_with_seq_tie_break() {
-        let mk = |time: f64, seq: u64| Arrival {
-            time,
-            seq,
-            dispatched_at: 0.0,
-            dispatched_version: 0,
-            update: ClientUpdate::new(0, 1, crate::ClientPayload::Empty),
-        };
-        let mut heap = BinaryHeap::new();
-        heap.push(mk(5.0, 2));
-        heap.push(mk(1.0, 1));
-        heap.push(mk(1.0, 0));
-        heap.push(mk(3.0, 3));
-        let order: Vec<(f64, u64)> = std::iter::from_fn(|| heap.pop())
-            .map(|a| (a.time, a.seq))
-            .collect();
-        assert_eq!(order, vec![(1.0, 0), (1.0, 1), (3.0, 3), (5.0, 2)]);
     }
 }

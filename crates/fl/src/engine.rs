@@ -4,10 +4,9 @@ use mhfl_data::Dataset;
 use mhfl_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
-use crate::parallel::run_clients;
 use crate::{
-    ClientRoundStat, ClientScheduler, ClientUpdate, FederationContext, FlResult, MetricsReport,
-    Parallelism, RoundRecord, Schedule, Staleness,
+    AlgorithmState, Checkpoint, ClientUpdate, FederationContext, FlResult, MetricsReport,
+    Parallelism, Schedule, Session, Staleness,
 };
 
 /// A federated learning algorithm as seen by the engine, split into an
@@ -74,6 +73,37 @@ pub trait FlAlgorithm: Send + Sync {
     /// # Errors
     /// Returns an error if evaluation fails or the client is unknown.
     fn evaluate_client(&mut self, client: usize, data: &Dataset) -> FlResult<f32>;
+
+    /// Captures the algorithm's full mutable state for a run
+    /// [`Checkpoint`]. Everything [`aggregate`](Self::aggregate) has ever
+    /// written must be representable in the returned [`AlgorithmState`];
+    /// state that is a pure function of the [`FederationContext`] (plan
+    /// caches, configurations, derived streams) should be left out and
+    /// rebuilt by [`restore`](Self::restore).
+    ///
+    /// The default is an empty snapshot, which is exactly right for
+    /// stateless algorithms (e.g. engine-test doubles); stateful algorithms
+    /// must override both this and [`restore`](Self::restore) for
+    /// checkpointed runs to resume bit-exactly.
+    ///
+    /// # Errors
+    /// Returns an error if the state cannot be captured.
+    fn snapshot(&self) -> FlResult<AlgorithmState> {
+        Ok(AlgorithmState::new())
+    }
+
+    /// Restores the algorithm to a state previously captured by
+    /// [`snapshot`](Self::snapshot), on the same federation context.
+    ///
+    /// The default re-runs [`setup`](Self::setup), which is sufficient
+    /// whenever the snapshot is empty (stateless algorithms).
+    ///
+    /// # Errors
+    /// Returns an error if the snapshot does not match this algorithm.
+    fn restore(&mut self, state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
+        let _ = state;
+        self.setup(ctx)
+    }
 }
 
 /// How the engine advances rounds on the simulated clock.
@@ -136,6 +166,13 @@ pub struct EngineConfig {
     /// Staleness-discount curve applied by the asynchronous buffered engine
     /// (ignored by synchronous execution, whose updates are never stale).
     pub staleness: Staleness,
+    /// Per-update staleness bound for the asynchronous buffered engine:
+    /// an update that watched more than this many server aggregations
+    /// complete while in flight is discarded before aggregation (counted by
+    /// [`MetricsReport::dropped_updates`]) instead of being discounted.
+    /// `None` (the default) keeps every update. Synchronous rounds are
+    /// unaffected — their updates always have staleness zero.
+    pub max_staleness: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -149,6 +186,7 @@ impl Default for EngineConfig {
             parallelism: Parallelism::Sequential,
             execution: Execution::Synchronous,
             staleness: Staleness::Sqrt,
+            max_staleness: None,
         }
     }
 }
@@ -193,7 +231,48 @@ impl FlEngine {
         round.is_multiple_of(self.config.eval_every.max(1)) || round == self.config.rounds
     }
 
-    /// Runs the full experiment, returning the metric report.
+    /// Opens a streaming [`Session`] for the experiment: runs
+    /// [`FlAlgorithm::setup`] and returns a driver that advances the
+    /// simulation one [`RoundEvent`](crate::RoundEvent) at a time. This is
+    /// the primary entry point; [`run`](FlEngine::run) is a convenience
+    /// wrapper that drains the session in one call.
+    ///
+    /// # Errors
+    /// Propagates [`FlAlgorithm::setup`] failures.
+    pub fn session<'a>(
+        &self,
+        algorithm: &'a mut dyn FlAlgorithm,
+        ctx: &'a FederationContext,
+    ) -> FlResult<Session<'a>> {
+        Session::new(*self, algorithm, ctx)
+    }
+
+    /// Resumes a run from a [`Checkpoint`] taken by
+    /// [`Session::checkpoint`]. Equivalent to [`Session::restore`]; the
+    /// checkpoint's own engine configuration is used (this engine's must
+    /// match).
+    ///
+    /// # Errors
+    /// Returns [`FlError`](crate::FlError) on a configuration, algorithm or
+    /// context mismatch.
+    pub fn restore<'a>(
+        &self,
+        algorithm: &'a mut dyn FlAlgorithm,
+        ctx: &'a FederationContext,
+        checkpoint: &Checkpoint,
+    ) -> FlResult<Session<'a>> {
+        if *checkpoint.config() != self.config {
+            return Err(crate::FlError::InvalidConfig(
+                "checkpoint was taken under a different engine configuration".into(),
+            ));
+        }
+        Session::restore(algorithm, ctx, checkpoint)
+    }
+
+    /// Runs the full experiment to completion, returning the metric report.
+    /// A thin wrapper over [`session`](FlEngine::session) +
+    /// [`Session::drain`]; use the session API directly for streaming
+    /// events, observers, early stopping, or checkpoint/resume.
     ///
     /// With [`Execution::Synchronous`] each round advances the simulated
     /// wall clock by the duration the scheduler reports — for the default
@@ -217,136 +296,8 @@ impl FlEngine {
         algorithm: &mut dyn FlAlgorithm,
         ctx: &FederationContext,
     ) -> FlResult<MetricsReport> {
-        // Grant the tensor kernels the same worker budget as the client
-        // fan-out: server-phase matmuls (aggregation, evaluation) thread
-        // their row ranges, while kernels inside client worker threads stay
-        // sequential (the fan-out already owns the cores). Reports are
-        // bitwise independent of this setting, and the previous value is
-        // restored when the run finishes so the engine does not leak its
-        // budget into unrelated tensor work in the same process.
-        let _workers = KernelWorkersGuard::set(self.config.parallelism.kernel_workers());
-        algorithm.setup(ctx)?;
-        let scheduler = self.config.schedule.build();
-        let mut rng = SeededRng::new(ctx.seed() ^ 0xF00D);
-        match self.config.execution {
-            Execution::Synchronous => self.run_sync(algorithm, ctx, &*scheduler, &mut rng),
-            Execution::AsyncBuffered {
-                buffer_size,
-                concurrency,
-            } => crate::buffered::run_async(
-                self,
-                algorithm,
-                ctx,
-                &*scheduler,
-                &mut rng,
-                buffer_size,
-                concurrency,
-            ),
-        }
+        self.session(algorithm, ctx)?.drain()
     }
-
-    fn run_sync(
-        &self,
-        algorithm: &mut dyn FlAlgorithm,
-        ctx: &FederationContext,
-        scheduler: &dyn ClientScheduler,
-        rng: &mut SeededRng,
-    ) -> FlResult<MetricsReport> {
-        let mut report = MetricsReport::new(algorithm.name());
-        let per_round = self.per_round(ctx);
-        let stability_sample = self.stability_sample(ctx);
-
-        let mut sim_time = 0.0f64;
-        let mut pending_stats: Vec<ClientRoundStat> = Vec::new();
-        for round in 1..=self.config.rounds {
-            let plan = scheduler.plan_round(round, per_round, sim_time, ctx, rng);
-            let updates = run_clients(
-                &*algorithm,
-                round,
-                &plan.clients,
-                ctx,
-                self.config.parallelism,
-            )?;
-            // Synchronous telemetry: everyone launches at the round start and
-            // lands after their own cost; nothing is ever stale.
-            for update in &updates {
-                let cost = ctx.assignment(update.client).cost;
-                pending_stats.push(ClientRoundStat {
-                    client: update.client,
-                    round,
-                    dispatch_secs: sim_time,
-                    arrival_secs: sim_time + cost.total_secs(),
-                    staleness: 0,
-                    payload_bytes: update.payload.payload_bytes(),
-                });
-            }
-            algorithm.aggregate(round, updates, ctx)?;
-            sim_time += plan.round_secs;
-
-            if self.is_eval_round(round) {
-                record_evaluation(
-                    &mut report,
-                    algorithm,
-                    ctx,
-                    &stability_sample,
-                    round,
-                    sim_time,
-                    std::mem::take(&mut pending_stats),
-                )?;
-            }
-        }
-        Ok(report)
-    }
-}
-
-/// Restores the previous process-global kernel worker count when dropped,
-/// so an engine run's worker budget does not outlive the run. The setting
-/// is still process-global while the run is in flight — concurrent engines
-/// in one process share it — which only ever affects wall-clock, never
-/// results (kernels are worker-count invariant).
-struct KernelWorkersGuard {
-    previous: usize,
-}
-
-impl KernelWorkersGuard {
-    fn set(workers: usize) -> Self {
-        let previous = mhfl_tensor::kernel_workers();
-        mhfl_tensor::set_kernel_workers(workers);
-        KernelWorkersGuard { previous }
-    }
-}
-
-impl Drop for KernelWorkersGuard {
-    fn drop(&mut self) {
-        mhfl_tensor::set_kernel_workers(self.previous);
-    }
-}
-
-/// Evaluates the global model and the stability sample, appending a
-/// [`RoundRecord`] that carries the telemetry accumulated since the previous
-/// evaluation point. Shared by the synchronous and asynchronous paths.
-pub(crate) fn record_evaluation(
-    report: &mut MetricsReport,
-    algorithm: &mut dyn FlAlgorithm,
-    ctx: &FederationContext,
-    stability_sample: &[usize],
-    round: usize,
-    sim_time: f64,
-    client_stats: Vec<ClientRoundStat>,
-) -> FlResult<()> {
-    let global_accuracy = algorithm.evaluate_global(ctx.data().test())?;
-    let mut per_client_accuracy = Vec::with_capacity(stability_sample.len());
-    for &client in stability_sample {
-        per_client_accuracy.push(algorithm.evaluate_client(client, ctx.data().test())?);
-    }
-    report.push(RoundRecord {
-        round,
-        sim_time_secs: sim_time,
-        global_accuracy,
-        per_client_accuracy,
-        client_stats,
-    });
-    Ok(())
 }
 
 #[cfg(test)]

@@ -7,7 +7,11 @@
 //! and the four evaluation metrics of the paper — global accuracy,
 //! time-to-accuracy, stability and effectiveness. Concrete MHFL algorithms
 //! implement the two-phase [`FlAlgorithm`] trait (see the `mhfl-algorithms`
-//! crate) and are driven by [`FlEngine::run`]:
+//! crate) and are driven through a streaming [`Session`]
+//! ([`FlEngine::session`]) that yields typed [`RoundEvent`]s, supports
+//! [`Observer`]s (progress logging, CSV telemetry, early stopping) and
+//! checkpoint/resume ([`Session::checkpoint`] / [`Session::restore`]);
+//! [`FlEngine::run`] drains a session in one blocking call:
 //!
 //! * the *client phase* ([`FlAlgorithm::client_update`]) trains one selected
 //!   client and returns a [`ClientUpdate`]; it takes `&self`, so the engine
@@ -44,8 +48,11 @@ mod engine;
 mod error;
 mod fnv;
 mod metrics;
+mod observer;
 mod parallel;
 mod schedule;
+mod session;
+mod snapshot;
 pub mod submodel;
 pub mod train;
 mod update;
@@ -55,11 +62,14 @@ pub use context::{FederationContext, LocalTrainConfig};
 pub use engine::{EngineConfig, Execution, FlAlgorithm, FlEngine};
 pub use error::FlError;
 pub use metrics::{ClientRoundStat, MetricsReport, RoundRecord};
+pub use observer::{CsvTelemetry, EarlyStop, EventCounter, Observer, ProgressLogger};
 pub use parallel::{run_clients, Parallelism};
 pub use schedule::{
-    AvailabilityTrace, BandwidthAware, ClientScheduler, DeadlineAware, PowerOfChoice, RoundPlan,
-    Schedule, UniformSampler,
+    AvailabilityTrace, BandwidthAware, ClientScheduler, DeadlineAware, DiurnalTrace, PowerOfChoice,
+    RoundPlan, Schedule, UniformSampler,
 };
+pub use session::{Checkpoint, RoundEvent, Session};
+pub use snapshot::AlgorithmState;
 pub use update::{ClientPayload, ClientUpdate};
 
 /// Crate-wide result alias.

@@ -63,6 +63,11 @@ pub struct MetricsReport {
     pub records: Vec<RoundRecord>,
     /// Name of the algorithm that produced the report.
     pub algorithm: String,
+    /// Updates discarded for exceeding the engine's `max_staleness` bound
+    /// (kept private so the digest, which predates the counter, stays
+    /// byte-compatible with committed golden fixtures; see
+    /// [`dropped_updates`](MetricsReport::dropped_updates)).
+    dropped: usize,
 }
 
 impl MetricsReport {
@@ -71,12 +76,33 @@ impl MetricsReport {
         MetricsReport {
             records: Vec::new(),
             algorithm: algorithm.into(),
+            dropped: 0,
         }
     }
 
     /// Appends an evaluation record.
     pub fn push(&mut self, record: RoundRecord) {
         self.records.push(record);
+    }
+
+    /// Counts one update discarded under the engine's per-update
+    /// [`max_staleness`](crate::EngineConfig::max_staleness) bound.
+    pub(crate) fn note_dropped_update(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Number of updates the asynchronous engine discarded for exceeding
+    /// the configured per-update staleness bound
+    /// ([`EngineConfig::max_staleness`](crate::EngineConfig::max_staleness)).
+    /// Always zero for synchronous runs and for the default unbounded
+    /// configuration.
+    ///
+    /// Diagnostic only: dropped updates never reach aggregation, so they
+    /// appear neither in [`client_stats`](MetricsReport::client_stats) nor
+    /// in [`digest`](MetricsReport::digest) (which keeps pre-existing golden
+    /// fixtures valid).
+    pub fn dropped_updates(&self) -> usize {
+        self.dropped
     }
 
     /// Metric (i): final global accuracy (last evaluation point).
@@ -365,6 +391,19 @@ mod tests {
         assert_eq!(r.mean_staleness(), 0.0);
         assert_eq!(r.total_payload_bytes(), 0);
         assert_eq!(r.utilisation(), 0.0);
+        assert_eq!(r.dropped_updates(), 0);
+    }
+
+    #[test]
+    fn dropped_updates_count_but_do_not_move_the_digest() {
+        let mut r = report();
+        let digest = r.digest();
+        r.note_dropped_update();
+        r.note_dropped_update();
+        assert_eq!(r.dropped_updates(), 2);
+        // The counter is diagnostic: golden fixtures pre-date it and must
+        // keep matching.
+        assert_eq!(r.digest(), digest);
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Round observers: passive consumers of the session event stream.
+//!
+//! A [`Session`](crate::Session) emits a typed [`RoundEvent`] for everything
+//! that happens on the simulated clock. Observers attached via
+//! [`Session::observe`](crate::Session::observe) see every event *before* it
+//! is handed to the caller, which is what progress logging, telemetry export
+//! and early stopping hang off — without the driving code having to thread
+//! those concerns through the round loop itself.
+//!
+//! Three ready-made observers cover the common cases:
+//!
+//! * [`ProgressLogger`] — one human-readable line per evaluation point;
+//! * [`CsvTelemetry`] — per-update and per-round CSV export (the
+//!   figure-regeneration binary is built on this);
+//! * [`EarlyStop`] — ends the run once the global model reaches a target
+//!   accuracy (the session emits `RunCompleted` with the partial report).
+
+use std::io::Write;
+
+use crate::{RoundEvent, RoundRecord};
+
+/// A passive consumer of session events.
+///
+/// Observers run synchronously inside the driver, in attachment order.
+/// They must not assume anything about wall-clock time: the stream is a pure
+/// function of the experiment seed, so an observer that only derives state
+/// from the events it sees keeps runs reproducible.
+pub trait Observer {
+    /// Called once per emitted event, in emission order.
+    fn on_event(&mut self, event: &RoundEvent);
+
+    /// Polled by the session after each event: returning `true` asks the
+    /// driver to end the run at the next safe point (the session then emits
+    /// [`RoundEvent::RunCompleted`] carrying the metrics collected so far).
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// Mutable references observe too, so an observer whose collected state is
+/// needed *after* the run — a [`CsvTelemetry`] whose CSV you want to write
+/// out, an [`EventCounter`] you want to assert on — can be attached without
+/// giving it away:
+///
+/// ```ignore
+/// let mut csv = CsvTelemetry::new();
+/// session.observe(Box::new(&mut csv));
+/// let report = session.drain()?; // ends the borrow
+/// std::fs::write("telemetry.csv", csv.updates_csv())?;
+/// ```
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_event(&mut self, event: &RoundEvent) {
+        (**self).on_event(event);
+    }
+
+    fn should_stop(&self) -> bool {
+        (**self).should_stop()
+    }
+}
+
+/// Logs one line per completed evaluation round (and a summary at run end)
+/// to the given writer — `std::io::stderr()` for interactive progress, a
+/// `Vec<u8>` in tests.
+pub struct ProgressLogger<W: Write> {
+    out: W,
+    events_seen: usize,
+}
+
+impl<W: Write> ProgressLogger<W> {
+    /// Creates a logger writing to `out`.
+    pub fn new(out: W) -> Self {
+        ProgressLogger {
+            out,
+            events_seen: 0,
+        }
+    }
+
+    /// Number of events this logger has observed.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+}
+
+impl ProgressLogger<std::io::Stderr> {
+    /// A logger writing to standard error.
+    pub fn stderr() -> Self {
+        ProgressLogger::new(std::io::stderr())
+    }
+}
+
+impl<W: Write> Observer for ProgressLogger<W> {
+    fn on_event(&mut self, event: &RoundEvent) {
+        self.events_seen += 1;
+        match event {
+            RoundEvent::RoundCompleted {
+                round,
+                sim_time_secs,
+                record: Some(record),
+            } => {
+                let _ = writeln!(
+                    self.out,
+                    "round {round:>5} | t = {sim_time_secs:>9.1}s | global acc {:.4}",
+                    record.global_accuracy
+                );
+            }
+            RoundEvent::RunCompleted { report } => {
+                let _ = writeln!(
+                    self.out,
+                    "run complete: {} evaluation points, final acc {:.4}, {:.1}s simulated",
+                    report.records.len(),
+                    report.final_accuracy(),
+                    report.total_sim_time_secs()
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects per-update telemetry and per-round accuracy as CSV text.
+///
+/// Two tables are built from [`RoundEvent::RoundCompleted`] records:
+///
+/// * [`updates_csv`](CsvTelemetry::updates_csv) — one row per aggregated
+///   client update (`round,client,dispatch_secs,arrival_secs,staleness,payload_bytes`);
+/// * [`rounds_csv`](CsvTelemetry::rounds_csv) — one row per evaluation point
+///   (`round,sim_time_secs,global_accuracy,mean_staleness`).
+#[derive(Debug, Default)]
+pub struct CsvTelemetry {
+    update_rows: Vec<String>,
+    round_rows: Vec<String>,
+}
+
+impl CsvTelemetry {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        CsvTelemetry::default()
+    }
+
+    fn record_round(&mut self, record: &RoundRecord) {
+        let mean_staleness = if record.client_stats.is_empty() {
+            0.0
+        } else {
+            record
+                .client_stats
+                .iter()
+                .map(|s| s.staleness)
+                .sum::<usize>() as f64
+                / record.client_stats.len() as f64
+        };
+        self.round_rows.push(format!(
+            "{},{},{},{}",
+            record.round, record.sim_time_secs, record.global_accuracy, mean_staleness
+        ));
+        for stat in &record.client_stats {
+            self.update_rows.push(format!(
+                "{},{},{},{},{},{}",
+                stat.round,
+                stat.client,
+                stat.dispatch_secs,
+                stat.arrival_secs,
+                stat.staleness,
+                stat.payload_bytes
+            ));
+        }
+    }
+
+    /// The per-update table with its header row.
+    pub fn updates_csv(&self) -> String {
+        let mut out =
+            String::from("round,client,dispatch_secs,arrival_secs,staleness,payload_bytes\n");
+        for row in &self.update_rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The per-round table with its header row.
+    pub fn rounds_csv(&self) -> String {
+        let mut out = String::from("round,sim_time_secs,global_accuracy,mean_staleness\n");
+        for row in &self.round_rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of per-update rows collected so far.
+    pub fn num_update_rows(&self) -> usize {
+        self.update_rows.len()
+    }
+}
+
+impl Observer for CsvTelemetry {
+    fn on_event(&mut self, event: &RoundEvent) {
+        if let RoundEvent::RoundCompleted {
+            record: Some(record),
+            ..
+        } = event
+        {
+            self.record_round(record);
+        }
+    }
+}
+
+/// Stops the run once the global model first reaches `target_accuracy` at
+/// an evaluation point.
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyStop {
+    target_accuracy: f32,
+    triggered: bool,
+}
+
+impl EarlyStop {
+    /// Stops after the first evaluation at or above `target_accuracy`.
+    pub fn at_accuracy(target_accuracy: f32) -> Self {
+        EarlyStop {
+            target_accuracy,
+            triggered: false,
+        }
+    }
+
+    /// Whether the target has been reached.
+    pub fn triggered(&self) -> bool {
+        self.triggered
+    }
+}
+
+impl Observer for EarlyStop {
+    fn on_event(&mut self, event: &RoundEvent) {
+        if let RoundEvent::RoundCompleted {
+            record: Some(record),
+            ..
+        } = event
+        {
+            if record.global_accuracy >= self.target_accuracy {
+                self.triggered = true;
+            }
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.triggered
+    }
+}
+
+/// Counts events by kind — handy for asserting on stream shape in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventCounter {
+    /// `RoundStarted` events seen.
+    pub rounds_started: usize,
+    /// `ClientDispatched` events seen.
+    pub dispatched: usize,
+    /// `UpdateArrived` events seen.
+    pub arrived: usize,
+    /// `UpdateDropped` events seen.
+    pub dropped: usize,
+    /// `Aggregated` events seen.
+    pub aggregated: usize,
+    /// `RoundCompleted` events seen.
+    pub rounds_completed: usize,
+    /// `RunCompleted` events seen.
+    pub runs_completed: usize,
+}
+
+impl EventCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        EventCounter::default()
+    }
+}
+
+impl Observer for EventCounter {
+    fn on_event(&mut self, event: &RoundEvent) {
+        match event {
+            RoundEvent::RoundStarted { .. } => self.rounds_started += 1,
+            RoundEvent::ClientDispatched { .. } => self.dispatched += 1,
+            RoundEvent::UpdateArrived { .. } => self.arrived += 1,
+            RoundEvent::UpdateDropped { .. } => self.dropped += 1,
+            RoundEvent::Aggregated { .. } => self.aggregated += 1,
+            RoundEvent::RoundCompleted { .. } => self.rounds_completed += 1,
+            RoundEvent::RunCompleted { .. } => self.runs_completed += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientRoundStat, MetricsReport};
+
+    fn record(round: usize, acc: f32) -> RoundRecord {
+        RoundRecord {
+            round,
+            sim_time_secs: round as f64 * 10.0,
+            global_accuracy: acc,
+            per_client_accuracy: vec![acc],
+            client_stats: vec![ClientRoundStat {
+                client: 3,
+                round,
+                dispatch_secs: 0.0,
+                arrival_secs: 5.0,
+                staleness: 2,
+                payload_bytes: 64,
+            }],
+        }
+    }
+
+    fn completed(round: usize, acc: f32) -> RoundEvent {
+        RoundEvent::RoundCompleted {
+            round,
+            sim_time_secs: round as f64 * 10.0,
+            record: Some(record(round, acc)),
+        }
+    }
+
+    #[test]
+    fn progress_logger_writes_eval_and_summary_lines() {
+        let mut logger = ProgressLogger::new(Vec::new());
+        logger.on_event(&completed(2, 0.5));
+        logger.on_event(&RoundEvent::RoundCompleted {
+            round: 3,
+            sim_time_secs: 30.0,
+            record: None,
+        });
+        logger.on_event(&RoundEvent::RunCompleted {
+            report: MetricsReport::new("X"),
+        });
+        assert_eq!(logger.events_seen(), 3);
+        let text = String::from_utf8(logger.out).unwrap();
+        assert!(text.contains("round     2"));
+        assert!(text.contains("run complete"));
+        // The non-evaluation round produced no line.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_telemetry_collects_update_and_round_rows() {
+        let mut csv = CsvTelemetry::new();
+        csv.on_event(&completed(1, 0.25));
+        csv.on_event(&completed(2, 0.5));
+        assert_eq!(csv.num_update_rows(), 2);
+        let updates = csv.updates_csv();
+        assert!(updates.starts_with("round,client,"));
+        assert_eq!(updates.lines().count(), 3);
+        assert!(updates.contains("1,3,0,5,2,64"));
+        let rounds = csv.rounds_csv();
+        assert_eq!(rounds.lines().count(), 3);
+        assert!(rounds.contains("2,20,0.5,2"));
+    }
+
+    #[test]
+    fn early_stop_triggers_at_target() {
+        let mut stop = EarlyStop::at_accuracy(0.6);
+        stop.on_event(&completed(1, 0.4));
+        assert!(!stop.should_stop());
+        stop.on_event(&completed(2, 0.7));
+        assert!(stop.should_stop() && stop.triggered());
+        // Stays triggered.
+        stop.on_event(&completed(3, 0.1));
+        assert!(stop.should_stop());
+    }
+}

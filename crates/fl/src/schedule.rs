@@ -8,8 +8,10 @@
 //! drops stragglers that would miss a server deadline, [`PowerOfChoice`]
 //! over-samples candidates and keeps the fastest, [`BandwidthAware`] prefers
 //! clients with the cheapest uploads (payload bytes over uplink bandwidth),
-//! and [`AvailabilityTrace`] runs a seeded on/offline trace per client —
-//! offline clients cannot be dispatched.
+//! [`AvailabilityTrace`] runs a seeded i.i.d. on/offline trace per client —
+//! offline clients cannot be dispatched — and [`DiurnalTrace`] correlates
+//! those on/off periods through a seeded sinusoidal day/night phase per
+//! client.
 //!
 //! The asynchronous buffered engine (see
 //! [`Execution`](crate::Execution)) additionally consults
@@ -378,6 +380,120 @@ impl ClientScheduler for AvailabilityTrace {
     }
 }
 
+/// Diurnal availability scheduling: each client follows a day/night cycle
+/// with its own seeded phase offset, so on/off periods are *correlated in
+/// time* — a client near its trough stays offline for many consecutive
+/// slots — instead of the i.i.d. per-slot coin flips of
+/// [`AvailabilityTrace`].
+///
+/// Client `c`'s probability of being online at simulated time `t` is
+///
+/// ```text
+/// p(c, t) = trough + (peak - trough) · (0.5 + 0.5 · sin(2π t / day_secs + φ_c))
+/// ```
+///
+/// scaled by the device's expected
+/// [`availability`](mhfl_device::DeviceCapability) and clamped to `[0, 1]`,
+/// where the phase `φ_c` is drawn once per client from the experiment seed
+/// (phones in different "time zones"). The actual on/off state is a seeded
+/// draw per `(client, slot)` at that probability, with slots of
+/// `slot_secs`; everything is a pure function of
+/// `(experiment seed, client, slot)`, so runs are reproducible and
+/// availability does not depend on what the scheduler previously chose.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalTrace {
+    /// Length of one full day/night cycle in simulated seconds.
+    pub day_secs: f64,
+    /// Length of one trace slot (how often devices can flip state).
+    pub slot_secs: f64,
+    /// Online probability at the peak of a client's cycle (clamped to
+    /// `[0, 1]`).
+    pub peak_online: f64,
+    /// Online probability at the trough of a client's cycle (clamped to
+    /// `[0, peak_online]`).
+    pub trough_online: f64,
+}
+
+impl DiurnalTrace {
+    fn slot(&self, now: f64) -> u64 {
+        if self.slot_secs <= 0.0 {
+            return 0;
+        }
+        (now / self.slot_secs).floor() as u64
+    }
+
+    /// The client's seeded phase offset in `[0, 2π)`.
+    fn phase(&self, client: usize, ctx: &FederationContext) -> f64 {
+        let mut rng = SeededRng::new(ctx.seed() ^ 0xD1A1).derive(client as u64);
+        f64::from(rng.uniform(0.0, std::f32::consts::TAU))
+    }
+
+    /// The sinusoidal online probability of `client` at time `now`.
+    fn online_probability(&self, client: usize, now: f64, ctx: &FederationContext) -> f64 {
+        let peak = self.peak_online.clamp(0.0, 1.0);
+        let trough = self.trough_online.clamp(0.0, peak);
+        let day = self.day_secs.max(f64::EPSILON);
+        let angle = std::f64::consts::TAU * (now / day) + self.phase(client, ctx);
+        let wave = 0.5 + 0.5 * angle.sin();
+        let p = trough + (peak - trough) * wave;
+        (p * ctx.assignment(client).device.availability).clamp(0.0, 1.0)
+    }
+
+    fn is_online(&self, client: usize, now: f64, ctx: &FederationContext) -> bool {
+        let p = self.online_probability(client, now, ctx);
+        // An independent, order-free draw per (seed, client, slot).
+        SeededRng::new(ctx.seed() ^ 0xD1A2)
+            .derive(client as u64)
+            .derive(self.slot(now))
+            .bernoulli(p)
+    }
+}
+
+impl ClientScheduler for DiurnalTrace {
+    fn name(&self) -> &'static str {
+        "diurnal-trace"
+    }
+
+    fn plan_round(
+        &self,
+        _round: usize,
+        per_round: usize,
+        now: f64,
+        ctx: &FederationContext,
+        rng: &mut SeededRng,
+    ) -> RoundPlan {
+        let online: Vec<usize> = (0..ctx.num_clients())
+            .filter(|&c| self.is_online(c, now, ctx))
+            .collect();
+        if online.is_empty() {
+            // Nobody is reachable: wait out the slot and try again.
+            return RoundPlan {
+                clients: Vec::new(),
+                round_secs: self.slot_secs.max(f64::EPSILON),
+            };
+        }
+        let take = per_round.min(online.len());
+        let clients: Vec<usize> = rng
+            .choose_indices(online.len(), take)
+            .into_iter()
+            .map(|i| online[i])
+            .collect();
+        let round_secs = max_cost_secs(ctx, &clients);
+        RoundPlan {
+            clients,
+            round_secs,
+        }
+    }
+
+    fn is_available(&self, client: usize, now: f64, ctx: &FederationContext) -> bool {
+        self.is_online(client, now, ctx)
+    }
+
+    fn idle_wait_secs(&self) -> f64 {
+        self.slot_secs.max(f64::EPSILON)
+    }
+}
+
 /// Declarative scheduler configuration carried by
 /// [`EngineConfig`](crate::EngineConfig) and `ExperimentSpec`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -410,6 +526,18 @@ pub enum Schedule {
         /// Global multiplier on per-device expected availability.
         online_fraction: f64,
     },
+    /// [`DiurnalTrace`] correlated day/night availability with a seeded
+    /// sinusoidal phase per client.
+    DiurnalTrace {
+        /// Length of one full day/night cycle in simulated seconds.
+        day_secs: f64,
+        /// Length of one trace slot in simulated seconds.
+        slot_secs: f64,
+        /// Online probability at the peak of a client's cycle.
+        peak_online: f64,
+        /// Online probability at the trough of a client's cycle.
+        trough_online: f64,
+    },
 }
 
 impl Schedule {
@@ -426,6 +554,17 @@ impl Schedule {
             } => Box::new(AvailabilityTrace {
                 period_secs,
                 online_fraction,
+            }),
+            Schedule::DiurnalTrace {
+                day_secs,
+                slot_secs,
+                peak_online,
+                trough_online,
+            } => Box::new(DiurnalTrace {
+                day_secs,
+                slot_secs,
+                peak_online,
+                trough_online,
             }),
         }
     }
@@ -562,6 +701,17 @@ mod tests {
             .name(),
             "availability-trace"
         );
+        assert_eq!(
+            Schedule::DiurnalTrace {
+                day_secs: 1000.0,
+                slot_secs: 50.0,
+                peak_online: 0.9,
+                trough_online: 0.1,
+            }
+            .build()
+            .name(),
+            "diurnal-trace"
+        );
         assert_eq!(Schedule::default(), Schedule::Uniform);
     }
 
@@ -638,6 +788,121 @@ mod tests {
         assert!((plan.round_secs - 60.0).abs() < 1e-12);
         assert!((0..8).all(|c| !trace.is_available(c, 0.0, &ctx)));
         assert_eq!(trace.idle_wait_secs(), 60.0);
+    }
+
+    #[test]
+    fn diurnal_trace_is_deterministic_and_sinusoidal() {
+        let ctx = context(10);
+        let trace = DiurnalTrace {
+            day_secs: 1000.0,
+            slot_secs: 50.0,
+            peak_online: 1.0,
+            trough_online: 0.0,
+        };
+        // Pure function of (seed, client, slot).
+        for client in 0..10 {
+            for now in [0.0, 120.0, 730.0] {
+                assert_eq!(
+                    trace.is_available(client, now, &ctx),
+                    trace.is_available(client, now, &ctx)
+                );
+            }
+            // Same slot, same answer.
+            assert_eq!(
+                trace.is_available(client, 1.0, &ctx),
+                trace.is_available(client, 49.0, &ctx)
+            );
+        }
+        // The underlying probability actually oscillates over a day.
+        for client in 0..10 {
+            let probs: Vec<f64> = (0..20)
+                .map(|i| trace.online_probability(client, i as f64 * 50.0, &ctx))
+                .collect();
+            let min = probs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = probs.iter().copied().fold(0.0f64, f64::max);
+            assert!(
+                max - min > 0.3,
+                "client {client} probability should swing over a day: {min}..{max}"
+            );
+        }
+        // Clients have distinct phases: at a fixed instant, probabilities
+        // differ across the population.
+        let at_zero: Vec<u64> = (0..10)
+            .map(|c| trace.online_probability(c, 0.0, &ctx).to_bits())
+            .collect();
+        let mut unique = at_zero.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() > 1, "all clients share a phase");
+        // plan_round only selects online clients.
+        let mut rng = SeededRng::new(8);
+        for round in 1..=20 {
+            let now = round as f64 * 37.0;
+            let plan = trace.plan_round(round, 5, now, &ctx, &mut rng);
+            for &c in &plan.clients {
+                assert!(trace.is_available(c, now, &ctx), "client {c} is offline");
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_trace_correlates_consecutive_slots() {
+        // Near the trough, with a long day and short slots, a client that is
+        // offline tends to stay offline: the number of on/off flips over a
+        // window must be far below what i.i.d. coin flips at p = 0.5 would
+        // produce.
+        let ctx = context(8);
+        let trace = DiurnalTrace {
+            day_secs: 10_000.0,
+            slot_secs: 10.0,
+            peak_online: 1.0,
+            trough_online: 0.0,
+        };
+        let mut flips = 0usize;
+        let mut total = 0usize;
+        for client in 0..8 {
+            let states: Vec<bool> = (0..200)
+                .map(|i| trace.is_available(client, i as f64 * 10.0, &ctx))
+                .collect();
+            flips += states.windows(2).filter(|w| w[0] != w[1]).count();
+            total += states.len() - 1;
+        }
+        // i.i.d. p=0.5 flips half the time; the sinusoid keeps long
+        // same-state stretches around its extremes.
+        assert!(
+            (flips as f64) < 0.4 * total as f64,
+            "{flips}/{total} flips looks i.i.d., not diurnal"
+        );
+    }
+
+    #[test]
+    fn diurnal_trace_degenerate_bounds() {
+        let ctx = context(6);
+        // Zero peak takes every client offline and the clock advances by
+        // one slot per planning attempt.
+        let dark = DiurnalTrace {
+            day_secs: 500.0,
+            slot_secs: 25.0,
+            peak_online: 0.0,
+            trough_online: 0.0,
+        };
+        let mut rng = SeededRng::new(2);
+        let plan = dark.plan_round(1, 4, 0.0, &ctx, &mut rng);
+        assert!(plan.clients.is_empty());
+        assert!((plan.round_secs - 25.0).abs() < 1e-12);
+        assert_eq!(dark.idle_wait_secs(), 25.0);
+        assert!((0..6).all(|c| !dark.is_available(c, 0.0, &ctx)));
+        // A trough above the peak is clamped to the peak, not inverted.
+        let clamped = DiurnalTrace {
+            day_secs: 500.0,
+            slot_secs: 25.0,
+            peak_online: 0.4,
+            trough_online: 0.9,
+        };
+        for c in 0..6 {
+            let p = clamped.online_probability(c, 123.0, &ctx);
+            assert!(p <= 0.4 + 1e-12);
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod tensor;
 
 pub use error::TensorError;
 pub use kernels::{kernel_workers, mark_worker_thread, set_kernel_workers};
-pub use rng::SeededRng;
+pub use rng::{RngState, SeededRng};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -279,3 +279,89 @@ fn staleness_curve_is_configurable_on_the_engine() {
     let (sqrt_again, _) = run(Staleness::Sqrt);
     assert_eq!(sqrt_report, sqrt_again);
 }
+
+#[test]
+fn max_staleness_zero_drops_every_stale_update() {
+    let ctx = context(12, 7);
+    let base = async_config(10, 2);
+
+    // This configuration provably produces staleness when unbounded.
+    let mut unbounded_alg = RecordingAlgorithm::default();
+    let unbounded = FlEngine::new(base).run(&mut unbounded_alg, &ctx).unwrap();
+    assert!(unbounded.mean_staleness() > 0.0);
+    assert_eq!(unbounded.dropped_updates(), 0, "no bound, no drops");
+
+    // With a bound of zero, only perfectly fresh updates reach aggregation.
+    let mut alg = RecordingAlgorithm::default();
+    let report = FlEngine::new(EngineConfig {
+        max_staleness: Some(0),
+        ..base
+    })
+    .run(&mut alg, &ctx)
+    .unwrap();
+    assert!(
+        report.dropped_updates() > 0,
+        "stale updates must be dropped"
+    );
+    assert_eq!(report.mean_staleness(), 0.0);
+    assert!(report.client_stats().all(|s| s.staleness == 0));
+    for batch in &alg.batches {
+        for update in batch {
+            assert_eq!(
+                update.staleness_weight, 1.0,
+                "fresh updates keep full weight"
+            );
+        }
+    }
+    // Dropping still fills every buffer: one aggregation per round.
+    assert_eq!(alg.batches.len(), 10);
+    assert!(alg.batches.iter().all(|b| b.len() == 2));
+}
+
+#[test]
+fn max_staleness_bound_above_observed_staleness_changes_nothing() {
+    let ctx = context(12, 7);
+    let base = async_config(8, 2);
+    let mut unbounded_alg = RecordingAlgorithm::default();
+    let unbounded = FlEngine::new(base).run(&mut unbounded_alg, &ctx).unwrap();
+    let mut bounded_alg = RecordingAlgorithm::default();
+    let bounded = FlEngine::new(EngineConfig {
+        max_staleness: Some(10_000),
+        ..base
+    })
+    .run(&mut bounded_alg, &ctx)
+    .unwrap();
+    assert_eq!(unbounded.digest(), bounded.digest());
+    assert_eq!(bounded.dropped_updates(), 0);
+}
+
+#[test]
+fn max_staleness_dropping_is_deterministic_and_ignored_by_sync() {
+    let ctx = context(10, 3);
+    let config = EngineConfig {
+        max_staleness: Some(0),
+        ..async_config(6, 2)
+    };
+    let run = |config: EngineConfig| {
+        let mut alg = RecordingAlgorithm::default();
+        FlEngine::new(config).run(&mut alg, &ctx).unwrap()
+    };
+    let first = run(config);
+    let second = run(config);
+    assert_eq!(first, second);
+    assert_eq!(first.dropped_updates(), second.dropped_updates());
+
+    // Synchronous updates always have staleness zero: the bound never fires
+    // and the report matches the unbounded synchronous run exactly.
+    let sync_bounded = run(EngineConfig {
+        execution: Execution::Synchronous,
+        max_staleness: Some(0),
+        ..async_config(6, 2)
+    });
+    let sync_unbounded = run(EngineConfig {
+        execution: Execution::Synchronous,
+        ..async_config(6, 2)
+    });
+    assert_eq!(sync_bounded.digest(), sync_unbounded.digest());
+    assert_eq!(sync_bounded.dropped_updates(), 0);
+}

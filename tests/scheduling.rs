@@ -135,6 +135,67 @@ fn zero_availability_rounds_still_advance_the_clock() {
 }
 
 #[test]
+fn diurnal_trace_is_deterministic_in_both_execution_modes() {
+    let diurnal = Schedule::DiurnalTrace {
+        day_secs: 2000.0,
+        slot_secs: 100.0,
+        peak_online: 1.0,
+        trough_online: 0.2,
+    };
+    for execution in [
+        pracmhbench_core::Execution::Synchronous,
+        pracmhbench_core::Execution::async_buffered(2),
+    ] {
+        let spec = quick(MhflMethod::SHeteroFl)
+            .with_schedule(diurnal)
+            .with_execution(execution);
+        let first = spec.run().unwrap();
+        let second = spec.run().unwrap();
+        assert_eq!(
+            first.report, second.report,
+            "diurnal-trace runs must be byte-identical per seed ({execution:?})"
+        );
+        assert!(!first.report.records.is_empty());
+        assert!((0.0..=1.0).contains(&first.summary.global_accuracy));
+        // The trace gates selection but still lets the federation progress.
+        assert!(first.report.client_stats().count() > 0);
+    }
+}
+
+#[test]
+fn diurnal_trace_availability_is_a_pure_function_of_time_and_client() {
+    // Through a platform-built context: the scheduler's availability answer
+    // must not depend on call order or on planning history.
+    let ctx = quick(MhflMethod::SHeteroFl).build_context().unwrap();
+    let scheduler = FlSchedule::DiurnalTrace {
+        day_secs: 1500.0,
+        slot_secs: 75.0,
+        peak_online: 0.9,
+        trough_online: 0.1,
+    }
+    .build();
+    let probe: Vec<(usize, f64)> = (0..ctx.num_clients())
+        .flat_map(|c| [(c, 10.0), (c, 800.0), (c, 1400.0)])
+        .collect();
+    let forward: Vec<bool> = probe
+        .iter()
+        .map(|&(c, t)| scheduler.is_available(c, t, &ctx))
+        .collect();
+    // Interleave some planning, then re-probe in reverse order.
+    let mut rng = SeededRng::new(13);
+    for round in 1..=5 {
+        scheduler.plan_round(round, 3, round as f64 * 120.0, &ctx, &mut rng);
+    }
+    let backward: Vec<bool> = probe
+        .iter()
+        .rev()
+        .map(|&(c, t)| scheduler.is_available(c, t, &ctx))
+        .collect();
+    let backward_reversed: Vec<bool> = backward.into_iter().rev().collect();
+    assert_eq!(forward, backward_reversed);
+}
+
+#[test]
 fn new_policies_handle_per_round_beyond_population() {
     // Ask the schedulers, through the platform context, for more clients
     // than exist: selections must clamp to the population.
@@ -146,6 +207,12 @@ fn new_policies_handle_per_round_beyond_population() {
         FlSchedule::AvailabilityTrace {
             period_secs: 100.0,
             online_fraction: 1.0,
+        },
+        FlSchedule::DiurnalTrace {
+            day_secs: 1000.0,
+            slot_secs: 50.0,
+            peak_online: 1.0,
+            trough_online: 1.0,
         },
     ] {
         let scheduler = schedule.build();
