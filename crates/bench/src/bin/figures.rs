@@ -17,13 +17,29 @@
 //! ```bash
 //! cargo run --release -p mhfl-bench --bin figures [-- --quick|--paper]
 //! ```
+//!
+//! With `--checkpoint-dir <dir>` every sweep point auto-saves a durable
+//! checkpoint (`<dir>/buffer_<k>.ckpt`, every `--checkpoint-every <n>`
+//! rounds, default 4) and resumes from it when the file already exists, so
+//! an interrupted sweep relaunched with the same arguments continues
+//! bit-exactly instead of starting over. Telemetry rows for resumed points
+//! are rebuilt from the final report's records, which survive in the
+//! checkpoint.
+
+use std::path::PathBuf;
 
 use mhfl_algorithms::build_algorithm;
-use mhfl_bench::{print_table, scale_from_args, RunScale, Table};
+use mhfl_bench::{
+    arg_usize, arg_value, next_tolerating_save_failure, print_table, scale_from_args, RunScale,
+    Table,
+};
 use mhfl_data::DataTask;
 use mhfl_device::ConstraintCase;
 use mhfl_models::MhflMethod;
-use pracmhbench_core::{CsvTelemetry, Execution, ExperimentSpec, MetricsReport, RoundEvent};
+use pracmhbench_core::{
+    CheckpointObserver, CsvTelemetry, Execution, ExperimentSpec, MetricsReport, Observer,
+    RoundEvent,
+};
 
 /// One sweep point.
 struct SweepPoint {
@@ -32,29 +48,90 @@ struct SweepPoint {
     telemetry: CsvTelemetry,
 }
 
-fn run_point(base: ExperimentSpec, buffer_size: usize) -> SweepPoint {
+fn run_point(
+    base: ExperimentSpec,
+    buffer_size: usize,
+    durable: Option<&DurableSweep>,
+) -> SweepPoint {
     let spec = base.with_execution(Execution::async_buffered(buffer_size));
     let ctx = spec.build_context().expect("context builds");
     let mut algorithm = build_algorithm(spec.method);
     // Declared before the session so the mutable borrow the observer takes
     // can outlive it; the collector stays readable after the session ends.
     let mut telemetry = CsvTelemetry::new();
-    let mut session = spec
-        .engine()
-        .session(algorithm.as_mut(), &ctx)
-        .expect("session opens");
+    let ckpt_path = durable.map(|d| d.point_path(buffer_size));
+    let resumed = ckpt_path.as_ref().is_some_and(|p| p.exists());
+    let mut session = match ckpt_path.as_ref().filter(|_| resumed) {
+        Some(path) => {
+            let session = spec
+                .engine()
+                .restore_from(algorithm.as_mut(), &ctx, path)
+                .expect("checkpoint restores");
+            eprintln!(
+                "figures: buffer {buffer_size} resumes from {} at round {}",
+                path.display(),
+                session.completed_rounds()
+            );
+            session
+        }
+        None => spec
+            .engine()
+            .session(algorithm.as_mut(), &ctx)
+            .expect("session opens"),
+    };
     session.observe(Box::new(&mut telemetry));
+    if let (Some(path), Some(d)) = (ckpt_path.as_ref(), durable) {
+        session.observe(Box::new(CheckpointObserver::every(path, d.every)));
+    }
     let mut report = None;
-    while let Some(event) = session.next_event().expect("session advances") {
+    // A transient auto-save failure must not lose the sweep's in-memory
+    // progress: the session stays live, the run continues on the previous
+    // good checkpoint.
+    while let Some(event) = next_tolerating_save_failure(&mut session).expect("session advances") {
         if let RoundEvent::RunCompleted { report: r } = event {
             report = Some(r);
         }
     }
     drop(session);
+    let report = report.expect("run completed");
+    if resumed {
+        // The live observer only saw post-resume events; the records in the
+        // restored report cover the full run, so rebuild the rows from them.
+        telemetry = CsvTelemetry::new();
+        for record in &report.records {
+            telemetry.on_event(&RoundEvent::RoundCompleted {
+                round: record.round,
+                sim_time_secs: record.sim_time_secs,
+                record: Some(record.clone()),
+            });
+        }
+    }
     SweepPoint {
         buffer_size,
-        report: report.expect("run completed"),
+        report,
         telemetry,
+    }
+}
+
+/// `--checkpoint-dir` configuration: where each sweep point's durable
+/// checkpoint lives and how often it is refreshed.
+struct DurableSweep {
+    dir: PathBuf,
+    every: usize,
+}
+
+impl DurableSweep {
+    fn from_args() -> Option<Self> {
+        let dir = PathBuf::from(arg_value("--checkpoint-dir")?);
+        std::fs::create_dir_all(&dir).expect("create --checkpoint-dir");
+        Some(DurableSweep {
+            dir,
+            every: arg_usize("--checkpoint-every").unwrap_or(4),
+        })
+    }
+
+    fn point_path(&self, buffer_size: usize) -> PathBuf {
+        self.dir.join(format!("buffer_{buffer_size}.ckpt"))
     }
 }
 
@@ -95,9 +172,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut sweep_csv =
         String::from("buffer_size,global_accuracy,sim_time_secs,time_to_accuracy_secs,mean_staleness,utilisation,dropped_updates,total_payload_bytes\n");
+    let durable = DurableSweep::from_args();
     let mut points = Vec::new();
     for &buffer_size in buffer_sizes {
-        let point = run_point(base, buffer_size);
+        let point = run_point(base, buffer_size, durable.as_ref());
         let report = &point.report;
         let tta = report.time_to_accuracy(base.target_accuracy);
         table.push_row(vec![

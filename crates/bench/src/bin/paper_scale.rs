@@ -15,10 +15,29 @@
 //!
 //! Usage: `cargo run --release -p mhfl-bench --bin paper_scale [--quick]`
 //! (`--quick` shrinks everything to CI smoke size).
+//!
+//! ## Durable full runs (`--checkpoint` / `--resume`)
+//!
+//! With `--checkpoint <path>` the binary skips the micro/family sections and
+//! instead drives one **full multi-round federated run** of the width family
+//! at the selected scale, auto-saving a durable checkpoint
+//! (`mhfl_fl::persist`) to `<path>` every `--checkpoint-every <n>` rounds
+//! (default 25). If `<path>` already exists the run **resumes from it** and
+//! continues bit-exactly; `--resume <path>` is the same flow but requires
+//! the file to exist. `--stop-after-rounds <r>` saves and exits once `r`
+//! rounds have completed — the "kill" half of an interruption smoke test:
+//!
+//! ```bash
+//! # start, get interrupted at round 2...
+//! cargo run -p mhfl-bench --bin paper_scale -- --quick \
+//!     --checkpoint run.ckpt --checkpoint-every 1 --stop-after-rounds 2
+//! # ...relaunch: continues from round 2 and prints the final digest
+//! cargo run -p mhfl-bench --bin paper_scale -- --quick --resume run.ckpt
+//! ```
 
 use std::time::Instant;
 
-use mhfl_bench::{scale_from_args, RunScale};
+use mhfl_bench::{arg_usize, arg_value, run_resumable, scale_from_args, RunScale};
 use mhfl_data::DataTask;
 use mhfl_device::ConstraintCase;
 use mhfl_fl::submodel::{
@@ -251,10 +270,64 @@ fn scale_label(scale: RunScale) -> &'static str {
     }
 }
 
+/// The durable-run flow behind `--checkpoint` / `--resume`: one full
+/// multi-round width-family run with auto-saved on-disk checkpoints, resumed
+/// from the file when it already exists.
+fn run_durable(scale: RunScale, path: &str, must_exist: bool) {
+    let path = std::path::Path::new(path);
+    if must_exist && !path.exists() {
+        panic!(
+            "--resume {}: checkpoint file does not exist",
+            path.display()
+        );
+    }
+    let every = arg_usize("--checkpoint-every").unwrap_or(25);
+    let stop_after = arg_usize("--stop-after-rounds");
+    let spec = ExperimentSpec::new(
+        DataTask::Cifar10,
+        MhflMethod::SHeteroFl,
+        ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        },
+    )
+    .with_scale(scale)
+    .with_seed(42);
+    eprintln!(
+        "paper_scale: durable {} run of {} (checkpoint {} every {every} rounds)",
+        scale_label(scale),
+        spec.method,
+        path.display()
+    );
+    let outcome = run_resumable(&spec, path, every, stop_after).expect("durable run");
+    match outcome.report {
+        Some(report) => println!(
+            "paper_scale: run complete at round {} (resumed from {:?}): \
+             final acc {:.4}, digest 0x{:016x}",
+            outcome.completed_rounds,
+            outcome.resumed_from,
+            report.final_accuracy(),
+            report.digest()
+        ),
+        None => println!(
+            "paper_scale: interrupted after round {} (resumed from {:?}); \
+             relaunch with --resume {} to continue",
+            outcome.completed_rounds,
+            outcome.resumed_from,
+            path.display()
+        ),
+    }
+}
+
 fn main() {
     let scale = scale_from_args();
     // One process on one machine: let server-phase kernels use every core.
     mhfl_tensor::set_kernel_workers(0);
+    if let Some(path) = arg_value("--resume") {
+        return run_durable(scale, &path, true);
+    }
+    if let Some(path) = arg_value("--checkpoint") {
+        return run_durable(scale, &path, false);
+    }
     let micro_reps = match scale {
         RunScale::Quick => 3,
         RunScale::Standard => 20,

@@ -6,7 +6,11 @@
 //! produced output has the same rows/columns the paper reports.
 
 pub mod output;
+pub mod resume;
 pub mod runconfig;
 
 pub use output::{print_series, print_table, Table};
+pub use resume::{
+    arg_usize, arg_value, next_tolerating_save_failure, run_resumable, ResumableOutcome,
+};
 pub use runconfig::{scale_from_args, RunScale};

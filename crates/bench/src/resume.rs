@@ -1,0 +1,135 @@
+//! Durable checkpoint/resume plumbing shared by the long-running bench
+//! binaries (`paper_scale`, `figures`).
+//!
+//! A paper-scale run is hours of wall-clock; the session layer's durable
+//! checkpoints (`mhfl_fl::persist`) make it interruption-tolerant. The
+//! helpers here wrap the common shape — *resume from the checkpoint file if
+//! it exists, otherwise start fresh; auto-save every N rounds; optionally
+//! stop after a round budget (for smoke tests that simulate the
+//! interruption)* — so every binary exposes the same `--resume` contract.
+
+use std::path::Path;
+
+use mhfl_algorithms::build_algorithm;
+use mhfl_fl::{FlError, FlResult, RoundEvent, Session};
+use pracmhbench_core::{CheckpointObserver, ExperimentSpec, MetricsReport};
+
+/// Returns the value following `flag` in the process arguments
+/// (`--flag value`), if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses the value following `flag` as a `usize`, panicking with a usage
+/// message on garbage (these are operator-facing CLI flags).
+pub fn arg_usize(flag: &str) -> Option<usize> {
+    arg_value(flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{flag} expects an integer, got {v:?}"))
+    })
+}
+
+/// The outcome of one resumable run.
+pub struct ResumableOutcome {
+    /// The final report — `None` when the run was deliberately stopped
+    /// after `stop_after_rounds` (the interruption half of a smoke test).
+    pub report: Option<MetricsReport>,
+    /// The completed-round count the run resumed from (`None` = fresh run).
+    pub resumed_from: Option<usize>,
+    /// Completed rounds when the function returned.
+    pub completed_rounds: usize,
+}
+
+/// Advances a session one event, tolerating failed *auto-saves*: a
+/// `FlError::Persist` from a `CheckpointObserver` save leaves the session
+/// live (see `Session::next_event`), and a long run should not lose its
+/// in-memory progress to a transient disk error — the failure is logged and
+/// the run continues on the previous good checkpoint.
+pub fn next_tolerating_save_failure(session: &mut Session<'_>) -> FlResult<Option<RoundEvent>> {
+    loop {
+        match session.next_event() {
+            Err(FlError::Persist(e)) => {
+                eprintln!(
+                    "warning: periodic checkpoint save failed ({e}); \
+                     continuing on the previous checkpoint"
+                );
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Runs `spec` with durable checkpointing to `path`: resumes from the file
+/// when it exists (validating the engine configuration against the spec),
+/// auto-saves every `every` completed rounds and at run end, and — when
+/// `stop_after_rounds` is set — saves and returns early once that many
+/// rounds have completed, simulating an interruption.
+///
+/// A run interrupted this way and re-invoked with the same arguments
+/// continues bit-exactly: the final `MetricsReport::digest()` equals the
+/// uninterrupted run's. A *failed periodic save* does not abort the run
+/// (the session keeps going on the previous good checkpoint); only the
+/// explicit interruption save under `stop_after_rounds` is load-bearing
+/// enough to propagate its error.
+pub fn run_resumable(
+    spec: &ExperimentSpec,
+    path: &Path,
+    every: usize,
+    stop_after_rounds: Option<usize>,
+) -> Result<ResumableOutcome, Box<dyn std::error::Error>> {
+    let ctx = spec.build_context()?;
+    let mut algorithm = build_algorithm(spec.method);
+    let engine = spec.engine();
+    let (mut session, resumed_from) = if path.exists() {
+        let session = engine.restore_from(algorithm.as_mut(), &ctx, path)?;
+        let from = session.completed_rounds();
+        eprintln!(
+            "resume: continuing from {} at round {from} (t = {:.1}s)",
+            path.display(),
+            session.sim_time_secs()
+        );
+        (session, Some(from))
+    } else {
+        (engine.session(algorithm.as_mut(), &ctx)?, None)
+    };
+    session.observe(Box::new(CheckpointObserver::every(path, every)));
+
+    if let Some(stop) = stop_after_rounds {
+        while session.completed_rounds() < stop && !session.is_finished() {
+            if next_tolerating_save_failure(&mut session)?.is_none() {
+                break;
+            }
+        }
+        if !session.is_finished() {
+            session.save(path)?;
+            let completed_rounds = session.completed_rounds();
+            eprintln!(
+                "resume: stopped after round {completed_rounds}, checkpoint saved to {}",
+                path.display()
+            );
+            return Ok(ResumableOutcome {
+                report: None,
+                resumed_from,
+                completed_rounds,
+            });
+        }
+    }
+
+    let report = loop {
+        match next_tolerating_save_failure(&mut session)? {
+            Some(RoundEvent::RunCompleted { report }) => break report,
+            Some(_) => {}
+            None => break session.report().clone(),
+        }
+    };
+    let completed = session.completed_rounds();
+    Ok(ResumableOutcome {
+        completed_rounds: completed.max(report.records.last().map_or(0, |r| r.round)),
+        report: Some(report),
+        resumed_from,
+    })
+}

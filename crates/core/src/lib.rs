@@ -30,8 +30,9 @@ mod report;
 
 pub use experiment::{ExperimentOutcome, ExperimentSpec, MetricSummary, RunScale};
 pub use mhfl_fl::{
-    AlgorithmState, Checkpoint, ClientRoundStat, CsvTelemetry, EarlyStop, EventCounter, Execution,
-    MetricsReport, Observer, Parallelism, ProgressLogger, RoundEvent, Schedule, Session, Staleness,
+    AlgorithmState, Checkpoint, CheckpointObserver, ClientRoundStat, CsvTelemetry, EarlyStop,
+    EventCounter, Execution, MetricsReport, Observer, Parallelism, PersistError, ProgressLogger,
+    RoundEvent, Schedule, Session, Staleness,
 };
 pub use platform::{base_family_for_task, topology_group_for_task, PlatformInventory};
 pub use report::{format_table, ComparisonRow};

@@ -269,6 +269,26 @@ impl FlEngine {
         Session::restore(algorithm, ctx, checkpoint)
     }
 
+    /// Resumes a run from a durable checkpoint file written by
+    /// [`Session::save`] (or a [`CheckpointObserver`](crate::CheckpointObserver)),
+    /// validating the file's engine configuration against this engine —
+    /// the disk-backed counterpart of [`restore`](FlEngine::restore).
+    ///
+    /// # Errors
+    /// Returns [`FlError::Persist`](crate::FlError) if the file is missing
+    /// or fails any integrity check, and
+    /// [`FlError::InvalidConfig`](crate::FlError) on a configuration,
+    /// algorithm or context mismatch.
+    pub fn restore_from<'a>(
+        &self,
+        algorithm: &'a mut dyn FlAlgorithm,
+        ctx: &'a FederationContext,
+        path: impl AsRef<std::path::Path>,
+    ) -> FlResult<Session<'a>> {
+        let checkpoint = crate::persist::read_checkpoint(path)?;
+        self.restore(algorithm, ctx, &checkpoint)
+    }
+
     /// Runs the full experiment to completion, returning the metric report.
     /// A thin wrapper over [`session`](FlEngine::session) +
     /// [`Session::drain`]; use the session API directly for streaming

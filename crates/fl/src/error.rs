@@ -5,6 +5,8 @@ use std::fmt;
 use mhfl_nn::NnError;
 use mhfl_tensor::TensorError;
 
+use crate::persist::PersistError;
+
 /// Errors produced while running a federated experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlError {
@@ -16,6 +18,9 @@ pub enum FlError {
     InvalidConfig(String),
     /// An algorithm was asked about a client it does not manage.
     UnknownClient(usize),
+    /// A durable-checkpoint operation failed (I/O, corruption, or a
+    /// format/fingerprint mismatch — see [`PersistError`]).
+    Persist(PersistError),
 }
 
 impl fmt::Display for FlError {
@@ -25,6 +30,7 @@ impl fmt::Display for FlError {
             FlError::Tensor(e) => write!(f, "tensor error: {e}"),
             FlError::InvalidConfig(msg) => write!(f, "invalid federated configuration: {msg}"),
             FlError::UnknownClient(id) => write!(f, "unknown client id {id}"),
+            FlError::Persist(e) => write!(f, "checkpoint persistence error: {e}"),
         }
     }
 }
@@ -34,6 +40,7 @@ impl std::error::Error for FlError {
         match self {
             FlError::Nn(e) => Some(e),
             FlError::Tensor(e) => Some(e),
+            FlError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -48,6 +55,12 @@ impl From<NnError> for FlError {
 impl From<TensorError> for FlError {
     fn from(e: TensorError) -> Self {
         FlError::Tensor(e)
+    }
+}
+
+impl From<PersistError> for FlError {
+    fn from(e: PersistError) -> Self {
+        FlError::Persist(e)
     }
 }
 

@@ -33,6 +33,9 @@
 //!
 //! Shared machinery the algorithms build on lives here too:
 //!
+//! * [`persist`] — the durable on-disk checkpoint codec
+//!   ([`Session::save`] / [`Session::restore_from`], versioned + checksummed,
+//!   no external serde) and the auto-saving [`CheckpointObserver`],
 //! * [`submodel`] — width/depth sub-model extraction and overlap-aware
 //!   aggregation over [`mhfl_nn::StateDict`]s,
 //! * [`train`] — plain local SGD training and evaluation of a proxy model,
@@ -50,6 +53,7 @@ mod fnv;
 mod metrics;
 mod observer;
 mod parallel;
+pub mod persist;
 mod schedule;
 mod session;
 mod snapshot;
@@ -64,6 +68,7 @@ pub use error::FlError;
 pub use metrics::{ClientRoundStat, MetricsReport, RoundRecord};
 pub use observer::{CsvTelemetry, EarlyStop, EventCounter, Observer, ProgressLogger};
 pub use parallel::{run_clients, Parallelism};
+pub use persist::{CheckpointObserver, PersistError};
 pub use schedule::{
     AvailabilityTrace, BandwidthAware, ClientScheduler, DeadlineAware, DiurnalTrace, PowerOfChoice,
     RoundPlan, Schedule, UniformSampler,

@@ -91,6 +91,12 @@ impl MetricsReport {
         self.dropped += 1;
     }
 
+    /// Overwrites the dropped-update counter (the decode half of the
+    /// durable-checkpoint codec; the counter is not derivable from records).
+    pub(crate) fn set_dropped_updates(&mut self, dropped: usize) {
+        self.dropped = dropped;
+    }
+
     /// Number of updates the asynchronous engine discarded for exceeding
     /// the configured per-update staleness bound
     /// ([`EngineConfig::max_staleness`](crate::EngineConfig::max_staleness)).

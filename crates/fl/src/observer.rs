@@ -35,6 +35,16 @@ pub trait Observer {
     fn should_stop(&self) -> bool {
         false
     }
+
+    /// Polled by the session at every event boundary: returning a path asks
+    /// the driver to write a durable checkpoint of its current state there
+    /// (atomically, via [`Session::save`](crate::Session::save)). A request
+    /// is one-shot — the observer re-arms itself when it next wants a save.
+    /// [`CheckpointObserver`](crate::CheckpointObserver) uses this to
+    /// auto-save every N rounds.
+    fn save_request(&mut self) -> Option<std::path::PathBuf> {
+        None
+    }
 }
 
 /// Mutable references observe too, so an observer whose collected state is
@@ -55,6 +65,10 @@ impl<O: Observer + ?Sized> Observer for &mut O {
 
     fn should_stop(&self) -> bool {
         (**self).should_stop()
+    }
+
+    fn save_request(&mut self) -> Option<std::path::PathBuf> {
+        (**self).save_request()
     }
 }
 

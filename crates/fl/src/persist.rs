@@ -1,0 +1,1732 @@
+//! Durable on-disk checkpoints: a self-describing, versioned, checksummed
+//! binary codec for [`Checkpoint`] that needs no external serde.
+//!
+//! The in-memory [`Session::checkpoint`](crate::Session::checkpoint) made
+//! mid-run snapshots bit-exact, but a snapshot that dies with its process
+//! cannot save a 1000-round paper run from interruption. This module turns
+//! the snapshot into a durable artifact with the same discipline short-block
+//! codeword analysis applies to channel codes: explicit framing, a format
+//! version, a configuration fingerprint, and a checksum over every section,
+//! so any corruption — truncation, a flipped bit, a spliced header — is
+//! detected and reported as a typed [`PersistError`] instead of silently
+//! restoring a wrong run.
+//!
+//! # File layout (format version 1)
+//!
+//! ```text
+//! magic            8 bytes   b"MHFLCKP1"
+//! format version   u32 LE
+//! config fingerprint u64 LE  FNV-1a over the CONFIG section payload
+//! section count    u32 LE
+//! per section:
+//!   id             u8        see the section table below
+//!   payload length u64 LE
+//!   payload        length bytes
+//!   checksum       u64 LE    FNV-1a over the payload
+//! ```
+//!
+//! | id | section    | contents |
+//! |----|------------|----------|
+//! | 1  | `config`   | [`EngineConfig`], algorithm name, client count |
+//! | 2  | `algorithm`| [`AlgorithmState`] — every state dict / tensor / scalar slot |
+//! | 3  | `rng`      | [`RngState`] — the xoshiro256++ words, seed, zero-init flag |
+//! | 4  | `report`   | [`MetricsReport`] accumulated so far |
+//! | 5  | `driver`   | clock, round version, dispatch seq, in-flight map, sync-round state |
+//! | 6  | `arrivals` | the in-flight arrival heap (computed [`ClientUpdate`]s included) |
+//! | 7  | `buffer`   | the aggregation buffer |
+//! | 8  | `pending`  | telemetry accumulated since the last evaluation point |
+//! | 9  | `queue`    | emitted-but-unconsumed [`RoundEvent`]s |
+//!
+//! All integers are little-endian; every `f32`/`f64` is stored as its exact
+//! IEEE-754 bit pattern (`to_bits`), so a decoded checkpoint resumes
+//! bit-identically to the uninterrupted run. Encoding is canonical: equal
+//! checkpoints produce equal bytes, and `encode(decode(bytes)) == bytes` for
+//! any file this module wrote — the property the committed format-stability
+//! fixture pins.
+//!
+//! # Entry points
+//!
+//! * [`Session::save`](crate::Session::save) /
+//!   [`Session::restore_from`](crate::Session::restore_from) — one-call
+//!   save/load on a live session;
+//! * [`write_checkpoint`] / [`read_checkpoint`] — file I/O with
+//!   atomic tmp-file-then-rename writes;
+//! * [`encode_checkpoint`] / [`decode_checkpoint`] — the raw byte codec;
+//! * [`CheckpointObserver`] — auto-saves every N rounds from inside the
+//!   session event loop.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use mhfl_nn::StateDict;
+use mhfl_tensor::{RngState, Tensor};
+
+use crate::fnv::Fnv1a;
+use crate::session::{Arrival, Buffered};
+use crate::submodel::WidthSelection;
+use crate::{
+    AlgorithmState, Checkpoint, ClientPayload, ClientRoundStat, ClientUpdate, EngineConfig,
+    Execution, MetricsReport, Observer, Parallelism, RoundEvent, RoundRecord, Schedule, Staleness,
+};
+
+/// The 8-byte file magic ("MHFL checkpoint, line 1 of the format family").
+pub const MAGIC: [u8; 8] = *b"MHFLCKP1";
+
+/// The newest on-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Every section of a version-1 checkpoint, in canonical file order.
+const SECTIONS: [(u8, &str); 9] = [
+    (1, "config"),
+    (2, "algorithm"),
+    (3, "rng"),
+    (4, "report"),
+    (5, "driver"),
+    (6, "arrivals"),
+    (7, "buffer"),
+    (8, "pending"),
+    (9, "queue"),
+];
+
+fn section_name(id: u8) -> Option<&'static str> {
+    SECTIONS.iter().find(|(i, _)| *i == id).map(|(_, n)| *n)
+}
+
+/// Errors produced while encoding, decoding, reading or writing a durable
+/// checkpoint. Every corruption mode of the format maps to a distinct
+/// variant; decoding never panics and never returns a silently-wrong
+/// [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// A filesystem operation failed (message carries the `std::io` detail).
+    Io {
+        /// The operation that failed (`"read"`, `"write"`, `"rename"`).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// The file does not begin with [`MAGIC`] — not a checkpoint at all, or
+    /// one whose header was overwritten.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file declares a format version this build does not understand
+    /// (e.g. a checkpoint written by a future release).
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// The header fingerprint does not match the configuration section —
+    /// the header and body come from different runs (or the fingerprint
+    /// bytes were corrupted).
+    FingerprintMismatch {
+        /// The fingerprint stored in the header.
+        stored: u64,
+        /// The fingerprint recomputed from the configuration section.
+        computed: u64,
+    },
+    /// A section's stored checksum does not match its payload.
+    ChecksumMismatch {
+        /// The section whose payload is corrupt.
+        section: &'static str,
+        /// The checksum stored in the file.
+        stored: u64,
+        /// The checksum recomputed from the payload.
+        computed: u64,
+    },
+    /// The file ended before the declared structure was complete.
+    Truncated {
+        /// The section (or `"header"`/`"frame"`) being read at the cut.
+        section: &'static str,
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A section payload passed its checksum but does not parse — or the
+    /// section table itself is inconsistent (unknown id, duplicate,
+    /// missing). Only reachable for files not produced by this encoder.
+    Malformed {
+        /// The section at fault.
+        section: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Bytes follow the final declared section.
+    TrailingData {
+        /// Number of unconsumed trailing bytes.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, detail } => {
+                write!(f, "checkpoint {op} failed for {path:?}: {detail}")
+            }
+            PersistError::BadMagic { found } => {
+                write!(f, "not a checkpoint file: bad magic {found:02x?}")
+            }
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is not supported (this build reads up to {supported})"
+            ),
+            PersistError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "configuration fingerprint mismatch: header says {stored:#018x}, config section hashes to {computed:#018x}"
+            ),
+            PersistError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in section {section:?}: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            PersistError::Truncated {
+                section,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "checkpoint truncated in {section}: needed {needed} more bytes, {remaining} remain"
+            ),
+            PersistError::Malformed { section, detail } => {
+                write!(f, "malformed checkpoint section {section:?}: {detail}")
+            }
+            PersistError::TrailingData { bytes } => {
+                write!(f, "{bytes} trailing bytes after the final checkpoint section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Alias for persist-layer results.
+pub type PersistResult<T> = std::result::Result<T, PersistError>;
+
+// ---------------------------------------------------------------------------
+// Primitive encoder
+// ---------------------------------------------------------------------------
+
+/// A little-endian byte-stream writer for checkpoint sections.
+///
+/// Deliberately minimal: the format has exactly the primitives below, and
+/// every floating-point value goes through `to_bits` so encoding is lossless
+/// and canonical.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a bool as one byte (`0`/`1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends the exact bit pattern of an `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends the exact bit pattern of an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive decoder
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked reader over one section payload.
+///
+/// Every read returns a typed [`PersistError`] on overrun; collection
+/// lengths are validated against the bytes actually remaining before any
+/// allocation, so a corrupt length field cannot trigger an out-of-memory
+/// abort.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`, attributing errors to `section`.
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Decoder {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn malformed(&self, detail: impl Into<String>) -> PersistError {
+        PersistError::Malformed {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> PersistResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                section: self.section,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> PersistResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> PersistResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> PersistResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` into a `usize`.
+    pub fn take_usize(&mut self) -> PersistResult<usize> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| self.malformed(format!("value {v} exceeds usize")))
+    }
+
+    /// Reads a collection length and validates it against the bytes left:
+    /// a valid encoding needs at least `min_elem_bytes` per element, so a
+    /// corrupt length cannot force a huge allocation.
+    pub fn take_len(&mut self, min_elem_bytes: usize) -> PersistResult<usize> {
+        let len = self.take_usize()?;
+        let floor = len.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(PersistError::Truncated {
+                section: self.section,
+                needed: floor,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a one-byte bool, rejecting anything but `0`/`1`.
+    pub fn take_bool(&mut self) -> PersistResult<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.malformed(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn take_f32(&mut self) -> PersistResult<f32> {
+        Ok(f32::from_bits(self.take_u32()?))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> PersistResult<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> PersistResult<String> {
+        let len = self.take_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| self.malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Requires that every byte has been consumed.
+    pub fn finish(&self) -> PersistResult<()> {
+        if self.remaining() != 0 {
+            return Err(self.malformed(format!(
+                "{} unconsumed bytes at the end of the section",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type codecs
+// ---------------------------------------------------------------------------
+
+fn put_tensor(e: &mut Encoder, t: &Tensor) {
+    let dims = t.dims();
+    e.put_u32(dims.len() as u32);
+    for &d in dims {
+        e.put_usize(d);
+    }
+    for &v in t.as_slice() {
+        e.put_f32(v);
+    }
+}
+
+fn take_tensor(d: &mut Decoder<'_>) -> PersistResult<Tensor> {
+    let rank = d.take_u32()? as usize;
+    if rank > 16 {
+        return Err(PersistError::Malformed {
+            section: d.section,
+            detail: format!("tensor rank {rank} is implausible"),
+        });
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let extent = d.take_usize()?;
+        len = len
+            .checked_mul(extent)
+            .ok_or_else(|| PersistError::Malformed {
+                section: d.section,
+                detail: "tensor element count overflows".into(),
+            })?;
+        dims.push(extent);
+    }
+    if len.saturating_mul(4) > d.remaining() {
+        return Err(PersistError::Truncated {
+            section: d.section,
+            needed: len.saturating_mul(4),
+            remaining: d.remaining(),
+        });
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(d.take_f32()?);
+    }
+    Tensor::from_vec(data, &dims).map_err(|e| PersistError::Malformed {
+        section: d.section,
+        detail: format!("tensor reconstruction failed: {e}"),
+    })
+}
+
+fn put_state_dict(e: &mut Encoder, sd: &StateDict) {
+    e.put_usize(sd.len());
+    for (name, tensor) in sd.iter() {
+        e.put_str(name);
+        put_tensor(e, tensor);
+    }
+}
+
+fn take_state_dict(d: &mut Decoder<'_>) -> PersistResult<StateDict> {
+    let count = d.take_len(12)?; // name prefix + tensor rank at minimum
+    let mut sd = StateDict::new();
+    for _ in 0..count {
+        let name = d.take_str()?;
+        let tensor = take_tensor(d)?;
+        sd.insert(name, tensor);
+    }
+    Ok(sd)
+}
+
+fn put_f32_vec(e: &mut Encoder, values: &[f32]) {
+    e.put_usize(values.len());
+    for &v in values {
+        e.put_f32(v);
+    }
+}
+
+fn take_f32_vec(d: &mut Decoder<'_>) -> PersistResult<Vec<f32>> {
+    let len = d.take_len(4)?;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(d.take_f32()?);
+    }
+    Ok(values)
+}
+
+fn put_selection(e: &mut Encoder, selection: WidthSelection) {
+    match selection {
+        WidthSelection::Prefix => e.put_u8(0),
+        WidthSelection::Rolling { shift } => {
+            e.put_u8(1);
+            e.put_usize(shift);
+        }
+    }
+}
+
+fn take_selection(d: &mut Decoder<'_>) -> PersistResult<WidthSelection> {
+    match d.take_u8()? {
+        0 => Ok(WidthSelection::Prefix),
+        1 => Ok(WidthSelection::Rolling {
+            shift: d.take_usize()?,
+        }),
+        tag => Err(PersistError::Malformed {
+            section: d.section,
+            detail: format!("unknown width-selection tag {tag}"),
+        }),
+    }
+}
+
+fn put_payload(e: &mut Encoder, payload: &ClientPayload) {
+    match payload {
+        ClientPayload::SubModel {
+            state,
+            selection,
+            num_blocks,
+        } => {
+            e.put_u8(0);
+            put_state_dict(e, state);
+            put_selection(e, *selection);
+            e.put_usize(*num_blocks);
+        }
+        ClientPayload::Prototypes {
+            state,
+            sums,
+            counts,
+        } => {
+            e.put_u8(1);
+            put_state_dict(e, state);
+            put_tensor(e, sums);
+            put_f32_vec(e, counts);
+        }
+        ClientPayload::PublicLogits {
+            state,
+            probs,
+            confidence,
+        } => {
+            e.put_u8(2);
+            put_state_dict(e, state);
+            put_tensor(e, probs);
+            e.put_f32(*confidence);
+        }
+        ClientPayload::Empty => e.put_u8(3),
+    }
+}
+
+fn take_payload(d: &mut Decoder<'_>) -> PersistResult<ClientPayload> {
+    match d.take_u8()? {
+        0 => Ok(ClientPayload::SubModel {
+            state: take_state_dict(d)?,
+            selection: take_selection(d)?,
+            num_blocks: d.take_usize()?,
+        }),
+        1 => Ok(ClientPayload::Prototypes {
+            state: take_state_dict(d)?,
+            sums: take_tensor(d)?,
+            counts: take_f32_vec(d)?,
+        }),
+        2 => Ok(ClientPayload::PublicLogits {
+            state: take_state_dict(d)?,
+            probs: take_tensor(d)?,
+            confidence: d.take_f32()?,
+        }),
+        3 => Ok(ClientPayload::Empty),
+        tag => Err(PersistError::Malformed {
+            section: d.section,
+            detail: format!("unknown client-payload tag {tag}"),
+        }),
+    }
+}
+
+fn put_update(e: &mut Encoder, update: &ClientUpdate) {
+    e.put_usize(update.client);
+    e.put_usize(update.num_samples);
+    e.put_f32(update.staleness_weight);
+    put_payload(e, &update.payload);
+}
+
+fn take_update(d: &mut Decoder<'_>) -> PersistResult<ClientUpdate> {
+    let client = d.take_usize()?;
+    let num_samples = d.take_usize()?;
+    let staleness_weight = d.take_f32()?;
+    let payload = take_payload(d)?;
+    Ok(ClientUpdate {
+        client,
+        num_samples,
+        payload,
+        staleness_weight,
+    })
+}
+
+fn put_stat(e: &mut Encoder, stat: &ClientRoundStat) {
+    e.put_usize(stat.client);
+    e.put_usize(stat.round);
+    e.put_f64(stat.dispatch_secs);
+    e.put_f64(stat.arrival_secs);
+    e.put_usize(stat.staleness);
+    e.put_u64(stat.payload_bytes);
+}
+
+fn take_stat(d: &mut Decoder<'_>) -> PersistResult<ClientRoundStat> {
+    Ok(ClientRoundStat {
+        client: d.take_usize()?,
+        round: d.take_usize()?,
+        dispatch_secs: d.take_f64()?,
+        arrival_secs: d.take_f64()?,
+        staleness: d.take_usize()?,
+        payload_bytes: d.take_u64()?,
+    })
+}
+
+fn put_record(e: &mut Encoder, record: &RoundRecord) {
+    e.put_usize(record.round);
+    e.put_f64(record.sim_time_secs);
+    e.put_f32(record.global_accuracy);
+    put_f32_vec(e, &record.per_client_accuracy);
+    e.put_usize(record.client_stats.len());
+    for stat in &record.client_stats {
+        put_stat(e, stat);
+    }
+}
+
+fn take_record(d: &mut Decoder<'_>) -> PersistResult<RoundRecord> {
+    let round = d.take_usize()?;
+    let sim_time_secs = d.take_f64()?;
+    let global_accuracy = d.take_f32()?;
+    let per_client_accuracy = take_f32_vec(d)?;
+    let stats_len = d.take_len(48)?;
+    let mut client_stats = Vec::with_capacity(stats_len);
+    for _ in 0..stats_len {
+        client_stats.push(take_stat(d)?);
+    }
+    Ok(RoundRecord {
+        round,
+        sim_time_secs,
+        global_accuracy,
+        per_client_accuracy,
+        client_stats,
+    })
+}
+
+fn put_report(e: &mut Encoder, report: &MetricsReport) {
+    e.put_str(&report.algorithm);
+    e.put_usize(report.dropped_updates());
+    e.put_usize(report.records.len());
+    for record in &report.records {
+        put_record(e, record);
+    }
+}
+
+fn take_report(d: &mut Decoder<'_>) -> PersistResult<MetricsReport> {
+    let algorithm = d.take_str()?;
+    let dropped = d.take_usize()?;
+    let count = d.take_len(24)?;
+    let mut report = MetricsReport::new(algorithm);
+    report.set_dropped_updates(dropped);
+    for _ in 0..count {
+        report.push(take_record(d)?);
+    }
+    Ok(report)
+}
+
+fn put_event(e: &mut Encoder, event: &RoundEvent) {
+    match event {
+        RoundEvent::RoundStarted {
+            round,
+            sim_time_secs,
+        } => {
+            e.put_u8(0);
+            e.put_usize(*round);
+            e.put_f64(*sim_time_secs);
+        }
+        RoundEvent::ClientDispatched {
+            round,
+            client,
+            sim_time_secs,
+        } => {
+            e.put_u8(1);
+            e.put_usize(*round);
+            e.put_usize(*client);
+            e.put_f64(*sim_time_secs);
+        }
+        RoundEvent::UpdateArrived {
+            round,
+            client,
+            sim_time_secs,
+            staleness,
+        } => {
+            e.put_u8(2);
+            e.put_usize(*round);
+            e.put_usize(*client);
+            e.put_f64(*sim_time_secs);
+            e.put_usize(*staleness);
+        }
+        RoundEvent::UpdateDropped {
+            round,
+            client,
+            sim_time_secs,
+            staleness,
+        } => {
+            e.put_u8(3);
+            e.put_usize(*round);
+            e.put_usize(*client);
+            e.put_f64(*sim_time_secs);
+            e.put_usize(*staleness);
+        }
+        RoundEvent::Aggregated {
+            round,
+            sim_time_secs,
+            num_updates,
+        } => {
+            e.put_u8(4);
+            e.put_usize(*round);
+            e.put_f64(*sim_time_secs);
+            e.put_usize(*num_updates);
+        }
+        RoundEvent::RoundCompleted {
+            round,
+            sim_time_secs,
+            record,
+        } => {
+            e.put_u8(5);
+            e.put_usize(*round);
+            e.put_f64(*sim_time_secs);
+            match record {
+                Some(record) => {
+                    e.put_bool(true);
+                    put_record(e, record);
+                }
+                None => e.put_bool(false),
+            }
+        }
+        RoundEvent::RunCompleted { report } => {
+            e.put_u8(6);
+            put_report(e, report);
+        }
+    }
+}
+
+fn take_event(d: &mut Decoder<'_>) -> PersistResult<RoundEvent> {
+    match d.take_u8()? {
+        0 => Ok(RoundEvent::RoundStarted {
+            round: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
+        }),
+        1 => Ok(RoundEvent::ClientDispatched {
+            round: d.take_usize()?,
+            client: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
+        }),
+        2 => Ok(RoundEvent::UpdateArrived {
+            round: d.take_usize()?,
+            client: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
+            staleness: d.take_usize()?,
+        }),
+        3 => Ok(RoundEvent::UpdateDropped {
+            round: d.take_usize()?,
+            client: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
+            staleness: d.take_usize()?,
+        }),
+        4 => Ok(RoundEvent::Aggregated {
+            round: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
+            num_updates: d.take_usize()?,
+        }),
+        5 => Ok(RoundEvent::RoundCompleted {
+            round: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
+            record: if d.take_bool()? {
+                Some(take_record(d)?)
+            } else {
+                None
+            },
+        }),
+        6 => Ok(RoundEvent::RunCompleted {
+            report: take_report(d)?,
+        }),
+        tag => Err(PersistError::Malformed {
+            section: d.section,
+            detail: format!("unknown round-event tag {tag}"),
+        }),
+    }
+}
+
+fn put_schedule(e: &mut Encoder, schedule: Schedule) {
+    match schedule {
+        Schedule::Uniform => e.put_u8(0),
+        Schedule::DeadlineAware { deadline_secs } => {
+            e.put_u8(1);
+            e.put_f64(deadline_secs);
+        }
+        Schedule::FastestOfK { factor } => {
+            e.put_u8(2);
+            e.put_usize(factor);
+        }
+        Schedule::BandwidthAware { factor } => {
+            e.put_u8(3);
+            e.put_usize(factor);
+        }
+        Schedule::AvailabilityTrace {
+            period_secs,
+            online_fraction,
+        } => {
+            e.put_u8(4);
+            e.put_f64(period_secs);
+            e.put_f64(online_fraction);
+        }
+        Schedule::DiurnalTrace {
+            day_secs,
+            slot_secs,
+            peak_online,
+            trough_online,
+        } => {
+            e.put_u8(5);
+            e.put_f64(day_secs);
+            e.put_f64(slot_secs);
+            e.put_f64(peak_online);
+            e.put_f64(trough_online);
+        }
+    }
+}
+
+fn take_schedule(d: &mut Decoder<'_>) -> PersistResult<Schedule> {
+    match d.take_u8()? {
+        0 => Ok(Schedule::Uniform),
+        1 => Ok(Schedule::DeadlineAware {
+            deadline_secs: d.take_f64()?,
+        }),
+        2 => Ok(Schedule::FastestOfK {
+            factor: d.take_usize()?,
+        }),
+        3 => Ok(Schedule::BandwidthAware {
+            factor: d.take_usize()?,
+        }),
+        4 => Ok(Schedule::AvailabilityTrace {
+            period_secs: d.take_f64()?,
+            online_fraction: d.take_f64()?,
+        }),
+        5 => Ok(Schedule::DiurnalTrace {
+            day_secs: d.take_f64()?,
+            slot_secs: d.take_f64()?,
+            peak_online: d.take_f64()?,
+            trough_online: d.take_f64()?,
+        }),
+        tag => Err(PersistError::Malformed {
+            section: d.section,
+            detail: format!("unknown schedule tag {tag}"),
+        }),
+    }
+}
+
+fn put_config(e: &mut Encoder, config: &EngineConfig) {
+    e.put_usize(config.rounds);
+    e.put_f64(config.sample_ratio);
+    e.put_usize(config.eval_every);
+    e.put_usize(config.stability_clients);
+    put_schedule(e, config.schedule);
+    match config.parallelism {
+        Parallelism::Sequential => e.put_u8(0),
+        Parallelism::Threads { workers } => {
+            e.put_u8(1);
+            e.put_usize(workers);
+        }
+    }
+    match config.execution {
+        Execution::Synchronous => e.put_u8(0),
+        Execution::AsyncBuffered {
+            buffer_size,
+            concurrency,
+        } => {
+            e.put_u8(1);
+            e.put_usize(buffer_size);
+            e.put_usize(concurrency);
+        }
+    }
+    match config.staleness {
+        Staleness::Sqrt => e.put_u8(0),
+        Staleness::Polynomial { exp } => {
+            e.put_u8(1);
+            e.put_f32(exp);
+        }
+        Staleness::Hinge { cutoff } => {
+            e.put_u8(2);
+            e.put_usize(cutoff);
+        }
+    }
+    match config.max_staleness {
+        None => e.put_bool(false),
+        Some(bound) => {
+            e.put_bool(true);
+            e.put_usize(bound);
+        }
+    }
+}
+
+fn take_config(d: &mut Decoder<'_>) -> PersistResult<EngineConfig> {
+    let rounds = d.take_usize()?;
+    let sample_ratio = d.take_f64()?;
+    let eval_every = d.take_usize()?;
+    let stability_clients = d.take_usize()?;
+    let schedule = take_schedule(d)?;
+    let parallelism = match d.take_u8()? {
+        0 => Parallelism::Sequential,
+        1 => Parallelism::Threads {
+            workers: d.take_usize()?,
+        },
+        tag => {
+            return Err(PersistError::Malformed {
+                section: d.section,
+                detail: format!("unknown parallelism tag {tag}"),
+            })
+        }
+    };
+    let execution = match d.take_u8()? {
+        0 => Execution::Synchronous,
+        1 => Execution::AsyncBuffered {
+            buffer_size: d.take_usize()?,
+            concurrency: d.take_usize()?,
+        },
+        tag => {
+            return Err(PersistError::Malformed {
+                section: d.section,
+                detail: format!("unknown execution tag {tag}"),
+            })
+        }
+    };
+    let staleness = match d.take_u8()? {
+        0 => Staleness::Sqrt,
+        1 => Staleness::Polynomial { exp: d.take_f32()? },
+        2 => Staleness::Hinge {
+            cutoff: d.take_usize()?,
+        },
+        tag => {
+            return Err(PersistError::Malformed {
+                section: d.section,
+                detail: format!("unknown staleness tag {tag}"),
+            })
+        }
+    };
+    let max_staleness = if d.take_bool()? {
+        Some(d.take_usize()?)
+    } else {
+        None
+    };
+    Ok(EngineConfig {
+        rounds,
+        sample_ratio,
+        eval_every,
+        stability_clients,
+        schedule,
+        parallelism,
+        execution,
+        staleness,
+        max_staleness,
+    })
+}
+
+fn put_algorithm_state(e: &mut Encoder, state: &AlgorithmState) {
+    let (states, tensors, scalars) = state.parts();
+    e.put_usize(states.len());
+    for (name, sd) in states {
+        e.put_str(name);
+        put_state_dict(e, sd);
+    }
+    e.put_usize(tensors.len());
+    for (name, tensor) in tensors {
+        e.put_str(name);
+        put_tensor(e, tensor);
+    }
+    e.put_usize(scalars.len());
+    for (name, values) in scalars {
+        e.put_str(name);
+        put_f32_vec(e, values);
+    }
+}
+
+fn take_algorithm_state(d: &mut Decoder<'_>) -> PersistResult<AlgorithmState> {
+    let states_len = d.take_len(16)?;
+    let mut states = Vec::with_capacity(states_len);
+    for _ in 0..states_len {
+        let name = d.take_str()?;
+        states.push((name, take_state_dict(d)?));
+    }
+    let tensors_len = d.take_len(12)?;
+    let mut tensors = Vec::with_capacity(tensors_len);
+    for _ in 0..tensors_len {
+        let name = d.take_str()?;
+        tensors.push((name, take_tensor(d)?));
+    }
+    let scalars_len = d.take_len(16)?;
+    let mut scalars = Vec::with_capacity(scalars_len);
+    for _ in 0..scalars_len {
+        let name = d.take_str()?;
+        scalars.push((name, take_f32_vec(d)?));
+    }
+    Ok(AlgorithmState::from_parts(states, tensors, scalars))
+}
+
+fn put_arrival(e: &mut Encoder, arrival: &Arrival) {
+    e.put_f64(arrival.time);
+    e.put_u64(arrival.seq);
+    e.put_f64(arrival.dispatched_at);
+    e.put_usize(arrival.dispatched_version);
+    put_update(e, &arrival.update);
+}
+
+fn take_arrival(d: &mut Decoder<'_>) -> PersistResult<Arrival> {
+    Ok(Arrival {
+        time: d.take_f64()?,
+        seq: d.take_u64()?,
+        dispatched_at: d.take_f64()?,
+        dispatched_version: d.take_usize()?,
+        update: take_update(d)?,
+    })
+}
+
+fn put_buffered(e: &mut Encoder, buffered: &Buffered) {
+    e.put_u64(buffered.seq);
+    put_update(e, &buffered.update);
+    put_stat(e, &buffered.stat);
+}
+
+fn take_buffered(d: &mut Decoder<'_>) -> PersistResult<Buffered> {
+    Ok(Buffered {
+        seq: d.take_u64()?,
+        update: take_update(d)?,
+        stat: take_stat(d)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Whole-checkpoint codec
+// ---------------------------------------------------------------------------
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+fn encode_config_section(checkpoint: &Checkpoint) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_config(&mut e, &checkpoint.config);
+    e.put_str(&checkpoint.algorithm_name);
+    e.put_usize(checkpoint.in_flight.len());
+    e.into_bytes()
+}
+
+/// The configuration fingerprint a checkpoint would carry in its file
+/// header: an FNV-1a hash of the encoded engine configuration, algorithm
+/// name and client count. Two checkpoints from the same experiment setup
+/// share a fingerprint; resuming against the wrong setup is rejected before
+/// any state is deserialised.
+pub fn config_fingerprint(checkpoint: &Checkpoint) -> u64 {
+    fnv64(&encode_config_section(checkpoint))
+}
+
+/// Encodes a [`Checkpoint`] into the version-1 binary format.
+///
+/// Encoding is canonical: equal checkpoints yield equal bytes (the arrival
+/// heap is already stored in canonical pop order by
+/// [`Session::checkpoint`](crate::Session::checkpoint)).
+pub fn encode_checkpoint(checkpoint: &Checkpoint) -> Vec<u8> {
+    let config = encode_config_section(checkpoint);
+    let fingerprint = fnv64(&config);
+
+    let algorithm = {
+        let mut e = Encoder::new();
+        put_algorithm_state(&mut e, &checkpoint.algorithm);
+        e.into_bytes()
+    };
+    let rng = {
+        let mut e = Encoder::new();
+        for word in checkpoint.rng.words {
+            e.put_u64(word);
+        }
+        e.put_u64(checkpoint.rng.seed);
+        e.put_bool(checkpoint.rng.zero_init);
+        e.into_bytes()
+    };
+    let report = {
+        let mut e = Encoder::new();
+        put_report(&mut e, &checkpoint.report);
+        e.into_bytes()
+    };
+    let driver = {
+        let mut e = Encoder::new();
+        e.put_f64(checkpoint.sim_time);
+        e.put_usize(checkpoint.version);
+        e.put_u64(checkpoint.seq);
+        e.put_bool(checkpoint.started);
+        e.put_bool(checkpoint.finished);
+        e.put_usize(checkpoint.in_flight.len());
+        for &flag in &checkpoint.in_flight {
+            e.put_bool(flag);
+        }
+        e.put_usize(checkpoint.in_flight_count);
+        e.put_usize(checkpoint.idle_advances);
+        e.put_f64(checkpoint.sync_round_end);
+        e.put_usize(checkpoint.sync_expected);
+        e.put_bool(checkpoint.sync_open);
+        e.into_bytes()
+    };
+    let arrivals = {
+        let mut e = Encoder::new();
+        e.put_usize(checkpoint.arrivals.len());
+        for arrival in &checkpoint.arrivals {
+            put_arrival(&mut e, arrival);
+        }
+        e.into_bytes()
+    };
+    let buffer = {
+        let mut e = Encoder::new();
+        e.put_usize(checkpoint.buffer.len());
+        for buffered in &checkpoint.buffer {
+            put_buffered(&mut e, buffered);
+        }
+        e.into_bytes()
+    };
+    let pending = {
+        let mut e = Encoder::new();
+        e.put_usize(checkpoint.pending_stats.len());
+        for stat in &checkpoint.pending_stats {
+            put_stat(&mut e, stat);
+        }
+        e.into_bytes()
+    };
+    let queue = {
+        let mut e = Encoder::new();
+        e.put_usize(checkpoint.queue.len());
+        for event in &checkpoint.queue {
+            put_event(&mut e, event);
+        }
+        e.into_bytes()
+    };
+
+    let sections: [(u8, &[u8]); 9] = [
+        (1, &config),
+        (2, &algorithm),
+        (3, &rng),
+        (4, &report),
+        (5, &driver),
+        (6, &arrivals),
+        (7, &buffer),
+        (8, &pending),
+        (9, &queue),
+    ];
+
+    let mut out = Encoder::new();
+    out.buf.extend_from_slice(&MAGIC);
+    out.put_u32(FORMAT_VERSION);
+    out.put_u64(fingerprint);
+    out.put_u32(sections.len() as u32);
+    for (id, payload) in sections {
+        out.put_u8(id);
+        out.put_usize(payload.len());
+        out.buf.extend_from_slice(payload);
+        out.put_u64(fnv64(payload));
+    }
+    out.into_bytes()
+}
+
+/// Decodes a version-1 checkpoint from bytes, verifying the magic, format
+/// version, every section checksum and the configuration fingerprint before
+/// reconstructing any state.
+///
+/// # Errors
+/// Every corruption mode maps to a typed [`PersistError`]; this function
+/// never panics on untrusted input and never returns a checkpoint that
+/// differs from the one encoded.
+pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
+    let mut frame = Decoder::new(bytes, "header");
+    let magic = frame.take(8).map_err(|_| PersistError::Truncated {
+        section: "header",
+        needed: 8,
+        remaining: bytes.len(),
+    })?;
+    if magic != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(magic);
+        return Err(PersistError::BadMagic { found });
+    }
+    let version = frame.take_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let fingerprint = frame.take_u64()?;
+    let section_count = frame.take_u32()? as usize;
+    if section_count != SECTIONS.len() {
+        return Err(PersistError::Malformed {
+            section: "header",
+            detail: format!(
+                "version-1 checkpoints have {} sections, file declares {section_count}",
+                SECTIONS.len()
+            ),
+        });
+    }
+
+    // Read the section table, verifying each checksum as it streams past.
+    let mut payloads: Vec<Option<&[u8]>> = vec![None; SECTIONS.len()];
+    frame.section = "frame";
+    for _ in 0..section_count {
+        let id = frame.take_u8()?;
+        let Some(name) = section_name(id) else {
+            return Err(PersistError::Malformed {
+                section: "frame",
+                detail: format!("unknown section id {id}"),
+            });
+        };
+        frame.section = name;
+        let len = frame.take_len(1)?;
+        let payload = frame.take(len)?;
+        let stored = frame.take_u64()?;
+        let computed = fnv64(payload);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch {
+                section: name,
+                stored,
+                computed,
+            });
+        }
+        let slot = SECTIONS
+            .iter()
+            .position(|(i, _)| *i == id)
+            .expect("known id");
+        if payloads[slot].is_some() {
+            return Err(PersistError::Malformed {
+                section: name,
+                detail: "duplicate section".into(),
+            });
+        }
+        payloads[slot] = Some(payload);
+        frame.section = "frame";
+    }
+    if frame.remaining() != 0 {
+        return Err(PersistError::TrailingData {
+            bytes: frame.remaining(),
+        });
+    }
+    let section = |slot: usize| -> PersistResult<&[u8]> {
+        payloads[slot].ok_or(PersistError::Malformed {
+            section: SECTIONS[slot].1,
+            detail: "section missing".into(),
+        })
+    };
+
+    // Config first: its hash must match the header fingerprint before any
+    // other state is trusted.
+    let config_bytes = section(0)?;
+    let computed = fnv64(config_bytes);
+    if computed != fingerprint {
+        return Err(PersistError::FingerprintMismatch {
+            stored: fingerprint,
+            computed,
+        });
+    }
+    let mut d = Decoder::new(config_bytes, "config");
+    let config = take_config(&mut d)?;
+    let algorithm_name = d.take_str()?;
+    let num_clients = d.take_usize()?;
+    d.finish()?;
+
+    let mut d = Decoder::new(section(1)?, "algorithm");
+    let algorithm = take_algorithm_state(&mut d)?;
+    d.finish()?;
+
+    let mut d = Decoder::new(section(2)?, "rng");
+    let rng = RngState {
+        words: [d.take_u64()?, d.take_u64()?, d.take_u64()?, d.take_u64()?],
+        seed: d.take_u64()?,
+        zero_init: d.take_bool()?,
+    };
+    d.finish()?;
+
+    let mut d = Decoder::new(section(3)?, "report");
+    let report = take_report(&mut d)?;
+    d.finish()?;
+
+    let mut d = Decoder::new(section(4)?, "driver");
+    let sim_time = d.take_f64()?;
+    let version = d.take_usize()?;
+    let seq = d.take_u64()?;
+    let started = d.take_bool()?;
+    let finished = d.take_bool()?;
+    let in_flight_len = d.take_len(1)?;
+    if in_flight_len != num_clients {
+        return Err(PersistError::Malformed {
+            section: "driver",
+            detail: format!(
+                "in-flight map covers {in_flight_len} clients, config section says {num_clients}"
+            ),
+        });
+    }
+    let mut in_flight = Vec::with_capacity(in_flight_len);
+    for _ in 0..in_flight_len {
+        in_flight.push(d.take_bool()?);
+    }
+    let in_flight_count = d.take_usize()?;
+    let idle_advances = d.take_usize()?;
+    let sync_round_end = d.take_f64()?;
+    let sync_expected = d.take_usize()?;
+    let sync_open = d.take_bool()?;
+    d.finish()?;
+
+    let mut d = Decoder::new(section(5)?, "arrivals");
+    let arrivals_len = d.take_len(32)?;
+    let mut arrivals = Vec::with_capacity(arrivals_len);
+    for _ in 0..arrivals_len {
+        arrivals.push(take_arrival(&mut d)?);
+    }
+    d.finish()?;
+
+    let mut d = Decoder::new(section(6)?, "buffer");
+    let buffer_len = d.take_len(16)?;
+    let mut buffer = Vec::with_capacity(buffer_len);
+    for _ in 0..buffer_len {
+        buffer.push(take_buffered(&mut d)?);
+    }
+    d.finish()?;
+
+    let mut d = Decoder::new(section(7)?, "pending");
+    let pending_len = d.take_len(48)?;
+    let mut pending_stats = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        pending_stats.push(take_stat(&mut d)?);
+    }
+    d.finish()?;
+
+    let mut d = Decoder::new(section(8)?, "queue");
+    let queue_len = d.take_len(1)?;
+    let mut queue = Vec::with_capacity(queue_len);
+    for _ in 0..queue_len {
+        queue.push(take_event(&mut d)?);
+    }
+    d.finish()?;
+
+    Ok(Checkpoint {
+        config,
+        algorithm_name,
+        algorithm,
+        rng,
+        report,
+        sim_time,
+        version,
+        seq,
+        started,
+        finished,
+        in_flight,
+        in_flight_count,
+        arrivals,
+        buffer,
+        pending_stats,
+        idle_advances,
+        sync_round_end,
+        sync_expected,
+        sync_open,
+        queue,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+fn io_error(op: &'static str, path: &Path, e: std::io::Error) -> PersistError {
+    PersistError::Io {
+        op,
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Writes a checkpoint to `path` atomically: the bytes are written to a
+/// sibling `<name>.tmp` file, fsynced, and renamed into place, so a crash
+/// mid-write — including a power loss after the rename is journaled but
+/// before data blocks would otherwise have hit disk — can never leave a
+/// truncated checkpoint under the final name.
+///
+/// # Errors
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn write_checkpoint(path: impl AsRef<Path>, checkpoint: &Checkpoint) -> PersistResult<()> {
+    use std::io::Write as _;
+
+    let path = path.as_ref();
+    let bytes = encode_checkpoint(checkpoint);
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "checkpoint".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_error("write", &tmp, e))?;
+        file.write_all(&bytes)
+            .map_err(|e| io_error("write", &tmp, e))?;
+        // The durability half of the atomicity claim: the tmp file's data
+        // must be on disk before the rename makes it the checkpoint.
+        file.sync_all().map_err(|e| io_error("sync", &tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_error("rename", path, e))?;
+    // Best-effort fsync of the parent directory so the rename itself is
+    // durable; not every platform allows opening a directory, so failures
+    // here are ignored (the file contents are already safe either way).
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and decodes a checkpoint from `path`.
+///
+/// # Errors
+/// Returns [`PersistError::Io`] on filesystem failure and the full
+/// [`decode_checkpoint`] error spectrum on corruption.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> PersistResult<Checkpoint> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| io_error("read", path, e))?;
+    decode_checkpoint(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Auto-save observer
+// ---------------------------------------------------------------------------
+
+/// An [`Observer`] that asks the session to save a durable checkpoint every
+/// `every` completed rounds (and, by default, once more when the run
+/// completes), so a long run leaves a fresh resume point behind without the
+/// driving code checkpointing by hand.
+///
+/// The save itself is performed by the [`Session`](crate::Session) at the
+/// next event boundary via [`Session::save`](crate::Session::save) — atomic
+/// tmp-file-then-rename, the checkpoint state exactly what
+/// [`Session::checkpoint`](crate::Session::checkpoint) would capture there —
+/// so a run resumed from the file replays bit-identically.
+///
+/// ```ignore
+/// session.observe(Box::new(CheckpointObserver::every("run.ckpt", 25)));
+/// let report = session.drain()?; // saves at rounds 25, 50, ... and at the end
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointObserver {
+    path: PathBuf,
+    every: usize,
+    save_on_completion: bool,
+    pending: bool,
+    requested: usize,
+}
+
+impl CheckpointObserver {
+    /// Saves to `path` every `every` completed rounds (clamped to at least
+    /// one) and once more when the run completes.
+    pub fn every(path: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointObserver {
+            path: path.into(),
+            every: every.max(1),
+            save_on_completion: true,
+            pending: false,
+            requested: 0,
+        }
+    }
+
+    /// Disables (or re-enables) the extra save on run completion.
+    #[must_use]
+    pub fn save_on_completion(mut self, yes: bool) -> Self {
+        self.save_on_completion = yes;
+        self
+    }
+
+    /// The path this observer saves to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of saves requested so far.
+    pub fn saves_requested(&self) -> usize {
+        self.requested
+    }
+}
+
+impl Observer for CheckpointObserver {
+    fn on_event(&mut self, event: &RoundEvent) {
+        match event {
+            RoundEvent::RoundCompleted { round, .. } if round.is_multiple_of(self.every) => {
+                self.pending = true;
+            }
+            RoundEvent::RunCompleted { .. } if self.save_on_completion => {
+                self.pending = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn save_request(&mut self) -> Option<PathBuf> {
+        if self.pending {
+            self.pending = false;
+            self.requested += 1;
+            Some(self.path.clone())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 3);
+        e.put_usize(42);
+        e.put_bool(true);
+        e.put_bool(false);
+        e.put_f32(-0.0);
+        e.put_f64(f64::NAN);
+        e.put_str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "test");
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.take_usize().unwrap(), 42);
+        assert!(d.take_bool().unwrap());
+        assert!(!d.take_bool().unwrap());
+        // Exact bit patterns survive, including -0.0 and NaN.
+        assert_eq!(d.take_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(d.take_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(d.take_str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_overruns_are_typed_truncations() {
+        let mut d = Decoder::new(&[1, 2], "t");
+        assert!(matches!(
+            d.take_u64(),
+            Err(PersistError::Truncated {
+                section: "t",
+                needed: 8,
+                remaining: 2
+            })
+        ));
+        // A huge declared length cannot force an allocation.
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX / 2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        assert!(matches!(d.take_len(4), Err(PersistError::Truncated { .. })));
+    }
+
+    #[test]
+    fn huge_declared_tensor_extent_is_a_typed_truncation_not_an_overflow_panic() {
+        // A rank-1 tensor claiming 2^62 elements: the element count itself
+        // fits a usize, but the byte count (×4) overflows — both the guard
+        // and the error construction must saturate instead of panicking.
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        e.put_u64(1u64 << 62);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        assert!(matches!(
+            take_tensor(&mut d),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_bools_and_strings_are_malformed() {
+        let mut d = Decoder::new(&[2], "t");
+        assert!(matches!(
+            d.take_bool(),
+            Err(PersistError::Malformed { section: "t", .. })
+        ));
+        let mut e = Encoder::new();
+        e.put_usize(2);
+        e.put_u8(0xFF);
+        e.put_u8(0xFE);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        assert!(matches!(d.take_str(), Err(PersistError::Malformed { .. })));
+    }
+
+    #[test]
+    fn tensors_and_state_dicts_round_trip_bit_exactly() {
+        let t = Tensor::from_vec(vec![1.5, -0.0, f32::MIN_POSITIVE, 3.25e-20], &[2, 2]).unwrap();
+        let mut e = Encoder::new();
+        put_tensor(&mut e, &t);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        let back = take_tensor(&mut d).unwrap();
+        assert_eq!(back.dims(), t.dims());
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut sd = StateDict::new();
+        sd.insert("w", t.clone());
+        sd.insert("b", Tensor::zeros(&[3]));
+        let mut e = Encoder::new();
+        put_state_dict(&mut e, &sd);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "t");
+        assert_eq!(take_state_dict(&mut d).unwrap(), sd);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn payload_variants_round_trip() {
+        let mut sd = StateDict::new();
+        sd.insert("x", Tensor::ones(&[2]));
+        let payloads = [
+            ClientPayload::SubModel {
+                state: sd.clone(),
+                selection: WidthSelection::Rolling { shift: 9 },
+                num_blocks: 4,
+            },
+            ClientPayload::Prototypes {
+                state: sd.clone(),
+                sums: Tensor::ones(&[2, 3]),
+                counts: vec![1.0, 0.0],
+            },
+            ClientPayload::PublicLogits {
+                state: sd,
+                probs: Tensor::full(&[2, 2], 0.25),
+                confidence: 0.75,
+            },
+            ClientPayload::Empty,
+        ];
+        for payload in payloads {
+            let mut e = Encoder::new();
+            put_payload(&mut e, &payload);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes, "t");
+            let back = take_payload(&mut d).unwrap();
+            d.finish().unwrap();
+            assert_eq!(back.kind(), payload.kind());
+            assert_eq!(back.payload_bytes(), payload.payload_bytes());
+        }
+    }
+
+    #[test]
+    fn engine_configs_round_trip_through_all_variants() {
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig {
+                rounds: 1000,
+                sample_ratio: 0.25,
+                eval_every: 7,
+                stability_clients: 3,
+                schedule: Schedule::DiurnalTrace {
+                    day_secs: 86_400.0,
+                    slot_secs: 60.0,
+                    peak_online: 0.9,
+                    trough_online: 0.1,
+                },
+                parallelism: Parallelism::Threads { workers: 8 },
+                execution: Execution::AsyncBuffered {
+                    buffer_size: 16,
+                    concurrency: 64,
+                },
+                staleness: Staleness::Hinge { cutoff: 5 },
+                max_staleness: Some(12),
+            },
+            EngineConfig {
+                schedule: Schedule::BandwidthAware { factor: 3 },
+                staleness: Staleness::Polynomial { exp: 1.5 },
+                ..EngineConfig::default()
+            },
+        ];
+        for config in configs {
+            let mut e = Encoder::new();
+            put_config(&mut e, &config);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes, "t");
+            assert_eq!(take_config(&mut d).unwrap(), config);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoint_observer_requests_on_cadence_and_completion() {
+        let mut obs = CheckpointObserver::every("/tmp/x.ckpt", 2);
+        assert!(obs.save_request().is_none());
+        let completed = |round| RoundEvent::RoundCompleted {
+            round,
+            sim_time_secs: 0.0,
+            record: None,
+        };
+        obs.on_event(&completed(1));
+        assert!(obs.save_request().is_none());
+        obs.on_event(&completed(2));
+        assert_eq!(
+            obs.save_request().as_deref(),
+            Some(Path::new("/tmp/x.ckpt"))
+        );
+        assert!(obs.save_request().is_none(), "request is one-shot");
+        obs.on_event(&RoundEvent::RunCompleted {
+            report: MetricsReport::new("X"),
+        });
+        assert!(obs.save_request().is_some());
+        assert_eq!(obs.saves_requested(), 2);
+
+        let mut no_final = CheckpointObserver::every("/tmp/y.ckpt", 1).save_on_completion(false);
+        no_final.on_event(&RoundEvent::RunCompleted {
+            report: MetricsReport::new("X"),
+        });
+        assert!(no_final.save_request().is_none());
+    }
+}

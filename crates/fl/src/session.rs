@@ -146,18 +146,18 @@ impl RoundEvent {
 
 /// One in-flight client update travelling towards the server.
 #[derive(Debug, Clone)]
-struct Arrival {
+pub(crate) struct Arrival {
     /// Simulated time at which the update reaches the server.
-    time: f64,
+    pub(crate) time: f64,
     /// Dispatch sequence number: selection order within a synchronous round
     /// and a deterministic FIFO tie-break for simultaneous arrivals.
-    seq: u64,
+    pub(crate) seq: u64,
     /// Simulated time the client was dispatched.
-    dispatched_at: f64,
+    pub(crate) dispatched_at: f64,
     /// Server version (completed aggregations) at dispatch.
-    dispatched_version: usize,
+    pub(crate) dispatched_version: usize,
     /// The computed update.
-    update: ClientUpdate,
+    pub(crate) update: ClientUpdate,
 }
 
 impl PartialEq for Arrival {
@@ -183,12 +183,12 @@ impl Ord for Arrival {
 
 /// A landed update waiting in the aggregation buffer.
 #[derive(Debug, Clone)]
-struct Buffered {
+pub(crate) struct Buffered {
     /// Dispatch sequence number (synchronous flushes restore selection
     /// order by this key).
-    seq: u64,
-    update: ClientUpdate,
-    stat: ClientRoundStat,
+    pub(crate) seq: u64,
+    pub(crate) update: ClientUpdate,
+    pub(crate) stat: ClientRoundStat,
 }
 
 /// Mode-specific driver parameters: how updates are dispatched, when the
@@ -285,26 +285,26 @@ impl Drop for KernelWorkersGuard {
 /// [`ExperimentSpec`]: https://docs.rs/pracmhbench-core
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
-    config: EngineConfig,
-    algorithm_name: String,
-    algorithm: AlgorithmState,
-    rng: RngState,
-    report: MetricsReport,
-    sim_time: f64,
-    version: usize,
-    seq: u64,
-    started: bool,
-    finished: bool,
-    in_flight: Vec<bool>,
-    in_flight_count: usize,
-    arrivals: Vec<Arrival>,
-    buffer: Vec<Buffered>,
-    pending_stats: Vec<ClientRoundStat>,
-    idle_advances: usize,
-    sync_round_end: f64,
-    sync_expected: usize,
-    sync_open: bool,
-    queue: Vec<RoundEvent>,
+    pub(crate) config: EngineConfig,
+    pub(crate) algorithm_name: String,
+    pub(crate) algorithm: AlgorithmState,
+    pub(crate) rng: RngState,
+    pub(crate) report: MetricsReport,
+    pub(crate) sim_time: f64,
+    pub(crate) version: usize,
+    pub(crate) seq: u64,
+    pub(crate) started: bool,
+    pub(crate) finished: bool,
+    pub(crate) in_flight: Vec<bool>,
+    pub(crate) in_flight_count: usize,
+    pub(crate) arrivals: Vec<Arrival>,
+    pub(crate) buffer: Vec<Buffered>,
+    pub(crate) pending_stats: Vec<ClientRoundStat>,
+    pub(crate) idle_advances: usize,
+    pub(crate) sync_round_end: f64,
+    pub(crate) sync_expected: usize,
+    pub(crate) sync_open: bool,
+    pub(crate) queue: Vec<RoundEvent>,
 }
 
 impl Checkpoint {
@@ -331,6 +331,29 @@ impl Checkpoint {
     /// Number of client updates in flight at capture.
     pub fn in_flight_updates(&self) -> usize {
         self.arrivals.len()
+    }
+
+    /// Encodes this checkpoint into the durable on-disk byte format (see
+    /// [`persist`](crate::persist)).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::persist::encode_checkpoint(self)
+    }
+
+    /// Decodes a checkpoint from bytes previously produced by
+    /// [`to_bytes`](Checkpoint::to_bytes) (or read from a checkpoint file).
+    ///
+    /// # Errors
+    /// Returns a typed [`PersistError`](crate::PersistError) on any
+    /// corruption: bad magic, unsupported version, checksum or fingerprint
+    /// mismatch, truncation, or malformed structure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::PersistError> {
+        crate::persist::decode_checkpoint(bytes)
+    }
+
+    /// The configuration fingerprint this checkpoint carries in its on-disk
+    /// header (FNV-1a over engine config, algorithm name and client count).
+    pub fn config_fingerprint(&self) -> u64 {
+        crate::persist::config_fingerprint(self)
     }
 }
 
@@ -459,8 +482,14 @@ impl<'a> Session<'a> {
     ///
     /// # Errors
     /// Propagates algorithm failures; the session is finished afterwards.
+    /// A [`FlError::Persist`] from a failed observer-requested auto-save is
+    /// the exception: it leaves the session **live** (the failed request is
+    /// consumed, in-memory state untouched), so a caller protecting a long
+    /// run may log it and keep calling `next_event` instead of losing the
+    /// run to a transient disk error.
     pub fn next_event(&mut self) -> FlResult<Option<RoundEvent>> {
         loop {
+            self.process_save_requests()?;
             if let Some(event) = self.queue.pop_front() {
                 return Ok(Some(event));
             }
@@ -476,6 +505,32 @@ impl<'a> Session<'a> {
                 return Err(error);
             }
         }
+    }
+
+    /// Grants any pending [`Observer::save_request`]s by writing a durable
+    /// checkpoint of the current state. Runs at event boundaries only, so
+    /// the saved state is exactly what [`checkpoint`](Session::checkpoint)
+    /// would capture there (still-queued events included — a resumed run
+    /// replays them first).
+    ///
+    /// A failed save propagates its error but does **not** finish the
+    /// session: the request was consumed, no simulation state changed, and
+    /// the next `next_event` call continues the run.
+    fn process_save_requests(&mut self) -> FlResult<()> {
+        let mut paths = Vec::new();
+        for observer in &mut self.observers {
+            if let Some(path) = observer.save_request() {
+                paths.push(path);
+            }
+        }
+        if paths.is_empty() {
+            return Ok(());
+        }
+        let checkpoint = self.checkpoint()?;
+        for path in paths {
+            crate::persist::write_checkpoint(&path, &checkpoint)?;
+        }
+        Ok(())
     }
 
     /// Ends the run at the current point: emits
@@ -609,6 +664,41 @@ impl<'a> Session<'a> {
             ctx,
             _workers: workers,
         })
+    }
+
+    /// Saves a durable checkpoint of the current state to `path`:
+    /// [`checkpoint`](Session::checkpoint) encoded with the versioned,
+    /// checksummed [`persist`](crate::persist) codec and written atomically
+    /// (tmp file, then rename). A session restored from the file with
+    /// [`restore_from`](Session::restore_from) continues bit-exactly.
+    ///
+    /// # Errors
+    /// Propagates [`FlAlgorithm::snapshot`] failures and persist-layer I/O
+    /// errors ([`FlError::Persist`](crate::FlError)).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> FlResult<()> {
+        let checkpoint = self.checkpoint()?;
+        crate::persist::write_checkpoint(path, &checkpoint)?;
+        Ok(())
+    }
+
+    /// Rebuilds a live session from a checkpoint file written by
+    /// [`save`](Session::save) (or a [`CheckpointObserver`](crate::CheckpointObserver)).
+    /// The same contract as [`restore`](Session::restore): `algorithm` must
+    /// be a fresh instance of the checkpointed method and `ctx` the same
+    /// federation the checkpoint was taken from.
+    ///
+    /// # Errors
+    /// Returns [`FlError::Persist`](crate::FlError) if the file is missing
+    /// or fails any integrity check (magic, version, checksums, config
+    /// fingerprint), and [`FlError::InvalidConfig`](crate::FlError) on an
+    /// algorithm or context mismatch.
+    pub fn restore_from(
+        algorithm: &'a mut dyn FlAlgorithm,
+        ctx: &'a FederationContext,
+        path: impl AsRef<std::path::Path>,
+    ) -> FlResult<Self> {
+        let checkpoint = crate::persist::read_checkpoint(path)?;
+        Session::restore(algorithm, ctx, &checkpoint)
     }
 
     /// Notifies observers and queues the event for the caller.

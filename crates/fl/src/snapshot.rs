@@ -118,6 +118,33 @@ impl AlgorithmState {
         self.states.is_empty() && self.tensors.is_empty() && self.scalars.is_empty()
     }
 
+    /// The raw slot tables in insertion order, for the durable-checkpoint
+    /// codec (`persist`): state dicts, tensors, scalar vectors.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &[(String, StateDict)],
+        &[(String, Tensor)],
+        &[(String, Vec<f32>)],
+    ) {
+        (&self.states, &self.tensors, &self.scalars)
+    }
+
+    /// Rebuilds a snapshot from raw slot tables (the decode half of
+    /// [`parts`](AlgorithmState::parts)); insertion order is preserved.
+    pub(crate) fn from_parts(
+        states: Vec<(String, StateDict)>,
+        tensors: Vec<(String, Tensor)>,
+        scalars: Vec<(String, Vec<f32>)>,
+    ) -> Self {
+        AlgorithmState {
+            states,
+            tensors,
+            scalars,
+        }
+    }
+
     fn take<T>(slots: &mut Vec<(String, T)>, name: &str, kind: &str) -> FlResult<T> {
         let index = slots.iter().position(|(n, _)| n == name).ok_or_else(|| {
             FlError::InvalidConfig(format!(
