@@ -34,6 +34,20 @@
 //! # ...relaunch: continues from round 2 and prints the final digest
 //! cargo run -p mhfl-bench --bin paper_scale -- --quick --resume run.ckpt
 //! ```
+//!
+//! ## Distributed mode (`--workers` / `--listen` / `--connect`)
+//!
+//! With `--workers <n>` the binary benchmarks the `mhfl-net` distributed
+//! engine instead of the family rounds: it binds `--listen` (default
+//! `tcp:127.0.0.1:0`), re-execs itself `n` times as workers (`--connect`),
+//! drives one full width-family run sharded across them, verifies the
+//! digest against the single-process reference, and emits a
+//! `"distributed"` section — per-phase timings plus per-worker
+//! utilisation — alongside the micro section in `BENCH_paper_scale.json`:
+//!
+//! ```bash
+//! cargo run --release -p mhfl-bench --bin paper_scale -- --quick --workers 2
+//! ```
 
 use std::time::Instant;
 
@@ -318,8 +332,174 @@ fn run_durable(scale: RunScale, path: &str, must_exist: bool) {
     }
 }
 
+/// The fixed experiment the distributed benchmark shards: the width family
+/// at the selected scale, seeded like every other section.
+fn distributed_spec(scale: RunScale) -> ExperimentSpec {
+    ExperimentSpec::new(
+        DataTask::Cifar10,
+        MhflMethod::SHeteroFl,
+        ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        },
+    )
+    .with_scale(scale)
+    .with_seed(42)
+}
+
+/// Worker half of `--workers`: this binary re-exec'd with `--connect` plus
+/// the spec flags, serving dispatches until the server shuts the run down.
+fn run_worker_child(endpoint: &str, args: &[String]) {
+    let endpoint = mhfl_net::Endpoint::parse(endpoint).expect("--connect endpoint");
+    let spec = mhfl_net::cli::parse_spec(args).expect("worker spec flags");
+    let options = mhfl_net::WorkerOptions {
+        name: mhfl_net::cli::arg_value(args, "--name")
+            .unwrap_or_else(|| format!("pid{}", std::process::id())),
+        ..Default::default()
+    };
+    let report = mhfl_net::run_worker(&endpoint, &spec, options).expect("worker run");
+    eprintln!(
+        "paper_scale worker {}: served {} dispatch(es), {} update(s)",
+        report.worker_index, report.dispatches, report.updates_sent
+    );
+}
+
+/// Server half of `--workers`: run the micro section as usual, then one full
+/// distributed run sharded across `n` re-exec'd worker processes, verify the
+/// digest against the single-process reference, and emit the utilisation
+/// ledger into the JSON alongside the micro timings.
+fn run_distributed_bench(scale: RunScale, workers: usize, micro_reps: usize) {
+    use mhfl_net::cli::spec_flags;
+    use mhfl_net::{run_server, Endpoint, Listener};
+
+    let spec = distributed_spec(scale);
+    let listen = arg_value("--listen").unwrap_or_else(|| "tcp:127.0.0.1:0".to_string());
+    let listener = Listener::bind(&Endpoint::parse(&listen).expect("--listen endpoint"))
+        .expect("bind listener");
+    let endpoint = listener.local_endpoint().expect("local endpoint");
+    eprintln!(
+        "paper_scale: distributed {} run of {} on {endpoint} across {workers} worker(s)...",
+        scale_label(scale),
+        spec.method
+    );
+
+    let exe = std::env::current_exe().expect("current exe");
+    let children: Vec<std::process::Child> = (0..workers)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .arg("--connect")
+                .arg(endpoint.to_string())
+                .arg("--name")
+                .arg(format!("w{i}"))
+                .args(spec_flags(&spec))
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect();
+
+    let outcome = run_server(&listener, workers, &spec).expect("distributed run");
+    for mut child in children {
+        let status = child.wait().expect("worker wait");
+        assert!(status.success(), "a worker process exited with {status}");
+    }
+
+    eprintln!("paper_scale: single-process reference for the digest check...");
+    let reference = spec.run().expect("reference run").report;
+    let digest_match = outcome.report.digest() == reference.digest();
+    assert!(
+        digest_match,
+        "distributed digest 0x{:016x} != single-process 0x{:016x}",
+        outcome.report.digest(),
+        reference.digest()
+    );
+    eprintln!(
+        "  digest 0x{:016x} matches single-process; accept {:.2}s, run {:.2}s",
+        outcome.report.digest(),
+        outcome.accept_secs,
+        outcome.run_secs
+    );
+
+    let micros = [
+        micro_linear(micro_reps),
+        micro_extraction(micro_reps),
+        micro_aggregation(micro_reps),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{}\",\n", scale_label(scale)));
+    json.push_str(&format!("  \"micro_reps\": {micro_reps},\n"));
+    json.push_str(
+        "  \"command\": \"cargo run --release -p mhfl-bench --bin paper_scale -- --workers N\",\n",
+    );
+    json.push_str("  \"micro\": {\n");
+    for (i, m) in micros.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"reference_secs\": {:.6}, \"optimised_secs\": {:.6}, \"speedup\": {:.2} }}{}\n",
+            m.name,
+            m.reference_secs / micro_reps as f64,
+            m.optimised_secs / micro_reps as f64,
+            m.speedup(),
+            if i + 1 < micros.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"distributed\": {\n");
+    json.push_str(&format!(
+        "    \"method\": \"{}\", \"task\": \"{:?}\", \"workers\": {},\n",
+        spec.method, spec.task, workers
+    ));
+    json.push_str(&format!(
+        "    \"accept_secs\": {:.3}, \"run_secs\": {:.3},\n",
+        outcome.accept_secs, outcome.run_secs
+    ));
+    json.push_str(&format!(
+        "    \"digest\": \"0x{:016x}\", \"digest_match\": {digest_match},\n",
+        outcome.report.digest()
+    ));
+    json.push_str("    \"per_worker\": [\n");
+    for (i, w) in outcome.workers.iter().enumerate() {
+        let utilisation = if outcome.run_secs > 0.0 {
+            w.busy_secs / outcome.run_secs
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"dispatched\": {}, \"completed\": {}, \
+             \"busy_secs\": {:.3}, \"utilisation\": {:.3}, \"died\": {} }}{}\n",
+            w.name,
+            w.dispatched,
+            w.completed,
+            w.busy_secs,
+            utilisation,
+            w.dead,
+            if i + 1 < outcome.workers.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+        eprintln!(
+            "  worker {:<8} dispatched {:>4}  completed {:>4}  busy {:>6.2}s  utilisation {:>5.1}%",
+            w.name,
+            w.dispatched,
+            w.completed,
+            w.busy_secs,
+            utilisation * 100.0
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
+    std::fs::write("BENCH_paper_scale.json", &json).expect("write BENCH_paper_scale.json");
+    println!("{json}");
+    eprintln!("paper_scale: wrote BENCH_paper_scale.json (distributed mode)");
+}
+
 fn main() {
     let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(endpoint) = arg_value("--connect") {
+        // Worker processes share kernels with the other workers and the
+        // server on one machine; keep each single-threaded.
+        return run_worker_child(&endpoint, &args);
+    }
     // One process on one machine: let server-phase kernels use every core.
     mhfl_tensor::set_kernel_workers(0);
     if let Some(path) = arg_value("--resume") {
@@ -333,6 +513,9 @@ fn main() {
         RunScale::Standard => 20,
         RunScale::Paper => 40,
     };
+    if let Some(workers) = arg_usize("--workers") {
+        return run_distributed_bench(scale, workers, micro_reps);
+    }
     // `--quick` smoke runs shrink the federated round too; everything else
     // runs the families at the paper's client counts.
     let family_scale = match scale {

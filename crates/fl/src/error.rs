@@ -21,6 +21,10 @@ pub enum FlError {
     /// A durable-checkpoint operation failed (I/O, corruption, or a
     /// format/fingerprint mismatch — see [`PersistError`]).
     Persist(PersistError),
+    /// A distributed-execution failure surfaced by a remote client runner:
+    /// every worker died mid-round, a protocol violation, or a transport
+    /// error that rescheduling could not absorb.
+    Remote(String),
 }
 
 impl fmt::Display for FlError {
@@ -31,6 +35,7 @@ impl fmt::Display for FlError {
             FlError::InvalidConfig(msg) => write!(f, "invalid federated configuration: {msg}"),
             FlError::UnknownClient(id) => write!(f, "unknown client id {id}"),
             FlError::Persist(e) => write!(f, "checkpoint persistence error: {e}"),
+            FlError::Remote(msg) => write!(f, "remote execution error: {msg}"),
         }
     }
 }

@@ -33,6 +33,10 @@
 //!
 //! Shared machinery the algorithms build on lives here too:
 //!
+//! * [`wire`] — the shared binary codec primitives ([`wire::Encoder`] /
+//!   [`wire::Decoder`], FNV-1a checksums, typed [`PersistError`]s) plus
+//!   checksummed network frames for [`ClientUpdate`]s, spoken by both the
+//!   checkpoint file format and the `mhfl-net` server/worker protocol,
 //! * [`persist`] — the durable on-disk checkpoint codec
 //!   ([`Session::save`] / [`Session::restore_from`], versioned + checksummed,
 //!   no external serde) and the auto-saving [`CheckpointObserver`],
@@ -60,6 +64,7 @@ mod snapshot;
 pub mod submodel;
 pub mod train;
 mod update;
+pub mod wire;
 
 pub use buffered::{staleness_weight, Staleness};
 pub use context::{FederationContext, LocalTrainConfig};
@@ -67,7 +72,7 @@ pub use engine::{EngineConfig, Execution, FlAlgorithm, FlEngine};
 pub use error::FlError;
 pub use metrics::{ClientRoundStat, MetricsReport, RoundRecord};
 pub use observer::{CsvTelemetry, EarlyStop, EventCounter, Observer, ProgressLogger};
-pub use parallel::{run_clients, Parallelism};
+pub use parallel::{run_clients, ClientRunner, InProcessRunner, Parallelism};
 pub use persist::{CheckpointObserver, PersistError};
 pub use schedule::{
     AvailabilityTrace, BandwidthAware, ClientScheduler, DeadlineAware, DiurnalTrace, PowerOfChoice,

@@ -62,6 +62,50 @@ impl Parallelism {
     }
 }
 
+/// A pluggable executor for the client phase of one round.
+///
+/// The [`Session`](crate::Session) routes every client fan-out — the
+/// synchronous per-round batch and the asynchronous dispatch slots — through
+/// its runner, so the *where* of client execution (in-process threads,
+/// remote worker processes) is orthogonal to the *what* (the deterministic
+/// round loop). Implementations must return updates **in selection order**;
+/// that single contract is what makes every execution backend bit-identical
+/// to [`Parallelism::Sequential`].
+pub trait ClientRunner: Send {
+    /// Computes the update for every client in `clients`, returning them in
+    /// selection order.
+    ///
+    /// # Errors
+    /// Returns the first failing client's error (in selection order), or a
+    /// backend-specific [`FlError`] if execution itself broke down.
+    fn run_clients(
+        &mut self,
+        algorithm: &dyn FlAlgorithm,
+        round: usize,
+        clients: &[usize],
+        ctx: &FederationContext,
+        parallelism: Parallelism,
+    ) -> FlResult<Vec<ClientUpdate>>;
+}
+
+/// The default [`ClientRunner`]: run every client in this process via
+/// [`run_clients`], honouring the configured [`Parallelism`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcessRunner;
+
+impl ClientRunner for InProcessRunner {
+    fn run_clients(
+        &mut self,
+        algorithm: &dyn FlAlgorithm,
+        round: usize,
+        clients: &[usize],
+        ctx: &FederationContext,
+        parallelism: Parallelism,
+    ) -> FlResult<Vec<ClientUpdate>> {
+        run_clients(algorithm, round, clients, ctx, parallelism)
+    }
+}
+
 /// Runs the client phase for every client in `clients`, honouring the
 /// requested [`Parallelism`], and returns their updates in the order the
 /// scheduler selected them.

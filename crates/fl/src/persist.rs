@@ -11,6 +11,12 @@
 //! detected and reported as a typed [`PersistError`] instead of silently
 //! restoring a wrong run.
 //!
+//! The byte-level machinery — the [`Encoder`]/[`Decoder`] primitives, the
+//! [`PersistError`] taxonomy and the per-type codecs — lives in the shared
+//! [`wire`](crate::wire) module, where the distributed execution layer
+//! (`mhfl-net`) speaks the same language; this module owns the checkpoint
+//! *file* format built on top of it.
+//!
 //! # File layout (format version 1)
 //!
 //! ```text
@@ -27,12 +33,12 @@
 //!
 //! | id | section    | contents |
 //! |----|------------|----------|
-//! | 1  | `config`   | [`EngineConfig`], algorithm name, client count |
-//! | 2  | `algorithm`| [`AlgorithmState`] — every state dict / tensor / scalar slot |
+//! | 1  | `config`   | [`EngineConfig`](crate::EngineConfig), algorithm name, client count |
+//! | 2  | `algorithm`| [`AlgorithmState`](crate::AlgorithmState) — every state dict / tensor / scalar slot |
 //! | 3  | `rng`      | [`RngState`] — the xoshiro256++ words, seed, zero-init flag |
 //! | 4  | `report`   | [`MetricsReport`] accumulated so far |
 //! | 5  | `driver`   | clock, round version, dispatch seq, in-flight map, sync-round state |
-//! | 6  | `arrivals` | the in-flight arrival heap (computed [`ClientUpdate`]s included) |
+//! | 6  | `arrivals` | the in-flight arrival heap (computed `ClientUpdate`s included) |
 //! | 7  | `buffer`   | the aggregation buffer |
 //! | 8  | `pending`  | telemetry accumulated since the last evaluation point |
 //! | 9  | `queue`    | emitted-but-unconsumed [`RoundEvent`]s |
@@ -55,19 +61,18 @@
 //! * [`CheckpointObserver`] — auto-saves every N rounds from inside the
 //!   session event loop.
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 
-use mhfl_nn::StateDict;
-use mhfl_tensor::{RngState, Tensor};
+use mhfl_tensor::RngState;
 
-use crate::fnv::Fnv1a;
 use crate::session::{Arrival, Buffered};
-use crate::submodel::WidthSelection;
-use crate::{
-    AlgorithmState, Checkpoint, ClientPayload, ClientRoundStat, ClientUpdate, EngineConfig,
-    Execution, MetricsReport, Observer, Parallelism, RoundEvent, RoundRecord, Schedule, Staleness,
+use crate::wire::{
+    fnv64, put_algorithm_state, put_config, put_f32_vec, put_stat, put_update,
+    take_algorithm_state, take_config, take_f32_vec, take_stat, take_update,
 };
+use crate::{Checkpoint, MetricsReport, Observer, RoundEvent, RoundRecord};
+
+pub use crate::wire::{Decoder, Encoder, PersistError, PersistResult};
 
 /// The 8-byte file magic ("MHFL checkpoint, line 1 of the format family").
 pub const MAGIC: [u8; 8] = *b"MHFLCKP1";
@@ -92,535 +97,9 @@ fn section_name(id: u8) -> Option<&'static str> {
     SECTIONS.iter().find(|(i, _)| *i == id).map(|(_, n)| *n)
 }
 
-/// Errors produced while encoding, decoding, reading or writing a durable
-/// checkpoint. Every corruption mode of the format maps to a distinct
-/// variant; decoding never panics and never returns a silently-wrong
-/// [`Checkpoint`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum PersistError {
-    /// A filesystem operation failed (message carries the `std::io` detail).
-    Io {
-        /// The operation that failed (`"read"`, `"write"`, `"rename"`).
-        op: &'static str,
-        /// The path involved.
-        path: String,
-        /// The underlying I/O error, rendered.
-        detail: String,
-    },
-    /// The file does not begin with [`MAGIC`] — not a checkpoint at all, or
-    /// one whose header was overwritten.
-    BadMagic {
-        /// The first eight bytes actually found.
-        found: [u8; 8],
-    },
-    /// The file declares a format version this build does not understand
-    /// (e.g. a checkpoint written by a future release).
-    UnsupportedVersion {
-        /// The version the file declares.
-        found: u32,
-        /// The newest version this build supports.
-        supported: u32,
-    },
-    /// The header fingerprint does not match the configuration section —
-    /// the header and body come from different runs (or the fingerprint
-    /// bytes were corrupted).
-    FingerprintMismatch {
-        /// The fingerprint stored in the header.
-        stored: u64,
-        /// The fingerprint recomputed from the configuration section.
-        computed: u64,
-    },
-    /// A section's stored checksum does not match its payload.
-    ChecksumMismatch {
-        /// The section whose payload is corrupt.
-        section: &'static str,
-        /// The checksum stored in the file.
-        stored: u64,
-        /// The checksum recomputed from the payload.
-        computed: u64,
-    },
-    /// The file ended before the declared structure was complete.
-    Truncated {
-        /// The section (or `"header"`/`"frame"`) being read at the cut.
-        section: &'static str,
-        /// Bytes the decoder needed.
-        needed: usize,
-        /// Bytes actually remaining.
-        remaining: usize,
-    },
-    /// A section payload passed its checksum but does not parse — or the
-    /// section table itself is inconsistent (unknown id, duplicate,
-    /// missing). Only reachable for files not produced by this encoder.
-    Malformed {
-        /// The section at fault.
-        section: &'static str,
-        /// What was wrong.
-        detail: String,
-    },
-    /// Bytes follow the final declared section.
-    TrailingData {
-        /// Number of unconsumed trailing bytes.
-        bytes: usize,
-    },
-}
-
-impl fmt::Display for PersistError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PersistError::Io { op, path, detail } => {
-                write!(f, "checkpoint {op} failed for {path:?}: {detail}")
-            }
-            PersistError::BadMagic { found } => {
-                write!(f, "not a checkpoint file: bad magic {found:02x?}")
-            }
-            PersistError::UnsupportedVersion { found, supported } => write!(
-                f,
-                "checkpoint format version {found} is not supported (this build reads up to {supported})"
-            ),
-            PersistError::FingerprintMismatch { stored, computed } => write!(
-                f,
-                "configuration fingerprint mismatch: header says {stored:#018x}, config section hashes to {computed:#018x}"
-            ),
-            PersistError::ChecksumMismatch {
-                section,
-                stored,
-                computed,
-            } => write!(
-                f,
-                "checksum mismatch in section {section:?}: stored {stored:#018x}, computed {computed:#018x}"
-            ),
-            PersistError::Truncated {
-                section,
-                needed,
-                remaining,
-            } => write!(
-                f,
-                "checkpoint truncated in {section}: needed {needed} more bytes, {remaining} remain"
-            ),
-            PersistError::Malformed { section, detail } => {
-                write!(f, "malformed checkpoint section {section:?}: {detail}")
-            }
-            PersistError::TrailingData { bytes } => {
-                write!(f, "{bytes} trailing bytes after the final checkpoint section")
-            }
-        }
-    }
-}
-
-impl std::error::Error for PersistError {}
-
-/// Alias for persist-layer results.
-pub type PersistResult<T> = std::result::Result<T, PersistError>;
-
 // ---------------------------------------------------------------------------
-// Primitive encoder
+// Checkpoint-specific type codecs
 // ---------------------------------------------------------------------------
-
-/// A little-endian byte-stream writer for checkpoint sections.
-///
-/// Deliberately minimal: the format has exactly the primitives below, and
-/// every floating-point value goes through `to_bits` so encoding is lossless
-/// and canonical.
-#[derive(Debug, Default)]
-pub struct Encoder {
-    buf: Vec<u8>,
-}
-
-impl Encoder {
-    /// Creates an empty encoder.
-    pub fn new() -> Self {
-        Encoder::default()
-    }
-
-    /// The bytes written so far.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-
-    /// Appends a single byte.
-    pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Appends a little-endian `u32`.
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u64`.
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a `usize` as a `u64`.
-    pub fn put_usize(&mut self, v: usize) {
-        self.put_u64(v as u64);
-    }
-
-    /// Appends a bool as one byte (`0`/`1`).
-    pub fn put_bool(&mut self, v: bool) {
-        self.put_u8(u8::from(v));
-    }
-
-    /// Appends the exact bit pattern of an `f32`.
-    pub fn put_f32(&mut self, v: f32) {
-        self.put_u32(v.to_bits());
-    }
-
-    /// Appends the exact bit pattern of an `f64`.
-    pub fn put_f64(&mut self, v: f64) {
-        self.put_u64(v.to_bits());
-    }
-
-    /// Appends a length-prefixed UTF-8 string.
-    pub fn put_str(&mut self, v: &str) {
-        self.put_usize(v.len());
-        self.buf.extend_from_slice(v.as_bytes());
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Primitive decoder
-// ---------------------------------------------------------------------------
-
-/// A bounds-checked reader over one section payload.
-///
-/// Every read returns a typed [`PersistError`] on overrun; collection
-/// lengths are validated against the bytes actually remaining before any
-/// allocation, so a corrupt length field cannot trigger an out-of-memory
-/// abort.
-#[derive(Debug)]
-pub struct Decoder<'a> {
-    buf: &'a [u8],
-    pos: usize,
-    section: &'static str,
-}
-
-impl<'a> Decoder<'a> {
-    /// Creates a decoder over `buf`, attributing errors to `section`.
-    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
-        Decoder {
-            buf,
-            pos: 0,
-            section,
-        }
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn malformed(&self, detail: impl Into<String>) -> PersistError {
-        PersistError::Malformed {
-            section: self.section,
-            detail: detail.into(),
-        }
-    }
-
-    fn take(&mut self, n: usize) -> PersistResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(PersistError::Truncated {
-                section: self.section,
-                needed: n,
-                remaining: self.remaining(),
-            });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    /// Reads one byte.
-    pub fn take_u8(&mut self) -> PersistResult<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Reads a little-endian `u32`.
-    pub fn take_u32(&mut self) -> PersistResult<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    /// Reads a little-endian `u64`.
-    pub fn take_u64(&mut self) -> PersistResult<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    /// Reads a `u64` into a `usize`.
-    pub fn take_usize(&mut self) -> PersistResult<usize> {
-        let v = self.take_u64()?;
-        usize::try_from(v).map_err(|_| self.malformed(format!("value {v} exceeds usize")))
-    }
-
-    /// Reads a collection length and validates it against the bytes left:
-    /// a valid encoding needs at least `min_elem_bytes` per element, so a
-    /// corrupt length cannot force a huge allocation.
-    pub fn take_len(&mut self, min_elem_bytes: usize) -> PersistResult<usize> {
-        let len = self.take_usize()?;
-        let floor = len.saturating_mul(min_elem_bytes.max(1));
-        if floor > self.remaining() {
-            return Err(PersistError::Truncated {
-                section: self.section,
-                needed: floor,
-                remaining: self.remaining(),
-            });
-        }
-        Ok(len)
-    }
-
-    /// Reads a one-byte bool, rejecting anything but `0`/`1`.
-    pub fn take_bool(&mut self) -> PersistResult<bool> {
-        match self.take_u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(self.malformed(format!("invalid bool byte {other}"))),
-        }
-    }
-
-    /// Reads an `f32` from its bit pattern.
-    pub fn take_f32(&mut self) -> PersistResult<f32> {
-        Ok(f32::from_bits(self.take_u32()?))
-    }
-
-    /// Reads an `f64` from its bit pattern.
-    pub fn take_f64(&mut self) -> PersistResult<f64> {
-        Ok(f64::from_bits(self.take_u64()?))
-    }
-
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn take_str(&mut self) -> PersistResult<String> {
-        let len = self.take_len(1)?;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|e| self.malformed(format!("invalid UTF-8 string: {e}")))
-    }
-
-    /// Requires that every byte has been consumed.
-    pub fn finish(&self) -> PersistResult<()> {
-        if self.remaining() != 0 {
-            return Err(self.malformed(format!(
-                "{} unconsumed bytes at the end of the section",
-                self.remaining()
-            )));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Type codecs
-// ---------------------------------------------------------------------------
-
-fn put_tensor(e: &mut Encoder, t: &Tensor) {
-    let dims = t.dims();
-    e.put_u32(dims.len() as u32);
-    for &d in dims {
-        e.put_usize(d);
-    }
-    for &v in t.as_slice() {
-        e.put_f32(v);
-    }
-}
-
-fn take_tensor(d: &mut Decoder<'_>) -> PersistResult<Tensor> {
-    let rank = d.take_u32()? as usize;
-    if rank > 16 {
-        return Err(PersistError::Malformed {
-            section: d.section,
-            detail: format!("tensor rank {rank} is implausible"),
-        });
-    }
-    let mut dims = Vec::with_capacity(rank);
-    let mut len = 1usize;
-    for _ in 0..rank {
-        let extent = d.take_usize()?;
-        len = len
-            .checked_mul(extent)
-            .ok_or_else(|| PersistError::Malformed {
-                section: d.section,
-                detail: "tensor element count overflows".into(),
-            })?;
-        dims.push(extent);
-    }
-    if len.saturating_mul(4) > d.remaining() {
-        return Err(PersistError::Truncated {
-            section: d.section,
-            needed: len.saturating_mul(4),
-            remaining: d.remaining(),
-        });
-    }
-    let mut data = Vec::with_capacity(len);
-    for _ in 0..len {
-        data.push(d.take_f32()?);
-    }
-    Tensor::from_vec(data, &dims).map_err(|e| PersistError::Malformed {
-        section: d.section,
-        detail: format!("tensor reconstruction failed: {e}"),
-    })
-}
-
-fn put_state_dict(e: &mut Encoder, sd: &StateDict) {
-    e.put_usize(sd.len());
-    for (name, tensor) in sd.iter() {
-        e.put_str(name);
-        put_tensor(e, tensor);
-    }
-}
-
-fn take_state_dict(d: &mut Decoder<'_>) -> PersistResult<StateDict> {
-    let count = d.take_len(12)?; // name prefix + tensor rank at minimum
-    let mut sd = StateDict::new();
-    for _ in 0..count {
-        let name = d.take_str()?;
-        let tensor = take_tensor(d)?;
-        sd.insert(name, tensor);
-    }
-    Ok(sd)
-}
-
-fn put_f32_vec(e: &mut Encoder, values: &[f32]) {
-    e.put_usize(values.len());
-    for &v in values {
-        e.put_f32(v);
-    }
-}
-
-fn take_f32_vec(d: &mut Decoder<'_>) -> PersistResult<Vec<f32>> {
-    let len = d.take_len(4)?;
-    let mut values = Vec::with_capacity(len);
-    for _ in 0..len {
-        values.push(d.take_f32()?);
-    }
-    Ok(values)
-}
-
-fn put_selection(e: &mut Encoder, selection: WidthSelection) {
-    match selection {
-        WidthSelection::Prefix => e.put_u8(0),
-        WidthSelection::Rolling { shift } => {
-            e.put_u8(1);
-            e.put_usize(shift);
-        }
-    }
-}
-
-fn take_selection(d: &mut Decoder<'_>) -> PersistResult<WidthSelection> {
-    match d.take_u8()? {
-        0 => Ok(WidthSelection::Prefix),
-        1 => Ok(WidthSelection::Rolling {
-            shift: d.take_usize()?,
-        }),
-        tag => Err(PersistError::Malformed {
-            section: d.section,
-            detail: format!("unknown width-selection tag {tag}"),
-        }),
-    }
-}
-
-fn put_payload(e: &mut Encoder, payload: &ClientPayload) {
-    match payload {
-        ClientPayload::SubModel {
-            state,
-            selection,
-            num_blocks,
-        } => {
-            e.put_u8(0);
-            put_state_dict(e, state);
-            put_selection(e, *selection);
-            e.put_usize(*num_blocks);
-        }
-        ClientPayload::Prototypes {
-            state,
-            sums,
-            counts,
-        } => {
-            e.put_u8(1);
-            put_state_dict(e, state);
-            put_tensor(e, sums);
-            put_f32_vec(e, counts);
-        }
-        ClientPayload::PublicLogits {
-            state,
-            probs,
-            confidence,
-        } => {
-            e.put_u8(2);
-            put_state_dict(e, state);
-            put_tensor(e, probs);
-            e.put_f32(*confidence);
-        }
-        ClientPayload::Empty => e.put_u8(3),
-    }
-}
-
-fn take_payload(d: &mut Decoder<'_>) -> PersistResult<ClientPayload> {
-    match d.take_u8()? {
-        0 => Ok(ClientPayload::SubModel {
-            state: take_state_dict(d)?,
-            selection: take_selection(d)?,
-            num_blocks: d.take_usize()?,
-        }),
-        1 => Ok(ClientPayload::Prototypes {
-            state: take_state_dict(d)?,
-            sums: take_tensor(d)?,
-            counts: take_f32_vec(d)?,
-        }),
-        2 => Ok(ClientPayload::PublicLogits {
-            state: take_state_dict(d)?,
-            probs: take_tensor(d)?,
-            confidence: d.take_f32()?,
-        }),
-        3 => Ok(ClientPayload::Empty),
-        tag => Err(PersistError::Malformed {
-            section: d.section,
-            detail: format!("unknown client-payload tag {tag}"),
-        }),
-    }
-}
-
-fn put_update(e: &mut Encoder, update: &ClientUpdate) {
-    e.put_usize(update.client);
-    e.put_usize(update.num_samples);
-    e.put_f32(update.staleness_weight);
-    put_payload(e, &update.payload);
-}
-
-fn take_update(d: &mut Decoder<'_>) -> PersistResult<ClientUpdate> {
-    let client = d.take_usize()?;
-    let num_samples = d.take_usize()?;
-    let staleness_weight = d.take_f32()?;
-    let payload = take_payload(d)?;
-    Ok(ClientUpdate {
-        client,
-        num_samples,
-        payload,
-        staleness_weight,
-    })
-}
-
-fn put_stat(e: &mut Encoder, stat: &ClientRoundStat) {
-    e.put_usize(stat.client);
-    e.put_usize(stat.round);
-    e.put_f64(stat.dispatch_secs);
-    e.put_f64(stat.arrival_secs);
-    e.put_usize(stat.staleness);
-    e.put_u64(stat.payload_bytes);
-}
-
-fn take_stat(d: &mut Decoder<'_>) -> PersistResult<ClientRoundStat> {
-    Ok(ClientRoundStat {
-        client: d.take_usize()?,
-        round: d.take_usize()?,
-        dispatch_secs: d.take_f64()?,
-        arrival_secs: d.take_f64()?,
-        staleness: d.take_usize()?,
-        payload_bytes: d.take_u64()?,
-    })
-}
 
 fn put_record(e: &mut Encoder, record: &RoundRecord) {
     e.put_usize(record.round);
@@ -791,224 +270,10 @@ fn take_event(d: &mut Decoder<'_>) -> PersistResult<RoundEvent> {
             report: take_report(d)?,
         }),
         tag => Err(PersistError::Malformed {
-            section: d.section,
+            section: d.section(),
             detail: format!("unknown round-event tag {tag}"),
         }),
     }
-}
-
-fn put_schedule(e: &mut Encoder, schedule: Schedule) {
-    match schedule {
-        Schedule::Uniform => e.put_u8(0),
-        Schedule::DeadlineAware { deadline_secs } => {
-            e.put_u8(1);
-            e.put_f64(deadline_secs);
-        }
-        Schedule::FastestOfK { factor } => {
-            e.put_u8(2);
-            e.put_usize(factor);
-        }
-        Schedule::BandwidthAware { factor } => {
-            e.put_u8(3);
-            e.put_usize(factor);
-        }
-        Schedule::AvailabilityTrace {
-            period_secs,
-            online_fraction,
-        } => {
-            e.put_u8(4);
-            e.put_f64(period_secs);
-            e.put_f64(online_fraction);
-        }
-        Schedule::DiurnalTrace {
-            day_secs,
-            slot_secs,
-            peak_online,
-            trough_online,
-        } => {
-            e.put_u8(5);
-            e.put_f64(day_secs);
-            e.put_f64(slot_secs);
-            e.put_f64(peak_online);
-            e.put_f64(trough_online);
-        }
-    }
-}
-
-fn take_schedule(d: &mut Decoder<'_>) -> PersistResult<Schedule> {
-    match d.take_u8()? {
-        0 => Ok(Schedule::Uniform),
-        1 => Ok(Schedule::DeadlineAware {
-            deadline_secs: d.take_f64()?,
-        }),
-        2 => Ok(Schedule::FastestOfK {
-            factor: d.take_usize()?,
-        }),
-        3 => Ok(Schedule::BandwidthAware {
-            factor: d.take_usize()?,
-        }),
-        4 => Ok(Schedule::AvailabilityTrace {
-            period_secs: d.take_f64()?,
-            online_fraction: d.take_f64()?,
-        }),
-        5 => Ok(Schedule::DiurnalTrace {
-            day_secs: d.take_f64()?,
-            slot_secs: d.take_f64()?,
-            peak_online: d.take_f64()?,
-            trough_online: d.take_f64()?,
-        }),
-        tag => Err(PersistError::Malformed {
-            section: d.section,
-            detail: format!("unknown schedule tag {tag}"),
-        }),
-    }
-}
-
-fn put_config(e: &mut Encoder, config: &EngineConfig) {
-    e.put_usize(config.rounds);
-    e.put_f64(config.sample_ratio);
-    e.put_usize(config.eval_every);
-    e.put_usize(config.stability_clients);
-    put_schedule(e, config.schedule);
-    match config.parallelism {
-        Parallelism::Sequential => e.put_u8(0),
-        Parallelism::Threads { workers } => {
-            e.put_u8(1);
-            e.put_usize(workers);
-        }
-    }
-    match config.execution {
-        Execution::Synchronous => e.put_u8(0),
-        Execution::AsyncBuffered {
-            buffer_size,
-            concurrency,
-        } => {
-            e.put_u8(1);
-            e.put_usize(buffer_size);
-            e.put_usize(concurrency);
-        }
-    }
-    match config.staleness {
-        Staleness::Sqrt => e.put_u8(0),
-        Staleness::Polynomial { exp } => {
-            e.put_u8(1);
-            e.put_f32(exp);
-        }
-        Staleness::Hinge { cutoff } => {
-            e.put_u8(2);
-            e.put_usize(cutoff);
-        }
-    }
-    match config.max_staleness {
-        None => e.put_bool(false),
-        Some(bound) => {
-            e.put_bool(true);
-            e.put_usize(bound);
-        }
-    }
-}
-
-fn take_config(d: &mut Decoder<'_>) -> PersistResult<EngineConfig> {
-    let rounds = d.take_usize()?;
-    let sample_ratio = d.take_f64()?;
-    let eval_every = d.take_usize()?;
-    let stability_clients = d.take_usize()?;
-    let schedule = take_schedule(d)?;
-    let parallelism = match d.take_u8()? {
-        0 => Parallelism::Sequential,
-        1 => Parallelism::Threads {
-            workers: d.take_usize()?,
-        },
-        tag => {
-            return Err(PersistError::Malformed {
-                section: d.section,
-                detail: format!("unknown parallelism tag {tag}"),
-            })
-        }
-    };
-    let execution = match d.take_u8()? {
-        0 => Execution::Synchronous,
-        1 => Execution::AsyncBuffered {
-            buffer_size: d.take_usize()?,
-            concurrency: d.take_usize()?,
-        },
-        tag => {
-            return Err(PersistError::Malformed {
-                section: d.section,
-                detail: format!("unknown execution tag {tag}"),
-            })
-        }
-    };
-    let staleness = match d.take_u8()? {
-        0 => Staleness::Sqrt,
-        1 => Staleness::Polynomial { exp: d.take_f32()? },
-        2 => Staleness::Hinge {
-            cutoff: d.take_usize()?,
-        },
-        tag => {
-            return Err(PersistError::Malformed {
-                section: d.section,
-                detail: format!("unknown staleness tag {tag}"),
-            })
-        }
-    };
-    let max_staleness = if d.take_bool()? {
-        Some(d.take_usize()?)
-    } else {
-        None
-    };
-    Ok(EngineConfig {
-        rounds,
-        sample_ratio,
-        eval_every,
-        stability_clients,
-        schedule,
-        parallelism,
-        execution,
-        staleness,
-        max_staleness,
-    })
-}
-
-fn put_algorithm_state(e: &mut Encoder, state: &AlgorithmState) {
-    let (states, tensors, scalars) = state.parts();
-    e.put_usize(states.len());
-    for (name, sd) in states {
-        e.put_str(name);
-        put_state_dict(e, sd);
-    }
-    e.put_usize(tensors.len());
-    for (name, tensor) in tensors {
-        e.put_str(name);
-        put_tensor(e, tensor);
-    }
-    e.put_usize(scalars.len());
-    for (name, values) in scalars {
-        e.put_str(name);
-        put_f32_vec(e, values);
-    }
-}
-
-fn take_algorithm_state(d: &mut Decoder<'_>) -> PersistResult<AlgorithmState> {
-    let states_len = d.take_len(16)?;
-    let mut states = Vec::with_capacity(states_len);
-    for _ in 0..states_len {
-        let name = d.take_str()?;
-        states.push((name, take_state_dict(d)?));
-    }
-    let tensors_len = d.take_len(12)?;
-    let mut tensors = Vec::with_capacity(tensors_len);
-    for _ in 0..tensors_len {
-        let name = d.take_str()?;
-        tensors.push((name, take_tensor(d)?));
-    }
-    let scalars_len = d.take_len(16)?;
-    let mut scalars = Vec::with_capacity(scalars_len);
-    for _ in 0..scalars_len {
-        let name = d.take_str()?;
-        scalars.push((name, take_f32_vec(d)?));
-    }
-    Ok(AlgorithmState::from_parts(states, tensors, scalars))
 }
 
 fn put_arrival(e: &mut Encoder, arrival: &Arrival) {
@@ -1046,12 +311,6 @@ fn take_buffered(d: &mut Decoder<'_>) -> PersistResult<Buffered> {
 // ---------------------------------------------------------------------------
 // Whole-checkpoint codec
 // ---------------------------------------------------------------------------
-
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write(bytes);
-    h.finish()
-}
 
 fn encode_config_section(checkpoint: &Checkpoint) -> Vec<u8> {
     let mut e = Encoder::new();
@@ -1162,14 +421,14 @@ pub fn encode_checkpoint(checkpoint: &Checkpoint) -> Vec<u8> {
     ];
 
     let mut out = Encoder::new();
-    out.buf.extend_from_slice(&MAGIC);
+    out.put_bytes(&MAGIC);
     out.put_u32(FORMAT_VERSION);
     out.put_u64(fingerprint);
     out.put_u32(sections.len() as u32);
     for (id, payload) in sections {
         out.put_u8(id);
         out.put_usize(payload.len());
-        out.buf.extend_from_slice(payload);
+        out.put_bytes(payload);
         out.put_u64(fnv64(payload));
     }
     out.into_bytes()
@@ -1185,7 +444,7 @@ pub fn encode_checkpoint(checkpoint: &Checkpoint) -> Vec<u8> {
 /// differs from the one encoded.
 pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
     let mut frame = Decoder::new(bytes, "header");
-    let magic = frame.take(8).map_err(|_| PersistError::Truncated {
+    let magic = frame.take_bytes(8).map_err(|_| PersistError::Truncated {
         section: "header",
         needed: 8,
         remaining: bytes.len(),
@@ -1216,7 +475,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
 
     // Read the section table, verifying each checksum as it streams past.
     let mut payloads: Vec<Option<&[u8]>> = vec![None; SECTIONS.len()];
-    frame.section = "frame";
+    frame.set_section("frame");
     for _ in 0..section_count {
         let id = frame.take_u8()?;
         let Some(name) = section_name(id) else {
@@ -1225,9 +484,9 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
                 detail: format!("unknown section id {id}"),
             });
         };
-        frame.section = name;
+        frame.set_section(name);
         let len = frame.take_len(1)?;
-        let payload = frame.take(len)?;
+        let payload = frame.take_bytes(len)?;
         let stored = frame.take_u64()?;
         let computed = fnv64(payload);
         if stored != computed {
@@ -1248,7 +507,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
             });
         }
         payloads[slot] = Some(payload);
-        frame.section = "frame";
+        frame.set_section("frame");
     }
     if frame.remaining() != 0 {
         return Err(PersistError::TrailingData {
@@ -1524,181 +783,6 @@ impl Observer for CheckpointObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn primitives_round_trip() {
-        let mut e = Encoder::new();
-        e.put_u8(7);
-        e.put_u32(0xDEAD_BEEF);
-        e.put_u64(u64::MAX - 3);
-        e.put_usize(42);
-        e.put_bool(true);
-        e.put_bool(false);
-        e.put_f32(-0.0);
-        e.put_f64(f64::NAN);
-        e.put_str("héllo");
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes, "test");
-        assert_eq!(d.take_u8().unwrap(), 7);
-        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
-        assert_eq!(d.take_u64().unwrap(), u64::MAX - 3);
-        assert_eq!(d.take_usize().unwrap(), 42);
-        assert!(d.take_bool().unwrap());
-        assert!(!d.take_bool().unwrap());
-        // Exact bit patterns survive, including -0.0 and NaN.
-        assert_eq!(d.take_f32().unwrap().to_bits(), (-0.0f32).to_bits());
-        assert_eq!(d.take_f64().unwrap().to_bits(), f64::NAN.to_bits());
-        assert_eq!(d.take_str().unwrap(), "héllo");
-        d.finish().unwrap();
-    }
-
-    #[test]
-    fn decoder_overruns_are_typed_truncations() {
-        let mut d = Decoder::new(&[1, 2], "t");
-        assert!(matches!(
-            d.take_u64(),
-            Err(PersistError::Truncated {
-                section: "t",
-                needed: 8,
-                remaining: 2
-            })
-        ));
-        // A huge declared length cannot force an allocation.
-        let mut e = Encoder::new();
-        e.put_u64(u64::MAX / 2);
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes, "t");
-        assert!(matches!(d.take_len(4), Err(PersistError::Truncated { .. })));
-    }
-
-    #[test]
-    fn huge_declared_tensor_extent_is_a_typed_truncation_not_an_overflow_panic() {
-        // A rank-1 tensor claiming 2^62 elements: the element count itself
-        // fits a usize, but the byte count (×4) overflows — both the guard
-        // and the error construction must saturate instead of panicking.
-        let mut e = Encoder::new();
-        e.put_u32(1);
-        e.put_u64(1u64 << 62);
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes, "t");
-        assert!(matches!(
-            take_tensor(&mut d),
-            Err(PersistError::Truncated { .. })
-        ));
-    }
-
-    #[test]
-    fn invalid_bools_and_strings_are_malformed() {
-        let mut d = Decoder::new(&[2], "t");
-        assert!(matches!(
-            d.take_bool(),
-            Err(PersistError::Malformed { section: "t", .. })
-        ));
-        let mut e = Encoder::new();
-        e.put_usize(2);
-        e.put_u8(0xFF);
-        e.put_u8(0xFE);
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes, "t");
-        assert!(matches!(d.take_str(), Err(PersistError::Malformed { .. })));
-    }
-
-    #[test]
-    fn tensors_and_state_dicts_round_trip_bit_exactly() {
-        let t = Tensor::from_vec(vec![1.5, -0.0, f32::MIN_POSITIVE, 3.25e-20], &[2, 2]).unwrap();
-        let mut e = Encoder::new();
-        put_tensor(&mut e, &t);
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes, "t");
-        let back = take_tensor(&mut d).unwrap();
-        assert_eq!(back.dims(), t.dims());
-        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
-            assert_eq!(a.to_bits(), b.to_bits());
-        }
-
-        let mut sd = StateDict::new();
-        sd.insert("w", t.clone());
-        sd.insert("b", Tensor::zeros(&[3]));
-        let mut e = Encoder::new();
-        put_state_dict(&mut e, &sd);
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes, "t");
-        assert_eq!(take_state_dict(&mut d).unwrap(), sd);
-        d.finish().unwrap();
-    }
-
-    #[test]
-    fn payload_variants_round_trip() {
-        let mut sd = StateDict::new();
-        sd.insert("x", Tensor::ones(&[2]));
-        let payloads = [
-            ClientPayload::SubModel {
-                state: sd.clone(),
-                selection: WidthSelection::Rolling { shift: 9 },
-                num_blocks: 4,
-            },
-            ClientPayload::Prototypes {
-                state: sd.clone(),
-                sums: Tensor::ones(&[2, 3]),
-                counts: vec![1.0, 0.0],
-            },
-            ClientPayload::PublicLogits {
-                state: sd,
-                probs: Tensor::full(&[2, 2], 0.25),
-                confidence: 0.75,
-            },
-            ClientPayload::Empty,
-        ];
-        for payload in payloads {
-            let mut e = Encoder::new();
-            put_payload(&mut e, &payload);
-            let bytes = e.into_bytes();
-            let mut d = Decoder::new(&bytes, "t");
-            let back = take_payload(&mut d).unwrap();
-            d.finish().unwrap();
-            assert_eq!(back.kind(), payload.kind());
-            assert_eq!(back.payload_bytes(), payload.payload_bytes());
-        }
-    }
-
-    #[test]
-    fn engine_configs_round_trip_through_all_variants() {
-        let configs = [
-            EngineConfig::default(),
-            EngineConfig {
-                rounds: 1000,
-                sample_ratio: 0.25,
-                eval_every: 7,
-                stability_clients: 3,
-                schedule: Schedule::DiurnalTrace {
-                    day_secs: 86_400.0,
-                    slot_secs: 60.0,
-                    peak_online: 0.9,
-                    trough_online: 0.1,
-                },
-                parallelism: Parallelism::Threads { workers: 8 },
-                execution: Execution::AsyncBuffered {
-                    buffer_size: 16,
-                    concurrency: 64,
-                },
-                staleness: Staleness::Hinge { cutoff: 5 },
-                max_staleness: Some(12),
-            },
-            EngineConfig {
-                schedule: Schedule::BandwidthAware { factor: 3 },
-                staleness: Staleness::Polynomial { exp: 1.5 },
-                ..EngineConfig::default()
-            },
-        ];
-        for config in configs {
-            let mut e = Encoder::new();
-            put_config(&mut e, &config);
-            let bytes = e.into_bytes();
-            let mut d = Decoder::new(&bytes, "t");
-            assert_eq!(take_config(&mut d).unwrap(), config);
-            d.finish().unwrap();
-        }
-    }
 
     #[test]
     fn checkpoint_observer_requests_on_cadence_and_completion() {

@@ -39,7 +39,7 @@ use mhfl_tensor::{RngState, SeededRng};
 use serde::{Deserialize, Serialize};
 
 use crate::observer::Observer;
-use crate::parallel::run_clients;
+use crate::parallel::{ClientRunner, InProcessRunner};
 use crate::{
     AlgorithmState, ClientRoundStat, ClientScheduler, ClientUpdate, EngineConfig, Execution,
     FederationContext, FlAlgorithm, FlEngine, FlError, FlResult, MetricsReport, RoundRecord,
@@ -387,6 +387,7 @@ pub struct Session<'a> {
     pending_stats: Vec<ClientRoundStat>,
     idle_advances: usize,
     queue: VecDeque<RoundEvent>,
+    runner: Box<dyn ClientRunner + 'a>,
     _workers: KernelWorkersGuard,
 }
 
@@ -430,6 +431,7 @@ impl<'a> Session<'a> {
             pending_stats: Vec::new(),
             idle_advances: 0,
             queue: VecDeque::new(),
+            runner: Box::new(InProcessRunner),
             _workers: workers,
         })
     }
@@ -473,6 +475,21 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn with_observer(mut self, observer: Box<dyn Observer + 'a>) -> Self {
         self.observe(observer);
+        self
+    }
+
+    /// Replaces the executor for the client phase (default:
+    /// [`InProcessRunner`]). A runner that honours the selection-order
+    /// contract of [`ClientRunner`] leaves every digest unchanged — only
+    /// *where* the client updates are computed moves.
+    pub fn set_client_runner(&mut self, runner: Box<dyn ClientRunner + 'a>) {
+        self.runner = runner;
+    }
+
+    /// Builder-style [`set_client_runner`](Session::set_client_runner).
+    #[must_use]
+    pub fn with_client_runner(mut self, runner: Box<dyn ClientRunner + 'a>) -> Self {
+        self.set_client_runner(runner);
         self
     }
 
@@ -660,6 +677,7 @@ impl<'a> Session<'a> {
             pending_stats: checkpoint.pending_stats.clone(),
             idle_advances: checkpoint.idle_advances,
             queue: checkpoint.queue.iter().cloned().collect(),
+            runner: Box::new(InProcessRunner),
             algorithm,
             ctx,
             _workers: workers,
@@ -763,7 +781,7 @@ impl<'a> Session<'a> {
             round,
             sim_time_secs: self.sim_time,
         });
-        let updates = run_clients(
+        let updates = self.runner.run_clients(
             &*self.algorithm,
             round,
             &plan.clients,
@@ -831,7 +849,7 @@ impl<'a> Session<'a> {
         }
         // Clients dispatched at version `v` train on the state produced by
         // the v-th aggregation, i.e. they run "round" v + 1.
-        let updates = run_clients(
+        let updates = self.runner.run_clients(
             &*self.algorithm,
             self.version + 1,
             &picked,

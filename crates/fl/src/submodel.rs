@@ -1055,6 +1055,65 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_eviction_holds_the_cap_and_rebuilds_transparently() {
+        // FedRolex mints a fresh rolling shift every round, so a long run
+        // streams distinct keys through the cache; the cap must hold and an
+        // evicted plan must come back bit-identical when re-requested.
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let client_specs = ProxyModel::new(cifar_cfg().with_width(0.5))
+            .unwrap()
+            .param_specs();
+        let cache = PlanCache::new();
+        let reference = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
+            .unwrap();
+        let reference_sub = reference.extract(&global.state_dict()).unwrap();
+
+        // Stream well past the cap. The policy is clear-at-cap: the insert
+        // that would make the map exceed PLAN_CACHE_CAP wipes it first, so
+        // occupancy is deterministic in the number of distinct inserts.
+        let rounds = 3 * PLAN_CACHE_CAP + 7;
+        for shift in 0..rounds {
+            cache
+                .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift })
+                .unwrap();
+            assert!(
+                cache.len() <= PLAN_CACHE_CAP,
+                "cache grew past the cap at shift {shift}: {}",
+                cache.len()
+            );
+            assert_eq!(
+                cache.len(),
+                shift % PLAN_CACHE_CAP + 1,
+                "clear-at-cap occupancy must be deterministic (shift {shift})"
+            );
+        }
+
+        // shift 0 was evicted by the first wipe: re-requesting it must
+        // transparently rebuild a distinct Arc with identical behaviour.
+        let len_before = cache.len();
+        let rebuilt = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&reference, &rebuilt),
+            "shift 0 should have been evicted and rebuilt, not retained"
+        );
+        assert_eq!(cache.len(), len_before + 1, "the rebuild is re-cached");
+        assert_eq!(
+            rebuilt.extract(&global.state_dict()).unwrap(),
+            reference_sub,
+            "a rebuilt plan must extract the exact same sub-model"
+        );
+        // And the rebuilt slot serves hits again.
+        let hit = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
+            .unwrap();
+        assert!(Arc::ptr_eq(&rebuilt, &hit));
+    }
+
+    #[test]
     fn weighted_aggregation_respects_weights() {
         let global = ProxyModel::new(cifar_cfg()).unwrap();
         let specs = global.param_specs();

@@ -1,0 +1,61 @@
+//! `mhfl-worker` — one client-phase worker of a distributed run.
+//!
+//! Rebuilds the federation context from the same spec flags the server was
+//! launched with (the handshake fingerprint rejects any mismatch), then
+//! computes whatever client shards the server dispatches until shutdown.
+//!
+//! ```bash
+//! mhfl-worker --connect tcp:127.0.0.1:4400 \
+//!     --task uci_har --method shetero_fl --constraint memory \
+//!     --scale quick --seed 42
+//! ```
+//!
+//! `--die-after <n>` is the chaos hook used by the kill-mid-round smoke:
+//! the worker drops its connection after sending n updates, like a crash.
+
+use std::time::Duration;
+
+use mhfl_net::cli::{arg_value, parse_spec};
+use mhfl_net::{run_worker, Endpoint, WorkerOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let endpoint = arg_value(&args, "--connect").unwrap_or_else(|| fail("--connect is required"));
+    let endpoint = Endpoint::parse(&endpoint).unwrap_or_else(|e| fail(&e.to_string()));
+    let spec = parse_spec(&args).unwrap_or_else(|e| fail(&e.to_string()));
+
+    let mut options = WorkerOptions {
+        name: arg_value(&args, "--name").unwrap_or_else(|| format!("pid{}", std::process::id())),
+        ..WorkerOptions::default()
+    };
+    if let Some(ms) = arg_value(&args, "--heartbeat-ms") {
+        let ms: u64 = ms
+            .parse()
+            .unwrap_or_else(|_| fail("--heartbeat-ms expects milliseconds"));
+        options.heartbeat = Duration::from_millis(ms);
+    }
+    if let Some(n) = arg_value(&args, "--die-after") {
+        options.die_after_updates = Some(
+            n.parse()
+                .unwrap_or_else(|_| fail("--die-after expects a count")),
+        );
+    }
+
+    let name = options.name.clone();
+    let report = run_worker(&endpoint, &spec, options).unwrap_or_else(|e| fail(&e.to_string()));
+    eprintln!(
+        "mhfl-worker {name}: served {} dispatch(es), sent {} update(s){}",
+        report.dispatches,
+        report.updates_sent,
+        if report.died {
+            " before simulated crash"
+        } else {
+            ""
+        }
+    );
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("mhfl-worker: {message}");
+    std::process::exit(1);
+}

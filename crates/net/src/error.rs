@@ -1,0 +1,114 @@
+//! Typed errors for the distributed layer.
+
+use std::fmt;
+
+use mhfl_fl::{FlError, PersistError};
+
+/// Crate-wide result alias.
+pub type NetResult<T> = std::result::Result<T, NetError>;
+
+/// Everything that can go wrong between a server and its workers. Every
+/// variant is a recoverable, reportable condition — corrupt or foreign
+/// bytes, dead peers and protocol violations all surface here, never as a
+/// panic.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed (includes read timeouts, which the server
+    /// treats as missed heartbeats).
+    Io {
+        /// What was being attempted (`"connect"`, `"read frame"`, ...).
+        op: &'static str,
+        /// The underlying I/O error.
+        detail: String,
+    },
+    /// A frame failed wire-level validation: bad magic, unsupported wire
+    /// version, checksum mismatch, truncation or a malformed payload.
+    Codec(PersistError),
+    /// The peer sent a well-formed frame the protocol does not allow here
+    /// (wrong message kind, wrong round, wrong client).
+    Protocol {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// Server and worker were launched with different experiment setups:
+    /// their spec fingerprints disagree, so their contexts would diverge.
+    HandshakeMismatch {
+        /// The fingerprint this side computed.
+        ours: u64,
+        /// The fingerprint the peer reported.
+        theirs: u64,
+    },
+    /// Every worker died while client work was still outstanding; there is
+    /// nobody left to requeue onto.
+    NoWorkers {
+        /// How many clients were still pending.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { op, detail } => write!(f, "i/o failure during {op}: {detail}"),
+            NetError::Codec(e) => write!(f, "wire codec error: {e}"),
+            NetError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            NetError::HandshakeMismatch { ours, theirs } => write!(
+                f,
+                "experiment setup mismatch: server fingerprint {ours:#018x}, \
+                 worker fingerprint {theirs:#018x} — both sides must be \
+                 launched with the same spec"
+            ),
+            NetError::NoWorkers { pending } => write!(
+                f,
+                "all workers are gone with {pending} client update(s) still \
+                 pending; nothing left to reschedule onto"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for NetError {
+    fn from(e: PersistError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+impl From<NetError> for FlError {
+    fn from(e: NetError) -> Self {
+        FlError::Remote(e.to_string())
+    }
+}
+
+/// Shorthand for wrapping a [`std::io::Error`].
+pub(crate) fn io_err(op: &'static str, e: std::io::Error) -> NetError {
+    NetError::Io {
+        op,
+        detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_errors_surface_as_typed_fl_errors() {
+        let e: FlError = NetError::NoWorkers { pending: 3 }.into();
+        match e {
+            FlError::Remote(msg) => assert!(msg.contains("3 client")),
+            other => panic!("expected FlError::Remote, got {other:?}"),
+        }
+        let e: NetError = PersistError::TrailingData { bytes: 9 }.into();
+        assert!(e.to_string().contains("wire codec"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! # mhfl-net
+//!
+//! Sharded multi-process execution for the PracMHBench engine: a server that
+//! owns the deterministic [`Session`](mhfl_fl::Session) round loop and N
+//! worker processes that compute [`ClientUpdate`](mhfl_fl::ClientUpdate)s,
+//! speaking length-prefixed, FNV-1a-checksummed, versioned frames
+//! (the shared [`mhfl_fl::wire`] codec) over TCP or Unix sockets — `std`
+//! only, no external networking deps.
+//!
+//! ## Topology
+//!
+//! ```text
+//!                    ┌────────────────────────────┐
+//!                    │  mhfl-server               │
+//!                    │  FlEngine / Session        │
+//!                    │  scheduler · clock · agg   │
+//!                    │  RemoteRunner (sharding)   │
+//!                    └──┬──────────┬──────────┬───┘
+//!             Dispatch  │          │          │   UpdateReady / Heartbeat
+//!        (round, shard, ▼          ▼          ▼
+//!         state once/round)   tcp: or unix: sockets
+//!                    ┌──────┐  ┌──────┐   ┌──────┐
+//!                    │worker│  │worker│ … │worker│   mhfl-worker
+//!                    │  0   │  │  1   │   │ N-1  │   client_update only
+//!                    └──────┘  └──────┘   └──────┘
+//! ```
+//!
+//! The server keeps every piece of round-loop state — scheduling, the
+//! simulated clock, aggregation order, evaluation — exactly where the
+//! single-process engine keeps it, and swaps only the *executor* of the
+//! client phase: a [`RemoteRunner`] plugged into
+//! [`Session::set_client_runner`](mhfl_fl::Session::set_client_runner)
+//! shards each round's selection across the live workers and reassembles the
+//! updates **in selection order**. Because every
+//! [`ClientUpdate`](mhfl_fl::ClientUpdate) is a pure function of
+//! `(algorithm state, round, client, ctx)` and the state ships to workers
+//! through the same snapshot/restore codec the checkpoint suite proves
+//! bit-exact, a distributed run's
+//! [`MetricsReport::digest`](mhfl_fl::MetricsReport::digest) is **bitwise
+//! identical** to the single-process reference — for 1, 2, or N workers,
+//! and even when workers die mid-round (their unfinished clients are
+//! redispatched to survivors, recomputing the same bits).
+//!
+//! ## Failure semantics
+//!
+//! * Worker death (connection drop, I/O error, or missed heartbeats past
+//!   the read timeout) never loses an update: the dead worker's unreturned
+//!   clients are requeued to the survivors in the next dispatch wave.
+//! * Every protocol violation and transport failure is a typed [`NetError`],
+//!   surfaced to the engine as
+//!   [`FlError::Remote`](mhfl_fl::FlError) — never a panic.
+//! * If every worker is gone mid-round, the run fails with
+//!   [`NetError::NoWorkers`] instead of hanging.
+//!
+//! Entry points: [`distributed::run_server`] / [`distributed::run_worker`]
+//! for whole runs, [`RemoteRunner`] + [`WorkerPool`] / [`serve`] for custom
+//! drivers, and the `mhfl-server` / `mhfl-worker` binaries for the command
+//! line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod distributed;
+mod error;
+mod message;
+mod server;
+mod transport;
+mod worker;
+
+pub use distributed::{run_server, run_server_with_timeout, run_worker, ServerOutcome};
+pub use error::{NetError, NetResult};
+pub use message::{read_message, write_message, Message, PROTOCOL_VERSION};
+pub use server::{RemoteRunner, WorkerPool, WorkerStats, DEFAULT_READ_TIMEOUT};
+pub use transport::{Conn, Endpoint, Listener};
+pub use worker::{serve, WorkerOptions, WorkerReport};

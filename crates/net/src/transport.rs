@@ -1,0 +1,300 @@
+//! TCP / Unix-socket transport, `std` only.
+//!
+//! Endpoints are written `tcp:HOST:PORT` or `unix:/path/to.sock` (a bare
+//! `HOST:PORT` means TCP). Binding `tcp:127.0.0.1:0` picks an ephemeral
+//! port; [`Listener::local_endpoint`] reports the real one so tests and
+//! examples never race over fixed ports.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::error::{io_err, NetError, NetResult};
+
+/// Where a server listens / a worker connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:4400`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp:ADDR`, `unix:PATH`, or a bare `ADDR` (TCP).
+    ///
+    /// # Errors
+    /// Returns [`NetError::Protocol`] on an empty address.
+    pub fn parse(s: &str) -> NetResult<Endpoint> {
+        let endpoint = if let Some(path) = s.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else {
+            Endpoint::Tcp(s.strip_prefix("tcp:").unwrap_or(s).to_string())
+        };
+        let empty = match &endpoint {
+            Endpoint::Tcp(addr) => addr.is_empty(),
+            Endpoint::Unix(path) => path.as_os_str().is_empty(),
+        };
+        if empty {
+            return Err(NetError::Protocol {
+                detail: format!("empty endpoint in {s:?}"),
+            });
+        }
+        Ok(endpoint)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A bound server socket.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener (the path is unlinked first so a stale socket
+    /// file from a crashed run cannot block rebinding).
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds the endpoint.
+    ///
+    /// # Errors
+    /// Returns [`NetError::Io`] if binding fails.
+    pub fn bind(endpoint: &Endpoint) -> NetResult<Listener> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(
+                TcpListener::bind(addr).map_err(|e| io_err("bind", e))?,
+            )),
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(
+                    UnixListener::bind(path).map_err(|e| io_err("bind", e))?,
+                ))
+            }
+        }
+    }
+
+    /// The endpoint actually bound — resolves an ephemeral TCP port 0 to
+    /// the real port.
+    ///
+    /// # Errors
+    /// Returns [`NetError::Io`] if the local address cannot be read.
+    pub fn local_endpoint(&self) -> NetResult<Endpoint> {
+        match self {
+            Listener::Tcp(l) => {
+                let addr = l.local_addr().map_err(|e| io_err("local_addr", e))?;
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            Listener::Unix(l) => {
+                let addr = l.local_addr().map_err(|e| io_err("local_addr", e))?;
+                Ok(Endpoint::Unix(
+                    addr.as_pathname()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("<unnamed>")),
+                ))
+            }
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    /// Returns [`NetError::Io`] if accepting fails.
+    pub fn accept(&self) -> NetResult<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept().map_err(|e| io_err("accept", e))?;
+                stream.set_nodelay(true).map_err(|e| io_err("accept", e))?;
+                Ok(Conn::Tcp(stream))
+            }
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept().map_err(|e| io_err("accept", e))?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One established connection, readable and writable.
+#[derive(Debug)]
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to the endpoint once.
+    ///
+    /// # Errors
+    /// Returns [`NetError::Io`] if the connection is refused or fails.
+    pub fn connect(endpoint: &Endpoint) -> NetResult<Conn> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+                stream.set_nodelay(true).map_err(|e| io_err("connect", e))?;
+                Ok(Conn::Tcp(stream))
+            }
+            Endpoint::Unix(path) => Ok(Conn::Unix(
+                UnixStream::connect(path).map_err(|e| io_err("connect", e))?,
+            )),
+        }
+    }
+
+    /// Connects, retrying every 50 ms until `deadline` has elapsed — for
+    /// workers racing a server that is still binding its socket.
+    ///
+    /// # Errors
+    /// Returns the last connection error once the deadline passes.
+    pub fn connect_within(endpoint: &Endpoint, deadline: Duration) -> NetResult<Conn> {
+        let start = Instant::now();
+        loop {
+            match Conn::connect(endpoint) {
+                Ok(conn) => return Ok(conn),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Clones the connection handle (shared underlying socket) so one side
+    /// can read while another thread writes.
+    ///
+    /// # Errors
+    /// Returns [`NetError::Io`] if the OS refuses the duplication.
+    pub fn try_clone(&self) -> NetResult<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone().map_err(|e| io_err("clone", e))?)),
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone().map_err(|e| io_err("clone", e))?)),
+        }
+    }
+
+    /// Sets (or clears) the read timeout. The server uses this as its
+    /// missed-heartbeat detector: a worker that neither computes nor
+    /// heartbeats within the window counts as dead.
+    ///
+    /// # Errors
+    /// Returns [`NetError::Io`] if the socket option cannot be set.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> NetResult<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+        .map_err(|e| io_err("set timeout", e))
+    }
+
+    /// Shuts down both directions — the "crash" used by chaos hooks.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{read_message, write_message, Message};
+
+    #[test]
+    fn endpoint_parsing_and_display_round_trip() {
+        let tcp = Endpoint::parse("tcp:127.0.0.1:4400").unwrap();
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:4400".into()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:4400");
+        let bare = Endpoint::parse("127.0.0.1:4400").unwrap();
+        assert_eq!(bare, tcp);
+        let unix = Endpoint::parse("unix:/tmp/mhfl.sock").unwrap();
+        assert_eq!(unix, Endpoint::Unix(PathBuf::from("/tmp/mhfl.sock")));
+        assert_eq!(unix.to_string(), "unix:/tmp/mhfl.sock");
+        assert!(Endpoint::parse("tcp:").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn tcp_and_unix_sockets_carry_frames() {
+        let dir = std::env::temp_dir().join("mhfl_net_transport_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let endpoints = [
+            Endpoint::Tcp("127.0.0.1:0".into()),
+            Endpoint::Unix(dir.join("t.sock")),
+        ];
+        for endpoint in endpoints {
+            let listener = Listener::bind(&endpoint).unwrap();
+            let actual = listener.local_endpoint().unwrap();
+            let client = std::thread::spawn(move || {
+                let mut conn = Conn::connect_within(&actual, Duration::from_secs(5)).unwrap();
+                write_message(&mut conn, &Message::Heartbeat { seq: 42 }).unwrap();
+                assert!(matches!(
+                    read_message(&mut conn).unwrap(),
+                    Message::Shutdown
+                ));
+            });
+            let mut server_side = listener.accept().unwrap();
+            assert!(matches!(
+                read_message(&mut server_side).unwrap(),
+                Message::Heartbeat { seq: 42 }
+            ));
+            write_message(&mut server_side, &Message::Shutdown).unwrap();
+            client.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn read_timeout_surfaces_as_typed_io_error() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let actual = listener.local_endpoint().unwrap();
+        let silent = std::thread::spawn(move || {
+            let conn = Conn::connect_within(&actual, Duration::from_secs(5)).unwrap();
+            // Hold the connection open without sending anything.
+            std::thread::sleep(Duration::from_millis(400));
+            drop(conn);
+        });
+        let mut server_side = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        match read_message(&mut server_side) {
+            Err(NetError::Io { op, .. }) => assert_eq!(op, "read frame header"),
+            other => panic!("expected a timeout I/O error, got {other:?}"),
+        }
+        silent.join().unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Distributed-execution correctness: a server plus real socket-connected
+//! workers must reproduce the single-process engine **bit for bit**.
+//!
+//! The engine makes this checkable in a way most distributed systems can
+//! only dream of: every `ClientUpdate` is a pure function of
+//! `(algorithm state, round, client, ctx)` and the `RemoteRunner`
+//! reassembles updates in selection order, so the full
+//! `MetricsReport::digest()` of a distributed run — across any number of
+//! workers, and across worker deaths mid-round — must equal the
+//! single-process reference exactly. These tests run workers as in-process
+//! threads over real localhost TCP sockets, exercising the same frames,
+//! handshakes, heartbeats and requeue paths as separate processes would.
+
+use std::time::Duration;
+
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_fl::{Execution, FlError};
+use mhfl_models::MhflMethod;
+use mhfl_net::{
+    run_server_with_timeout, run_worker, Endpoint, Listener, ServerOutcome, WorkerOptions,
+};
+use pracmhbench_core::{ExperimentSpec, RunScale};
+
+const FAMILIES: [MhflMethod; 5] = [
+    MhflMethod::SHeteroFl,
+    MhflMethod::DepthFl,
+    MhflMethod::FedProto,
+    MhflMethod::FedEt,
+    MhflMethod::HomogeneousSmallest,
+];
+
+fn spec(method: MhflMethod) -> ExperimentSpec {
+    ExperimentSpec::new(DataTask::UciHar, method, ConstraintCase::Memory)
+        .with_scale(RunScale::Quick)
+        .with_seed(42)
+}
+
+/// Runs the spec distributed: the server in this thread, each worker in its
+/// own thread connected over a real localhost TCP socket.
+fn run_distributed(
+    spec: ExperimentSpec,
+    workers: Vec<WorkerOptions>,
+) -> Result<ServerOutcome, FlError> {
+    let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    let handles: Vec<_> = workers
+        .into_iter()
+        .map(|options| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || run_worker(&endpoint, &spec, options))
+        })
+        .collect();
+    let count = handles.len();
+    // A short heartbeat window keeps the worker-death tests fast without
+    // risking flakes: live workers heartbeat every 100 ms.
+    let outcome = run_server_with_timeout(&listener, count, &spec, Duration::from_secs(5));
+    for handle in handles {
+        // Worker-side errors are part of what individual tests assert via
+        // the server outcome; a panicked worker thread is always a bug.
+        let _ = handle.join().expect("worker thread must not panic");
+    }
+    outcome
+}
+
+fn worker(name: &str) -> WorkerOptions {
+    WorkerOptions {
+        name: name.into(),
+        heartbeat: Duration::from_millis(100),
+        die_after_updates: None,
+    }
+}
+
+#[test]
+fn two_workers_match_single_process_digest_for_every_family() {
+    for method in FAMILIES {
+        let spec = spec(method);
+        let reference = spec.run().expect("single-process run").report;
+        let outcome = run_distributed(spec, vec![worker("alpha"), worker("beta")])
+            .unwrap_or_else(|e| panic!("distributed {method:?} failed: {e}"));
+        assert_eq!(
+            outcome.report.digest(),
+            reference.digest(),
+            "{method:?}: distributed digest diverged from single process"
+        );
+        let completed: usize = outcome.workers.iter().map(|w| w.completed).sum();
+        assert!(
+            outcome.workers.iter().all(|w| w.completed > 0),
+            "{method:?}: both workers should have computed updates"
+        );
+        assert!(completed > 0);
+    }
+}
+
+#[test]
+fn three_workers_and_one_worker_agree_with_each_other() {
+    let spec = spec(MhflMethod::SHeteroFl);
+    let reference = spec.run().expect("single-process run").report.digest();
+    let one = run_distributed(spec, vec![worker("solo")]).expect("1-worker run");
+    let three =
+        run_distributed(spec, vec![worker("a"), worker("b"), worker("c")]).expect("3-worker run");
+    assert_eq!(one.report.digest(), reference);
+    assert_eq!(three.report.digest(), reference);
+}
+
+#[test]
+fn asynchronous_execution_is_digest_identical_distributed() {
+    let spec = spec(MhflMethod::FedProto).with_execution(Execution::async_buffered(2));
+    let reference = spec.run().expect("single-process async run").report;
+    let outcome = run_distributed(spec, vec![worker("alpha"), worker("beta")])
+        .expect("distributed async run");
+    assert_eq!(outcome.report.digest(), reference.digest());
+}
+
+#[test]
+fn killed_worker_mid_round_requeues_to_survivor_and_digest_holds() {
+    // 8 clients at 50% sampling → 4 selected per round → shards of 2 per
+    // worker, so dying after 1 update is a genuine mid-shard crash with
+    // work left to requeue.
+    let spec = spec(MhflMethod::SHeteroFl).with_num_clients(8);
+    let reference = spec.run().expect("single-process run").report;
+    let chaos = WorkerOptions {
+        die_after_updates: Some(1),
+        ..worker("doomed")
+    };
+    let outcome = run_distributed(spec, vec![chaos, worker("survivor")])
+        .expect("run must survive one worker death");
+    assert_eq!(
+        outcome.report.digest(),
+        reference.digest(),
+        "requeued-after-death digest diverged from single process"
+    );
+    let dead: Vec<_> = outcome.workers.iter().filter(|w| w.dead).collect();
+    assert_eq!(dead.len(), 1, "exactly one worker should be marked dead");
+    assert_eq!(dead[0].name, "doomed");
+    let survivor = outcome
+        .workers
+        .iter()
+        .find(|w| w.name == "survivor")
+        .expect("survivor stats");
+    assert!(
+        survivor.completed > survivor.dispatched / 2,
+        "survivor should have absorbed requeued work"
+    );
+}
+
+#[test]
+fn losing_every_worker_is_a_typed_error_not_a_hang_or_panic() {
+    let spec = spec(MhflMethod::SHeteroFl).with_num_clients(8);
+    let chaos = WorkerOptions {
+        die_after_updates: Some(1),
+        ..worker("only")
+    };
+    match run_distributed(spec, vec![chaos]) {
+        Err(FlError::Remote(msg)) => {
+            assert!(
+                msg.contains("workers are gone"),
+                "expected the no-workers message, got: {msg}"
+            );
+        }
+        Ok(_) => panic!("a run with zero surviving workers must fail"),
+        Err(other) => panic!("expected FlError::Remote, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_specs_are_rejected_at_handshake() {
+    let server_spec = spec(MhflMethod::SHeteroFl);
+    let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    let handle = std::thread::spawn(move || {
+        // Same method, different seed: a silently diverging replica if the
+        // handshake let it through.
+        let worker_spec = spec(MhflMethod::SHeteroFl).with_seed(43);
+        run_worker(&endpoint, &worker_spec, worker("drifted"))
+    });
+    let outcome = run_server_with_timeout(&listener, 1, &server_spec, Duration::from_secs(5));
+    match outcome {
+        Err(FlError::Remote(msg)) => assert!(
+            msg.contains("fingerprint"),
+            "expected a fingerprint mismatch, got: {msg}"
+        ),
+        other => panic!("expected a handshake rejection, got {other:?}"),
+    }
+    assert!(
+        handle.join().expect("worker thread").is_err(),
+        "the drifted worker must also see the rejection"
+    );
+}
