@@ -59,7 +59,7 @@ impl FlAlgorithm for SmallestHomogeneous {
 
     fn setup(&mut self, ctx: &FederationContext) -> FlResult<()> {
         let smallest = ctx.smallest_assignment();
-        let task = ctx.data().task();
+        let task = ctx.task();
         let cfg = ProxyConfig::for_family(
             smallest.entry.choice.family,
             task.input_kind(),
@@ -88,8 +88,8 @@ impl FlAlgorithm for SmallestHomogeneous {
         // The snapshot covers every parameter: skip the thrown-away random
         // initialisation entirely.
         let mut model = ProxyModel::from_state(cfg, &self.global_sd)?;
-        let data = ctx.data().client(client);
-        local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+        let data = ctx.client_shard(client);
+        local_train_ce(&mut model, &data, ctx.train_config(), &mut rng)?;
         Ok(ClientUpdate::new(
             client,
             data.len(),

@@ -11,7 +11,7 @@ pub fn client_proxy_config(
     client: usize,
     method: MhflMethod,
 ) -> ProxyConfig {
-    let task = ctx.data().task();
+    let task = ctx.task();
     let assignment = ctx.assignment(client);
     let with_aux = matches!(method, MhflMethod::DepthFl);
     ProxyConfig::for_family(
@@ -28,12 +28,8 @@ pub fn client_proxy_config(
 /// Builds the configuration of the server's full-size global model: the
 /// largest family appearing in the assignments, at full width and depth.
 pub fn global_proxy_config(ctx: &FederationContext, method: MhflMethod) -> ProxyConfig {
-    let task = ctx.data().task();
-    let largest = ctx
-        .assignments()
-        .iter()
-        .max_by_key(|a| a.entry.stats.params)
-        .expect("context has at least one client");
+    let task = ctx.task();
+    let largest = ctx.largest_assignment();
     let with_aux = matches!(method, MhflMethod::DepthFl);
     ProxyConfig::for_family(
         largest.entry.choice.family,

@@ -227,13 +227,13 @@ impl FlAlgorithm for DepthAlgorithm {
             WidthSelection::Prefix,
         )?;
         model.load_state_dict(&plan.extract(&self.global_sd)?)?;
-        let data = ctx.data().client(client);
+        let data = ctx.client_shard(client);
         match self.method {
             MhflMethod::DepthFl => {
-                Self::local_train_depthfl(&mut model, data, ctx.train_config(), &mut rng)?;
+                Self::local_train_depthfl(&mut model, &data, ctx.train_config(), &mut rng)?;
             }
             _ => {
-                mhfl_fl::train::local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+                mhfl_fl::train::local_train_ce(&mut model, &data, ctx.train_config(), &mut rng)?;
             }
         }
         Ok(ClientUpdate::new(

@@ -59,7 +59,7 @@ impl FedEt {
     }
 
     fn client_config(ctx: &FederationContext, client: usize) -> ProxyConfig {
-        let task = ctx.data().task();
+        let task = ctx.task();
         let assignment = ctx.assignment(client);
         ProxyConfig::for_family(
             assignment.entry.choice.family,
@@ -125,7 +125,7 @@ impl FlAlgorithm for FedEt {
     }
 
     fn setup(&mut self, ctx: &FederationContext) -> FlResult<()> {
-        self.num_classes = ctx.data().task().num_classes();
+        self.num_classes = ctx.task().num_classes();
         let server = ProxyModel::new(crate::common::global_proxy_config(ctx, MhflMethod::FedEt))?;
         self.server_model = Some(server);
         Ok(())
@@ -140,7 +140,7 @@ impl FlAlgorithm for FedEt {
         self.require_setup()?;
         // Borrow the shared public inputs — cloning them per client would
         // multiply the round's allocation cost by the participation count.
-        let public_inputs = ctx.data().public().inputs();
+        let public_inputs = ctx.public_set().inputs();
         let cfg = *ctx.train_config();
         let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
         let mut model = self.build_client_model(ctx, client)?;
@@ -156,8 +156,8 @@ impl FlAlgorithm for FedEt {
             )?;
         }
         // Local supervised training.
-        let data = ctx.data().client(client);
-        local_train_ce(&mut model, data, &cfg, &mut rng)?;
+        let data = ctx.client_shard(client);
+        local_train_ce(&mut model, &data, &cfg, &mut rng)?;
 
         // Upload direction: logits on the public set, confidence-weighted.
         let out = model.forward_detailed(public_inputs, false)?;
@@ -181,7 +181,7 @@ impl FlAlgorithm for FedEt {
         ctx: &FederationContext,
     ) -> FlResult<()> {
         self.require_setup()?;
-        let public = ctx.data().public();
+        let public = ctx.public_set();
         let cfg = *ctx.train_config();
         let mut weighted_probs = Tensor::zeros(&[public.len(), self.num_classes]);
         let mut total_weight = 0.0f32;
@@ -264,7 +264,7 @@ impl FlAlgorithm for FedEt {
     }
 
     fn restore(&mut self, mut state: AlgorithmState, ctx: &FederationContext) -> FlResult<()> {
-        self.num_classes = ctx.data().task().num_classes();
+        self.num_classes = ctx.task().num_classes();
         let server_sd = state.take_state("server")?;
         // from_state skips the random initialisation the snapshot would
         // overwrite anyway.
@@ -357,7 +357,7 @@ mod tests {
         let ctx = context(4);
         let mut alg = FedEt::new();
         alg.setup(&ctx).unwrap();
-        let acc = alg.evaluate_client(3, ctx.data().test()).unwrap();
+        let acc = alg.evaluate_client(3, ctx.test_set()).unwrap();
         assert!((acc - 1.0 / 6.0).abs() < 1e-6);
     }
 

@@ -62,7 +62,7 @@ impl FedProto {
     }
 
     fn client_config(ctx: &FederationContext, client: usize) -> ProxyConfig {
-        let task = ctx.data().task();
+        let task = ctx.task();
         let assignment = ctx.assignment(client);
         let mut cfg = ProxyConfig::for_family(
             assignment.entry.choice.family,
@@ -157,7 +157,7 @@ impl FlAlgorithm for FedProto {
     }
 
     fn setup(&mut self, ctx: &FederationContext) -> FlResult<()> {
-        self.num_classes = ctx.data().task().num_classes();
+        self.num_classes = ctx.task().num_classes();
         self.prototypes = Tensor::zeros(&[self.num_classes, PROTO_DIM]);
         self.proto_counts = vec![0.0; self.num_classes];
         self.ready = true;
@@ -173,8 +173,8 @@ impl FlAlgorithm for FedProto {
         self.require_setup()?;
         let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
         let mut model = self.build_client_model(ctx, client)?;
-        let data = ctx.data().client(client);
-        let (sums, counts) = self.train_client(&mut model, data, ctx, &mut rng)?;
+        let data = ctx.client_shard(client);
+        let (sums, counts) = self.train_client(&mut model, &data, ctx, &mut rng)?;
         Ok(ClientUpdate::new(
             client,
             data.len(),
@@ -363,7 +363,9 @@ mod tests {
         // Force an explicitly topology-heterogeneous federation: alternate the
         // assigned family between the smallest and largest ResNet.
         let base = context(4);
-        let mut assignments = base.assignments().to_vec();
+        let mut assignments: Vec<_> = (0..base.num_clients())
+            .map(|c| base.assignment(c))
+            .collect();
         for (i, a) in assignments.iter_mut().enumerate() {
             a.entry.choice.family = if i % 2 == 0 {
                 ModelFamily::ResNet18
@@ -372,7 +374,7 @@ mod tests {
             };
         }
         let ctx = FederationContext::new(
-            base.data().clone(),
+            base.eager_data().expect("eager test context").clone(),
             assignments,
             *base.train_config(),
             base.seed(),
@@ -404,7 +406,7 @@ mod tests {
         let ctx = context(4);
         let mut alg = FedProto::new();
         alg.setup(&ctx).unwrap();
-        let acc = alg.evaluate_client(2, ctx.data().test()).unwrap();
+        let acc = alg.evaluate_client(2, ctx.test_set()).unwrap();
         assert!((acc - 1.0 / 6.0).abs() < 1e-6);
     }
 

@@ -126,8 +126,8 @@ impl FlAlgorithm for WidthAlgorithm {
             self.plans
                 .for_client_specs(&self.global_specs, &model.param_specs(), selection)?;
         model.load_state_dict(&plan.extract(&self.global_sd)?)?;
-        let data = ctx.data().client(client);
-        local_train_ce(&mut model, data, ctx.train_config(), &mut rng)?;
+        let data = ctx.client_shard(client);
+        local_train_ce(&mut model, &data, ctx.train_config(), &mut rng)?;
         Ok(ClientUpdate::new(
             client,
             data.len(),

@@ -1,10 +1,12 @@
 //! Experiment specification and the evaluation track.
 
+use std::sync::Arc;
+
 use mhfl_algorithms::build_algorithm;
-use mhfl_data::{DataTask, FederatedDataset, Partition};
-use mhfl_device::{ConstraintCase, CostModel, ModelPool};
+use mhfl_data::{DataTask, Dataset, FederatedDataset, Partition, ShardPlan};
+use mhfl_device::{ClientAssignment, ConstraintCase, CostModel, ModelPool};
 use mhfl_fl::{
-    EngineConfig, Execution, FederationContext, FlEngine, FlResult, LocalTrainConfig,
+    ClientSource, EngineConfig, Execution, FederationContext, FlEngine, FlResult, LocalTrainConfig,
     MetricsReport, Parallelism, Schedule, Staleness,
 };
 use mhfl_models::MhflMethod;
@@ -222,6 +224,59 @@ impl ExperimentSpec {
         FederationContext::new(data, assignments, train, self.seed)
     }
 
+    /// Builds a *lazy* federation context for this spec: no per-client state
+    /// is materialised up front. Device profiles and data shards are derived
+    /// on demand from `(seed, client_id)` by a [`LazyClientSource`], so the
+    /// resident footprint is O(active clients) regardless of the population —
+    /// the construction behind the million-client runs of the
+    /// `population_scale` benchmark.
+    ///
+    /// Lazy populations are a *distinct* population kind from the eager ones
+    /// [`build_context`](ExperimentSpec::build_context) builds: both draw
+    /// devices and shards from the same per-case distributions, but the
+    /// per-client draws differ, so digests are not comparable across the two
+    /// constructors. Within the lazy kind everything is deterministic in
+    /// `(seed, client_id)` and independent of access order.
+    ///
+    /// # Errors
+    /// Returns an error if the spec describes an empty federation.
+    pub fn build_lazy_context(&self) -> FlResult<FederationContext> {
+        let (default_clients, samples_per_client, _rounds, _ratio) =
+            self.scale.parameters(self.task);
+        let num_clients = self.num_clients.unwrap_or(default_clients);
+        let plan = ShardPlan::new(
+            self.task,
+            num_clients,
+            samples_per_client,
+            self.partition,
+            self.seed,
+        );
+        let test = plan.test();
+        let public = plan.public();
+        let source = LazyClientSource {
+            plan,
+            case: self.constraint,
+            method: self.method,
+            pool: ModelPool::build(
+                base_family_for_task(self.task),
+                &topology_group_for_task(self.task),
+                &MhflMethod::ALL,
+                self.task.num_classes(),
+            ),
+            cost_model: CostModel::default(),
+            seed: self.seed,
+        };
+        FederationContext::lazy(
+            self.task,
+            num_clients,
+            test,
+            public,
+            Arc::new(source),
+            LocalTrainConfig::default(),
+            self.seed,
+        )
+    }
+
     /// The engine this spec runs under — the entry point for driving the
     /// experiment through the streaming session API
     /// ([`FlEngine::session`]) instead of the blocking
@@ -309,6 +364,33 @@ impl ExperimentSpec {
     }
 }
 
+/// The production [`ClientSource`]: derives a client's device profile and
+/// data shard on first touch, entirely from `(seed, client_id)`. Holds only
+/// O(1) state (a [`ShardPlan`] recipe, the model pool, the constraint case),
+/// so cloning a lazy context or sharing it across threads stays cheap at any
+/// population size.
+#[derive(Debug)]
+pub struct LazyClientSource {
+    plan: ShardPlan,
+    case: ConstraintCase,
+    method: MhflMethod,
+    pool: ModelPool,
+    cost_model: CostModel,
+    seed: u64,
+}
+
+impl ClientSource for LazyClientSource {
+    fn assignment(&self, client: usize) -> ClientAssignment {
+        let device = self.case.derive_device(self.seed, client);
+        self.case
+            .assign_client(&self.pool, self.method, &device, &self.cost_model, client)
+    }
+
+    fn client_shard(&self, client: usize) -> Dataset {
+        self.plan.client_shard(client)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +441,30 @@ mod tests {
             .with_num_clients(9);
         let ctx = spec.build_context().unwrap();
         assert_eq!(ctx.num_clients(), 9);
+    }
+
+    #[test]
+    fn lazy_context_matches_spec_and_derives_on_demand() {
+        let spec = ExperimentSpec::new(
+            DataTask::UciHar,
+            MhflMethod::SHeteroFl,
+            ConstraintCase::Computation {
+                deadline_secs: 300.0,
+            },
+        )
+        .with_scale(RunScale::Quick)
+        .with_num_clients(1_000_000)
+        .with_seed(9);
+        let ctx = spec.build_lazy_context().unwrap();
+        assert!(ctx.is_lazy());
+        assert_eq!(ctx.num_clients(), 1_000_000);
+        // A far-out client is derivable without touching the rest, and the
+        // derivation is a pure function of (seed, client).
+        let a = ctx.assignment(999_999);
+        assert_eq!(a, ctx.assignment(999_999));
+        let shard = ctx.client_shard(999_999);
+        assert_eq!(shard.len(), ctx.client_shard(999_999).len());
+        assert!(!ctx.test_set().is_empty());
     }
 
     #[test]

@@ -28,7 +28,9 @@ mod experiment;
 mod platform;
 mod report;
 
-pub use experiment::{ExperimentOutcome, ExperimentSpec, MetricSummary, RunScale};
+pub use experiment::{
+    ExperimentOutcome, ExperimentSpec, LazyClientSource, MetricSummary, RunScale,
+};
 pub use mhfl_fl::{
     AlgorithmState, Checkpoint, CheckpointObserver, ClientRoundStat, CsvTelemetry, EarlyStop,
     EventCounter, Execution, MetricsReport, Observer, Parallelism, PersistError, ProgressLogger,

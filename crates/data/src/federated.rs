@@ -65,6 +65,29 @@ impl FederatedDataset {
         }
     }
 
+    /// Assembles a federated dataset from already-built parts — the bridge
+    /// from lazy population plans ([`crate::ShardPlan::materialise`]) and
+    /// from tests that construct bespoke shard layouts.
+    ///
+    /// # Panics
+    /// Panics if `clients` is empty.
+    pub fn from_parts(
+        task: DataTask,
+        clients: Vec<Dataset>,
+        test: Dataset,
+        public: Dataset,
+        partition: Partition,
+    ) -> Self {
+        assert!(!clients.is_empty(), "at least one client is required");
+        FederatedDataset {
+            task,
+            clients,
+            test,
+            public,
+            partition,
+        }
+    }
+
     /// The task this dataset realises.
     pub fn task(&self) -> DataTask {
         self.task

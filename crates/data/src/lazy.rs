@@ -1,0 +1,285 @@
+//! Lazy, order-free federated shard generation for very large populations.
+//!
+//! [`FederatedDataset::generate`] materialises every client shard up front,
+//! which bounds the population at roughly what fits in memory (~10³
+//! clients). A [`ShardPlan`] is the sub-linear alternative: it stores only
+//! the *recipe* — task, partition, per-client sample budget and seed — and
+//! derives any single client's shard on demand from `(seed, client_id)`
+//! alone. Deriving client `i` never touches the generator state of any
+//! other client, so shards are order-free: a run that visits clients
+//! `{931_204, 7, 500_000}` produces bit-identical shards to one that visits
+//! all million in order.
+//!
+//! The lazy partition contract is *defined here*, not inherited from the
+//! eager splitter: the eager path shuffles one global sample pool, which is
+//! inherently sequential, so a plan instead realises the partition as
+//! per-client class-weight vectors feeding the class-conditional sample
+//! generators of [`generate_dataset_with_seeds`]. The statistical shape
+//! matches the eager strategies (uniform labels for IID, Dirichlet label
+//! marginals per client, dominant-class concentration for by-user) but the
+//! two populations are distinct by construction — a plan is a new population
+//! kind, not a compressed encoding of an eager one. Within the lazy world
+//! the determinism guarantee is exact: [`ShardPlan::materialise`] eagerly
+//! assembles the identical [`FederatedDataset`] that per-client calls would
+//! produce, which the property suite pins bit-for-bit.
+//!
+//! Test and public splits reuse the eager derivations (`seed ^ 0x7E57` and
+//! `seed ^ 0x9B11C` sample streams over shared class templates), so global
+//! evaluation works the same against either population kind.
+
+use mhfl_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{generate_dataset_with_seeds, DataTask, Dataset, FederatedDataset, Partition};
+
+/// Sample-seed stream label for per-client shard draws (distinct from the
+/// eager partition stream `seed ^ 0x5917` and the test/public streams).
+const SHARD_STREAM: u64 = 0xC11E_57D5;
+
+/// A seed-deterministic recipe for a federated population whose client
+/// shards are derived on demand instead of stored.
+///
+/// The plan itself is a few words of memory regardless of `num_clients`;
+/// resident data is bounded by the shards actually requested plus the shared
+/// test/public splits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    task: DataTask,
+    num_clients: usize,
+    samples_per_client: usize,
+    partition: Partition,
+    seed: u64,
+}
+
+impl ShardPlan {
+    /// Creates a plan. `partition` defaults to the task's paper default
+    /// (IID for CIFAR-10/100 and AG-News, natural per-user otherwise),
+    /// mirroring [`FederatedDataset::generate`].
+    ///
+    /// # Panics
+    /// Panics if `num_clients` is zero.
+    pub fn new(
+        task: DataTask,
+        num_clients: usize,
+        samples_per_client: usize,
+        partition: Option<Partition>,
+        seed: u64,
+    ) -> Self {
+        assert!(num_clients > 0, "at least one client is required");
+        let partition = partition.unwrap_or(if task.naturally_non_iid() {
+            Partition::ByUser {
+                dominant_classes: (task.num_classes() / 2).max(1),
+            }
+        } else {
+            Partition::Iid
+        });
+        ShardPlan {
+            task,
+            num_clients,
+            samples_per_client: samples_per_client.max(1),
+            partition,
+            seed,
+        }
+    }
+
+    /// The task this plan realises.
+    pub fn task(&self) -> DataTask {
+        self.task
+    }
+
+    /// Population size (clients that *can* be derived, not clients resident).
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Training samples in every derived shard.
+    pub fn samples_per_client(&self) -> usize {
+        self.samples_per_client
+    }
+
+    /// The partition strategy the per-client class weights realise.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The seed every derivation flows from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The class-weight vector of one client's label marginal, or `None`
+    /// for the uniform (IID) marginal. Order-free: depends only on
+    /// `(seed, partition, client)`.
+    pub fn client_class_weights(&self, client: usize) -> Option<Vec<f64>> {
+        assert!(client < self.num_clients, "client {client} out of range");
+        let num_classes = self.task.num_classes();
+        match self.partition {
+            Partition::Iid => None,
+            Partition::Dirichlet { alpha } => Some(
+                SeededRng::new(self.seed ^ 0x5917)
+                    .derive(client as u64)
+                    .dirichlet(alpha.max(1e-3), num_classes),
+            ),
+            Partition::ByUser { dominant_classes } => {
+                let dominant = dominant_classes.clamp(1, num_classes);
+                if dominant == num_classes {
+                    return None;
+                }
+                let preferred = SeededRng::new(self.seed ^ 0x5917)
+                    .derive(client as u64)
+                    .choose_indices(num_classes, dominant);
+                // The eager by-user router sends ~95% of a user's samples to
+                // its dominant classes; realise the same concentration as an
+                // explicit label marginal.
+                let background = 0.05 / (num_classes - dominant) as f64;
+                let mut weights = vec![background; num_classes];
+                let boost = 0.95 / dominant as f64;
+                for class in preferred {
+                    weights[class] = boost;
+                }
+                Some(weights)
+            }
+        }
+    }
+
+    /// Derives one client's training shard. Bit-identical for the same
+    /// `(seed, client)` regardless of which other clients were derived
+    /// before it.
+    ///
+    /// # Panics
+    /// Panics if `client >= num_clients`.
+    pub fn client_shard(&self, client: usize) -> Dataset {
+        let weights = self.client_class_weights(client);
+        let sample_seed = SeededRng::new(self.seed ^ SHARD_STREAM)
+            .derive(client as u64)
+            .seed();
+        generate_dataset_with_seeds(
+            self.task,
+            self.samples_per_client,
+            self.seed,
+            sample_seed,
+            weights.as_deref(),
+        )
+    }
+
+    /// Nominal total training samples across the whole population (used only
+    /// to size the test split like the eager path; saturates instead of
+    /// overflowing at extreme populations).
+    fn total_train(&self) -> usize {
+        self.num_clients
+            .saturating_mul(self.samples_per_client)
+            .max(self.num_clients)
+    }
+
+    /// The held-out global test set — same derivation as the eager path
+    /// (`seed ^ 0x7E57` samples over the shared class templates), so lazy
+    /// and eager populations of one spec evaluate against identical data.
+    pub fn test(&self) -> Dataset {
+        generate_dataset_with_seeds(
+            self.task,
+            (self.total_train() / 4).clamp(64, 2048),
+            self.seed,
+            self.seed ^ 0x7E57,
+            None,
+        )
+    }
+
+    /// The public proxy set shared by server and clients (`seed ^ 0x9B11C`),
+    /// identical to the eager derivation.
+    pub fn public(&self) -> Dataset {
+        generate_dataset_with_seeds(self.task, 64, self.seed, self.seed ^ 0x9B11C, None)
+    }
+
+    /// Eagerly materialises the whole population into a
+    /// [`FederatedDataset`]: every shard this plan would ever derive,
+    /// assembled up front. O(population) memory — the bridge the property
+    /// suite uses to pin lazy ≡ eager, and a convenience for small plans.
+    pub fn materialise(&self) -> FederatedDataset {
+        let clients = (0..self.num_clients)
+            .map(|c| self.client_shard(c))
+            .collect();
+        FederatedDataset::from_parts(
+            self.task,
+            clients,
+            self.test(),
+            self.public(),
+            self.partition,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_order_free_and_deterministic() {
+        let plan = ShardPlan::new(DataTask::Cifar10, 1000, 8, None, 42);
+        // Deriving 700 after 3 equals deriving it cold.
+        let _ = plan.client_shard(3);
+        let warm = plan.client_shard(700);
+        let cold = ShardPlan::new(DataTask::Cifar10, 1000, 8, None, 42).client_shard(700);
+        assert_eq!(warm, cold);
+        // Distinct clients get distinct samples.
+        assert_ne!(plan.client_shard(0), plan.client_shard(1));
+        // Re-derivation is bit-stable.
+        assert_eq!(plan.client_shard(0), plan.client_shard(0));
+    }
+
+    #[test]
+    fn huge_populations_cost_nothing_until_derived() {
+        let plan = ShardPlan::new(DataTask::UciHar, 1_000_000, 4, None, 7);
+        assert_eq!(plan.num_clients(), 1_000_000);
+        // Only the one requested shard is ever created.
+        let shard = plan.client_shard(999_999);
+        assert_eq!(shard.len(), 4);
+        // Test/public splits are population-independent in size.
+        assert_eq!(plan.test().len(), 2048);
+        assert_eq!(plan.public().len(), 64);
+    }
+
+    #[test]
+    fn materialise_matches_per_client_derivation() {
+        let plan = ShardPlan::new(DataTask::AgNews, 6, 10, None, 11);
+        let eager = plan.materialise();
+        assert_eq!(eager.num_clients(), 6);
+        for c in 0..6 {
+            assert_eq!(eager.client(c), &plan.client_shard(c));
+        }
+        assert_eq!(eager.test(), &plan.test());
+        assert_eq!(eager.public(), &plan.public());
+        assert_eq!(eager.partition(), plan.partition());
+    }
+
+    #[test]
+    fn partitions_shape_the_label_marginal() {
+        let skewed = ShardPlan::new(
+            DataTask::Cifar10,
+            4,
+            200,
+            Some(Partition::Dirichlet { alpha: 0.2 }),
+            5,
+        );
+        let iid = ShardPlan::new(DataTask::Cifar10, 4, 200, Some(Partition::Iid), 5);
+        assert!(iid.client_class_weights(0).is_none());
+        let weights = skewed.client_class_weights(0).unwrap();
+        assert_eq!(weights.len(), 10);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // A strongly skewed client concentrates mass on few classes.
+        assert!(weights.iter().cloned().fold(0.0, f64::max) > 0.3);
+        // Materialised skew is visibly above the IID baseline.
+        assert!(skewed.materialise().label_skew() > iid.materialise().label_skew());
+    }
+
+    #[test]
+    fn by_user_weights_concentrate_on_dominant_classes() {
+        let plan = ShardPlan::new(DataTask::UciHar, 8, 50, None, 9);
+        assert!(matches!(plan.partition(), Partition::ByUser { .. }));
+        let weights = plan.client_class_weights(2).unwrap();
+        let heavy = weights.iter().filter(|&&w| w > 0.1).count();
+        let Partition::ByUser { dominant_classes } = plan.partition() else {
+            unreachable!()
+        };
+        assert_eq!(heavy, dominant_classes);
+    }
+}

@@ -23,12 +23,14 @@
 
 mod dataset;
 mod federated;
+mod lazy;
 mod partition;
 mod synth;
 mod task;
 
 pub use dataset::{Batch, Dataset};
 pub use federated::FederatedDataset;
+pub use lazy::ShardPlan;
 pub use partition::Partition;
 pub use synth::{generate_dataset, generate_dataset_with_seeds};
 pub use task::{DataTask, Modality};

@@ -110,6 +110,56 @@ impl ConstraintCase {
         }
     }
 
+    /// Derives the device of a single client from `(seed, client_id)` alone
+    /// — the lazy counterpart of
+    /// [`build_population`](ConstraintCase::build_population) for
+    /// populations too large to materialise.
+    ///
+    /// Per-client derivations use their own derived RNG streams, so they are
+    /// order-free; the marginal distributions match the eager builder (the
+    /// Table III memory classes for [`ConstraintCase::Memory`], the IMA-like
+    /// population otherwise), but the eager builder consumes one sequential
+    /// stream across the population, so eager and lazy populations of the
+    /// same seed are distinct by construction.
+    pub fn derive_device(&self, seed: u64, client_id: usize) -> DeviceCapability {
+        match self {
+            ConstraintCase::Memory => {
+                let classes = DeviceProfile::memory_classes();
+                let weights = [0.25f64, 0.50, 0.25];
+                let mut rng = SeededRng::new(seed).derive(client_id as u64);
+                DeviceCapability::from(&classes[rng.weighted_index(&weights)])
+            }
+            _ => ImaPopulation::device_at(seed, client_id),
+        }
+    }
+
+    /// Assigns one client the largest model from the pool its device can
+    /// handle under this constraint — the shared per-device body of
+    /// [`assign_clients`](ConstraintCase::assign_clients), exposed so lazy
+    /// populations can derive a single assignment on demand.
+    pub fn assign_client(
+        &self,
+        pool: &ModelPool,
+        method: MhflMethod,
+        device: &DeviceCapability,
+        cost_model: &CostModel,
+        client_id: usize,
+    ) -> ClientAssignment {
+        let entry = pool
+            .select_largest_feasible(method, |e| {
+                let cost = cost_model.round_cost(&e.stats, method, device);
+                self.is_feasible(&cost, device)
+            })
+            .expect("pool contains at least one entry per method");
+        let cost = cost_model.round_cost(&entry.stats, method, device);
+        ClientAssignment {
+            client_id,
+            device: *device,
+            entry,
+            cost,
+        }
+    }
+
     /// Whether a model with per-round cost `cost` is feasible on `device`
     /// under this constraint.
     pub fn is_feasible(&self, cost: &RoundCost, device: &DeviceCapability) -> bool {
@@ -143,19 +193,7 @@ impl ConstraintCase {
             .iter()
             .enumerate()
             .map(|(client_id, device)| {
-                let entry = pool
-                    .select_largest_feasible(method, |e| {
-                        let cost = cost_model.round_cost(&e.stats, method, device);
-                        self.is_feasible(&cost, device)
-                    })
-                    .expect("pool contains at least one entry per method");
-                let cost = cost_model.round_cost(&entry.stats, method, device);
-                ClientAssignment {
-                    client_id,
-                    device: *device,
-                    entry,
-                    cost,
-                }
+                self.assign_client(pool, method, device, cost_model, client_id)
             })
             .collect()
     }
@@ -307,6 +345,41 @@ mod tests {
         }
         .build_population(50, 1);
         assert_eq!(comp_pop, comp_pop2);
+    }
+
+    #[test]
+    fn derived_devices_and_assignments_are_order_free() {
+        let pool = pool();
+        let cost_model = CostModel::default();
+        for case in [
+            ConstraintCase::Memory,
+            ConstraintCase::Computation {
+                deadline_secs: 300.0,
+            },
+        ] {
+            // Same (seed, client) → same device, regardless of derivation
+            // order, even at indices far beyond any materialised population.
+            let a = case.derive_device(11, 987_654);
+            let _ = case.derive_device(11, 3);
+            assert_eq!(a, case.derive_device(11, 987_654));
+            assert_ne!(a, case.derive_device(11, 987_655));
+            // The per-client assignment equals the per-device body of the
+            // eager assigner for the same device.
+            let lazy = case.assign_client(&pool, MhflMethod::SHeteroFl, &a, &cost_model, 987_654);
+            let eager = case.assign_clients(&pool, MhflMethod::SHeteroFl, &[a], &cost_model)[0];
+            assert_eq!(lazy.entry, eager.entry);
+            assert_eq!(lazy.cost, eager.cost);
+            assert_eq!(lazy.client_id, 987_654);
+        }
+        // Memory-case lazy devices stay within the Table III classes.
+        let classes: Vec<u64> = DeviceProfile::memory_classes()
+            .iter()
+            .map(|p| p.memory_bytes)
+            .collect();
+        for c in 0..200 {
+            let d = ConstraintCase::Memory.derive_device(5, c);
+            assert!(classes.contains(&d.memory_bytes));
+        }
     }
 
     #[test]

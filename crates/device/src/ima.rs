@@ -74,6 +74,43 @@ impl ImaPopulation {
         ImaPopulation { devices, seed }
     }
 
+    /// Derives the capability of a single device from `(seed, index)` alone,
+    /// without materialising a population — the lazy counterpart of
+    /// [`generate`](ImaPopulation::generate) for populations too large to
+    /// hold resident.
+    ///
+    /// Each device draws from its own derived stream, so derivations are
+    /// order-free: `device_at(seed, i)` is bit-identical whether or not any
+    /// other device was derived first. The marginals match `generate` —
+    /// log-normal compute and bandwidth, discrete RAM tiers, uniform
+    /// availability from the dedicated `seed ^ 0xA7A1_1AB1` stream — but
+    /// `generate` consumes one *sequential* stream across its whole
+    /// population, so the two constructors define distinct population kinds
+    /// for the same seed (eager contexts keep using `generate`; lazy
+    /// contexts use this).
+    pub fn device_at(seed: u64, index: usize) -> DeviceCapability {
+        let mut rng = SeededRng::new(seed).derive(index as u64);
+        let mut avail_rng = SeededRng::new(seed ^ 0xA7A1_1AB1).derive(index as u64);
+        let ram_tiers: [(u64, f64); 5] = [
+            (2 * GIB, 0.10),
+            (4 * GIB, 0.30),
+            (6 * GIB, 0.30),
+            (8 * GIB, 0.22),
+            (12 * GIB, 0.08),
+        ];
+        let weights: Vec<f64> = ram_tiers.iter().map(|(_, w)| *w).collect();
+        let compute = (rng.log_normal(3.2, 0.7) as f64).clamp(2.0, 600.0);
+        let bandwidth = (rng.log_normal(3.0, 0.8) as f64).clamp(1.0, 400.0);
+        let memory_bytes = ram_tiers[rng.weighted_index(&weights)].0;
+        let availability = f64::from(avail_rng.uniform(0.60, 0.95));
+        DeviceCapability {
+            compute_gflops: compute,
+            bandwidth_mbps: bandwidth,
+            memory_bytes,
+            availability,
+        }
+    }
+
     /// Number of devices in the population.
     pub fn len(&self) -> usize {
         self.devices.len()
@@ -171,6 +208,26 @@ mod tests {
             pop.device_for_client(3).compute_gflops,
             pop.device_for_client(13).compute_gflops
         );
+    }
+
+    #[test]
+    fn device_at_is_order_free_and_in_distribution() {
+        // Same (seed, index) → same device, no matter what else was derived.
+        let a = ImaPopulation::device_at(42, 123_456);
+        let _ = ImaPopulation::device_at(42, 7);
+        let b = ImaPopulation::device_at(42, 123_456);
+        assert_eq!(a, b);
+        // Distinct indices and seeds give distinct devices.
+        assert_ne!(a, ImaPopulation::device_at(42, 123_457));
+        assert_ne!(a, ImaPopulation::device_at(43, 123_456));
+        // The marginals respect the same physical bounds and RAM tiers.
+        for i in 0..500 {
+            let d = ImaPopulation::device_at(7, i);
+            assert!(d.compute_gflops >= 2.0 && d.compute_gflops <= 600.0);
+            assert!(d.bandwidth_mbps >= 1.0 && d.bandwidth_mbps <= 400.0);
+            assert!([2, 4, 6, 8, 12].contains(&(d.memory_bytes / GIB)));
+            assert!((0.60..=0.95).contains(&d.availability));
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The shared context of one federated experiment.
 
-use mhfl_data::FederatedDataset;
+use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
+
+use mhfl_data::{DataTask, Dataset, FederatedDataset};
 use mhfl_device::ClientAssignment;
 use mhfl_nn::SgdConfig;
 use serde::{Deserialize, Serialize};
@@ -28,20 +31,116 @@ impl Default for LocalTrainConfig {
     }
 }
 
+/// On-demand derivation of per-client state for populations too large to
+/// materialise.
+///
+/// A source must be *seed-deterministic and order-free*: the value returned
+/// for a client depends only on the source's own configuration and the
+/// client id, never on which other clients were derived before it — that is
+/// what makes sparse checkpoints resumable and lazy runs bit-reproducible.
+/// Implementations are typically thin wrappers over
+/// [`mhfl_device::ConstraintCase::derive_device`] /
+/// [`ConstraintCase::assign_client`](mhfl_device::ConstraintCase::assign_client)
+/// and [`mhfl_data::ShardPlan::client_shard`].
+pub trait ClientSource: Send + Sync {
+    /// Derives the device/model assignment of `client`.
+    fn assignment(&self, client: usize) -> ClientAssignment;
+
+    /// Derives the training shard of `client`.
+    fn client_shard(&self, client: usize) -> Dataset;
+}
+
+/// How the per-client state of the federation is held.
+enum Backend {
+    /// Every shard and assignment materialised up front (the classic mode;
+    /// memory is O(population)).
+    Eager {
+        data: FederatedDataset,
+        assignments: Vec<ClientAssignment>,
+    },
+    /// Shards and assignments derived on demand from a [`ClientSource`];
+    /// only the shared test/public splits are resident (memory is O(active
+    /// clients), independent of `num_clients`).
+    Lazy {
+        source: Arc<dyn ClientSource>,
+        task: DataTask,
+        num_clients: usize,
+        test: Dataset,
+        public: Dataset,
+    },
+}
+
+impl Clone for Backend {
+    fn clone(&self) -> Self {
+        match self {
+            Backend::Eager { data, assignments } => Backend::Eager {
+                data: data.clone(),
+                assignments: assignments.clone(),
+            },
+            Backend::Lazy {
+                source,
+                task,
+                num_clients,
+                test,
+                public,
+            } => Backend::Lazy {
+                source: Arc::clone(source),
+                task: *task,
+                num_clients: *num_clients,
+                test: test.clone(),
+                public: public.clone(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Eager { data, assignments } => f
+                .debug_struct("Eager")
+                .field("task", &data.task())
+                .field("num_clients", &assignments.len())
+                .finish(),
+            Backend::Lazy {
+                task, num_clients, ..
+            } => f
+                .debug_struct("Lazy")
+                .field("task", task)
+                .field("num_clients", num_clients)
+                .finish(),
+        }
+    }
+}
+
 /// Everything an algorithm needs to know about the federation it runs in:
 /// the per-client data shards, the per-client device/model assignments
 /// produced by a [`mhfl_device::ConstraintCase`], and the local training
 /// hyper-parameters.
+///
+/// Two backing modes share one API. [`FederationContext::new`] materialises
+/// everything eagerly — the right choice up to a few thousand clients, and
+/// the mode every golden digest is pinned against.
+/// [`FederationContext::lazy`] holds a [`ClientSource`] instead and derives
+/// each client's shard and assignment on demand from `(seed, client_id)`,
+/// so resident memory is O(active clients) and a million-client population
+/// costs no more to hold than a six-client one. Client state is addressed
+/// by id in both modes: [`assignment`](FederationContext::assignment)
+/// returns by value and [`client_shard`](FederationContext::client_shard)
+/// returns [`Cow`] (borrowed when eager, derived-and-owned when lazy).
 #[derive(Debug, Clone)]
 pub struct FederationContext {
-    data: FederatedDataset,
-    assignments: Vec<ClientAssignment>,
+    backend: Backend,
     train: LocalTrainConfig,
     seed: u64,
+    /// `(smallest, largest)` assignment by parameter count, computed on
+    /// first use with an O(population)-time / O(1)-memory scan and cached.
+    extremes: OnceLock<(ClientAssignment, ClientAssignment)>,
 }
 
 impl FederationContext {
-    /// Assembles a context, validating that data and assignments agree.
+    /// Assembles an eager context, validating that data and assignments
+    /// agree.
     ///
     /// # Errors
     /// Returns [`FlError::InvalidConfig`] if the number of assignments does
@@ -63,31 +162,134 @@ impl FederationContext {
             )));
         }
         Ok(FederationContext {
-            data,
-            assignments,
+            backend: Backend::Eager { data, assignments },
             train,
             seed,
+            extremes: OnceLock::new(),
         })
     }
 
-    /// The federated dataset (client shards, test set, public set).
-    pub fn data(&self) -> &FederatedDataset {
-        &self.data
+    /// Assembles a lazy context over `num_clients` derivable clients.
+    ///
+    /// `test` and `public` are the shared evaluation splits (small, held
+    /// eagerly); every per-client shard and assignment is derived on demand
+    /// from `source`.
+    ///
+    /// # Errors
+    /// Returns [`FlError::InvalidConfig`] if `num_clients` is zero.
+    pub fn lazy(
+        task: DataTask,
+        num_clients: usize,
+        test: Dataset,
+        public: Dataset,
+        source: Arc<dyn ClientSource>,
+        train: LocalTrainConfig,
+        seed: u64,
+    ) -> FlResult<Self> {
+        if num_clients == 0 {
+            return Err(FlError::InvalidConfig("federation has no clients".into()));
+        }
+        Ok(FederationContext {
+            backend: Backend::Lazy {
+                source,
+                task,
+                num_clients,
+                test,
+                public,
+            },
+            train,
+            seed,
+            extremes: OnceLock::new(),
+        })
     }
 
-    /// Number of clients.
+    /// Whether clients are derived on demand instead of held resident.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.backend, Backend::Lazy { .. })
+    }
+
+    /// The fully materialised dataset behind an eager context, `None` for a
+    /// lazy one. Prefer the backend-agnostic accessors
+    /// ([`task`](FederationContext::task),
+    /// [`test_set`](FederationContext::test_set),
+    /// [`client_shard`](FederationContext::client_shard)); this exists for
+    /// callers that genuinely need the whole eager population at once.
+    pub fn eager_data(&self) -> Option<&FederatedDataset> {
+        match &self.backend {
+            Backend::Eager { data, .. } => Some(data),
+            Backend::Lazy { .. } => None,
+        }
+    }
+
+    /// The data task this federation trains on.
+    pub fn task(&self) -> DataTask {
+        match &self.backend {
+            Backend::Eager { data, .. } => data.task(),
+            Backend::Lazy { task, .. } => *task,
+        }
+    }
+
+    /// Number of clients in the population (derivable, not resident).
     pub fn num_clients(&self) -> usize {
-        self.data.num_clients()
+        match &self.backend {
+            Backend::Eager { assignments, .. } => assignments.len(),
+            Backend::Lazy { num_clients, .. } => *num_clients,
+        }
     }
 
-    /// The device/model assignment of a client.
-    pub fn assignment(&self, client: usize) -> &ClientAssignment {
-        &self.assignments[client]
+    /// The held-out global test set (for the global-accuracy metric).
+    pub fn test_set(&self) -> &Dataset {
+        match &self.backend {
+            Backend::Eager { data, .. } => data.test(),
+            Backend::Lazy { test, .. } => test,
+        }
     }
 
-    /// All assignments.
-    pub fn assignments(&self) -> &[ClientAssignment] {
-        &self.assignments
+    /// The public proxy dataset shared by server and clients (used by
+    /// knowledge-distillation aggregation).
+    pub fn public_set(&self) -> &Dataset {
+        match &self.backend {
+            Backend::Eager { data, .. } => data.public(),
+            Backend::Lazy { public, .. } => public,
+        }
+    }
+
+    /// A client's training shard: borrowed from the resident population
+    /// when eager, derived on demand (owned) when lazy.
+    ///
+    /// # Panics
+    /// Panics if `client` is out of range.
+    pub fn client_shard(&self, client: usize) -> Cow<'_, Dataset> {
+        match &self.backend {
+            Backend::Eager { data, .. } => Cow::Borrowed(data.client(client)),
+            Backend::Lazy {
+                source,
+                num_clients,
+                ..
+            } => {
+                assert!(client < *num_clients, "client {client} out of range");
+                Cow::Owned(source.client_shard(client))
+            }
+        }
+    }
+
+    /// The device/model assignment of a client (by value — assignments are
+    /// small `Copy` records, and lazy contexts derive them on demand).
+    ///
+    /// # Panics
+    /// Panics if `client` is out of range.
+    pub fn assignment(&self, client: usize) -> ClientAssignment {
+        match &self.backend {
+            Backend::Eager { assignments, .. } => assignments[client],
+            Backend::Lazy {
+                source,
+                num_clients,
+                ..
+            } => {
+                assert!(client < *num_clients, "client {client} out of range");
+                source.assignment(client)
+            }
+        }
     }
 
     /// Local training hyper-parameters.
@@ -100,36 +302,61 @@ impl FederationContext {
         self.seed
     }
 
-    /// The index of the client with the smallest assigned model (used by the
-    /// homogeneous baseline, which trains "the smallest model across all
-    /// heterogeneous devices").
-    pub fn smallest_assignment(&self) -> &ClientAssignment {
-        self.assignments
-            .iter()
-            .min_by_key(|a| a.entry.stats.params)
-            .expect("validated: at least one client")
+    /// The assignment with the smallest model (used by the homogeneous
+    /// baseline, which trains "the smallest model across all heterogeneous
+    /// devices"). First call scans the population in O(n) time and O(1)
+    /// memory; the result is cached.
+    pub fn smallest_assignment(&self) -> ClientAssignment {
+        self.extremes().0
+    }
+
+    /// The assignment with the largest model (the proxy for the full global
+    /// model used by width/depth extraction). Cached like
+    /// [`smallest_assignment`](FederationContext::smallest_assignment).
+    pub fn largest_assignment(&self) -> ClientAssignment {
+        self.extremes().1
+    }
+
+    fn extremes(&self) -> (ClientAssignment, ClientAssignment) {
+        *self.extremes.get_or_init(|| {
+            let mut smallest = self.assignment(0);
+            let mut largest = smallest;
+            for client in 1..self.num_clients() {
+                let a = self.assignment(client);
+                if a.entry.stats.params < smallest.entry.stats.params {
+                    smallest = a;
+                }
+                if a.entry.stats.params > largest.entry.stats.params {
+                    largest = a;
+                }
+            }
+            (smallest, largest)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mhfl_data::DataTask;
+    use mhfl_data::{DataTask, ShardPlan};
     use mhfl_device::{ConstraintCase, CostModel, ModelPool};
     use mhfl_models::{MhflMethod, ModelFamily};
 
-    fn context() -> FederationContext {
-        let data = FederatedDataset::generate(DataTask::Cifar10, 6, 12, None, 0);
-        let pool = ModelPool::build(
+    fn pool() -> ModelPool {
+        ModelPool::build(
             ModelFamily::ResNet101,
             &ModelFamily::RESNET_FAMILY,
             &MhflMethod::HETEROGENEOUS,
             10,
-        );
+        )
+    }
+
+    fn context() -> FederationContext {
+        let data = FederatedDataset::generate(DataTask::Cifar10, 6, 12, None, 0);
         let case = ConstraintCase::Memory;
         let devices = case.build_population(6, 0);
         let assignments = case.assign_clients(
-            &pool,
+            &pool(),
             MhflMethod::SHeteroFl,
             &devices,
             &CostModel::default(),
@@ -137,23 +364,96 @@ mod tests {
         FederationContext::new(data, assignments, LocalTrainConfig::default(), 1).unwrap()
     }
 
-    #[test]
-    fn context_exposes_clients_and_assignments() {
-        let ctx = context();
-        assert_eq!(ctx.num_clients(), 6);
-        assert_eq!(ctx.assignments().len(), 6);
-        assert_eq!(ctx.assignment(3).client_id, 3);
-        assert_eq!(ctx.seed(), 1);
+    /// A lazy source over the seed-derived device/shard recipes.
+    struct LazySource {
+        plan: ShardPlan,
+        case: ConstraintCase,
+        pool: ModelPool,
+        seed: u64,
+    }
+
+    impl ClientSource for LazySource {
+        fn assignment(&self, client: usize) -> ClientAssignment {
+            let device = self.case.derive_device(self.seed, client);
+            self.case.assign_client(
+                &self.pool,
+                MhflMethod::SHeteroFl,
+                &device,
+                &CostModel::default(),
+                client,
+            )
+        }
+
+        fn client_shard(&self, client: usize) -> Dataset {
+            self.plan.client_shard(client)
+        }
+    }
+
+    fn lazy_context(num_clients: usize) -> FederationContext {
+        let plan = ShardPlan::new(DataTask::Cifar10, num_clients, 12, None, 0);
+        let source = LazySource {
+            plan,
+            case: ConstraintCase::Memory,
+            pool: pool(),
+            seed: 0,
+        };
+        FederationContext::lazy(
+            DataTask::Cifar10,
+            num_clients,
+            plan.test(),
+            plan.public(),
+            Arc::new(source),
+            LocalTrainConfig::default(),
+            1,
+        )
+        .unwrap()
     }
 
     #[test]
-    fn smallest_assignment_is_minimal() {
+    fn context_exposes_clients_and_assignments() {
         let ctx = context();
-        let smallest = ctx.smallest_assignment();
-        assert!(ctx
-            .assignments()
-            .iter()
-            .all(|a| a.entry.stats.params >= smallest.entry.stats.params));
+        assert!(!ctx.is_lazy());
+        assert_eq!(ctx.num_clients(), 6);
+        assert_eq!(ctx.assignment(3).client_id, 3);
+        assert_eq!(ctx.seed(), 1);
+        assert_eq!(ctx.task(), DataTask::Cifar10);
+        assert_eq!(ctx.client_shard(2).len(), 12);
+        assert!(ctx.test_set().len() >= 64);
+        assert_eq!(ctx.public_set().len(), 64);
+        assert!(ctx.eager_data().is_some());
+    }
+
+    #[test]
+    fn extreme_assignments_bracket_the_population() {
+        for ctx in [context(), lazy_context(6)] {
+            let smallest = ctx.smallest_assignment();
+            let largest = ctx.largest_assignment();
+            for c in 0..ctx.num_clients() {
+                let params = ctx.assignment(c).entry.stats.params;
+                assert!(params >= smallest.entry.stats.params);
+                assert!(params <= largest.entry.stats.params);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_context_derives_on_demand() {
+        let ctx = lazy_context(100_000);
+        assert!(ctx.is_lazy());
+        assert!(ctx.eager_data().is_none());
+        assert_eq!(ctx.num_clients(), 100_000);
+        // Far-out clients derive without materialising anything else, and
+        // derivation is deterministic.
+        let a = ctx.assignment(99_999);
+        assert_eq!(a.client_id, 99_999);
+        assert_eq!(a, ctx.assignment(99_999));
+        assert_eq!(
+            ctx.client_shard(99_999).as_ref(),
+            ctx.client_shard(99_999).as_ref()
+        );
+        // Clone shares the source.
+        let cloned = ctx.clone();
+        assert_eq!(cloned.assignment(12_345), ctx.assignment(12_345));
     }
 
     #[test]

@@ -223,7 +223,15 @@ impl FlEngine {
     pub(crate) fn stability_sample(&self, ctx: &FederationContext) -> Vec<usize> {
         let num_clients = ctx.num_clients();
         let eval_clients = self.config.stability_clients.min(num_clients).max(1);
-        SeededRng::new(ctx.seed() ^ 0x57AB).choose_indices(num_clients, eval_clients)
+        let mut rng = SeededRng::new(ctx.seed() ^ 0x57AB);
+        // Dense populations keep the full-shuffle draw the golden digests
+        // are pinned against; sparse ones (a handful of evaluation clients
+        // out of a million) use Floyd's O(eval_clients) sampler.
+        if eval_clients.saturating_mul(64) >= num_clients {
+            rng.choose_indices(num_clients, eval_clients)
+        } else {
+            rng.sample_indices(num_clients, eval_clients)
+        }
     }
 
     /// Whether `round` is an evaluation point.
@@ -352,7 +360,7 @@ mod tests {
         ) -> FlResult<ClientUpdate> {
             Ok(ClientUpdate::new(
                 client,
-                ctx.data().client(client).len(),
+                ctx.client_shard(client).len(),
                 ClientPayload::Empty,
             ))
         }

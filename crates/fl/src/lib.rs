@@ -61,13 +61,14 @@ pub mod persist;
 mod schedule;
 mod session;
 mod snapshot;
+mod store;
 pub mod submodel;
 pub mod train;
 mod update;
 pub mod wire;
 
 pub use buffered::{staleness_weight, Staleness};
-pub use context::{FederationContext, LocalTrainConfig};
+pub use context::{ClientSource, FederationContext, LocalTrainConfig};
 pub use engine::{EngineConfig, Execution, FlAlgorithm, FlEngine};
 pub use error::FlError;
 pub use metrics::{ClientRoundStat, MetricsReport, RoundRecord};
@@ -75,11 +76,12 @@ pub use observer::{CsvTelemetry, EarlyStop, EventCounter, Observer, ProgressLogg
 pub use parallel::{run_clients, ClientRunner, InProcessRunner, Parallelism};
 pub use persist::{CheckpointObserver, PersistError};
 pub use schedule::{
-    AvailabilityTrace, BandwidthAware, ClientScheduler, DeadlineAware, DiurnalTrace, PowerOfChoice,
-    RoundPlan, Schedule, UniformSampler,
+    AvailabilityTrace, BandwidthAware, CandidatePool, Candidates, ClientScheduler, DeadlineAware,
+    DiurnalTrace, PowerOfChoice, RoundPlan, Schedule, UniformSampler,
 };
 pub use session::{Checkpoint, RoundEvent, Session};
 pub use snapshot::AlgorithmState;
+pub use store::{ClientSet, ClientStore};
 pub use update::{ClientPayload, ClientUpdate};
 
 /// Crate-wide result alias.

@@ -261,21 +261,29 @@ impl MetricsReport {
 
     /// Client-slot utilisation: the fraction of available client-slot time
     /// spent training or communicating, `sum(busy) / (peak_concurrency ×
-    /// span)`. A fully synchronous run is dragged below `1.0` by stragglers
-    /// (fast clients idle until the slowest finishes); the asynchronous
-    /// engine recovers that idle time by refilling slots as updates arrive.
-    /// Returns `0.0` when the report carries no telemetry.
+    /// span)`, where the span runs from the **first dispatch** to the last
+    /// arrival — slots don't exist before anything is dispatched, so a run
+    /// whose first round starts late (an availability trace waiting out an
+    /// all-offline window, a resumed session) is not penalised for clock
+    /// time during which no client could have been busy. A fully
+    /// synchronous run is dragged below `1.0` by stragglers (fast clients
+    /// idle until the slowest finishes); the asynchronous engine recovers
+    /// that idle time by refilling slots as updates arrive. Returns `0.0`
+    /// when the report carries no telemetry.
     pub fn utilisation(&self) -> f64 {
         let mut events: Vec<(f64, i32)> = Vec::new();
         let mut busy = 0.0f64;
+        let mut first_dispatch = f64::INFINITY;
         let mut span_end = 0.0f64;
         for stat in self.client_stats() {
             busy += stat.busy_secs();
+            first_dispatch = first_dispatch.min(stat.dispatch_secs);
             span_end = span_end.max(stat.arrival_secs);
             events.push((stat.dispatch_secs, 1));
             events.push((stat.arrival_secs, -1));
         }
-        if events.is_empty() || span_end <= 0.0 {
+        let span = span_end - first_dispatch;
+        if events.is_empty() || span <= 0.0 {
             return 0.0;
         }
         // Departures sort before arrivals at the same instant so back-to-back
@@ -287,7 +295,7 @@ impl MetricsReport {
             current += i64::from(delta);
             peak = peak.max(current);
         }
-        busy / (peak.max(1) as f64 * span_end)
+        busy / (peak.max(1) as f64 * span)
     }
 }
 
@@ -493,5 +501,45 @@ mod tests {
             client_stats: vec![stat(0, 1, 0.0, 10.0, 0, 1), stat(1, 1, 0.0, 10.0, 0, 1)],
         });
         assert!((packed.utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilisation_span_starts_at_first_dispatch_not_time_zero() {
+        // A run whose first dispatch happens at t = 1000 (e.g. an
+        // availability trace kept everyone offline until then) must score
+        // exactly like the same workload dispatched at t = 0: the span is
+        // measured from the first dispatch, not the start of the clock.
+        let shifted = |offset: f64| {
+            let mut r = MetricsReport::new("Offset");
+            r.push(RoundRecord {
+                round: 1,
+                sim_time_secs: offset + 30.0,
+                global_accuracy: 0.5,
+                per_client_accuracy: vec![],
+                client_stats: vec![
+                    stat(0, 1, offset, offset + 10.0, 0, 1),
+                    stat(1, 1, offset + 10.0, offset + 30.0, 0, 1),
+                ],
+            });
+            r
+        };
+        let at_zero = shifted(0.0).utilisation();
+        let at_thousand = shifted(1000.0).utilisation();
+        assert!((at_zero - 1.0).abs() < 1e-12, "slots are packed: {at_zero}");
+        assert!(
+            (at_thousand - at_zero).abs() < 1e-9,
+            "offset start changed utilisation: {at_thousand} vs {at_zero}"
+        );
+        // Degenerate single-instant telemetry (dispatch == arrival) has no
+        // span and reports zero instead of dividing by it.
+        let mut instant = MetricsReport::new("Instant");
+        instant.push(RoundRecord {
+            round: 1,
+            sim_time_secs: 5.0,
+            global_accuracy: 0.5,
+            per_client_accuracy: vec![],
+            client_stats: vec![stat(0, 1, 5.0, 5.0, 0, 1)],
+        });
+        assert_eq!(instant.utilisation(), 0.0);
     }
 }

@@ -17,7 +17,7 @@
 //! (`mhfl-net`) speaks the same language; this module owns the checkpoint
 //! *file* format built on top of it.
 //!
-//! # File layout (format version 1)
+//! # File layout (format version 2)
 //!
 //! ```text
 //! magic            8 bytes   b"MHFLCKP1"
@@ -37,7 +37,7 @@
 //! | 2  | `algorithm`| [`AlgorithmState`](crate::AlgorithmState) — every state dict / tensor / scalar slot |
 //! | 3  | `rng`      | [`RngState`] — the xoshiro256++ words, seed, zero-init flag |
 //! | 4  | `report`   | [`MetricsReport`] accumulated so far |
-//! | 5  | `driver`   | clock, round version, dispatch seq, in-flight map, sync-round state |
+//! | 5  | `driver`   | clock, round version, dispatch seq, sparse in-flight id list, sync-round state |
 //! | 6  | `arrivals` | the in-flight arrival heap (computed `ClientUpdate`s included) |
 //! | 7  | `buffer`   | the aggregation buffer |
 //! | 8  | `pending`  | telemetry accumulated since the last evaluation point |
@@ -47,8 +47,14 @@
 //! IEEE-754 bit pattern (`to_bits`), so a decoded checkpoint resumes
 //! bit-identically to the uninterrupted run. Encoding is canonical: equal
 //! checkpoints produce equal bytes, and `encode(decode(bytes)) == bytes` for
-//! any file this module wrote — the property the committed format-stability
-//! fixture pins.
+//! any version-2 file this module wrote — the property the committed
+//! format-stability fixture pins.
+//!
+//! Version 2 changed only the `driver` section: the in-flight set is stored
+//! as a sorted sparse id list (O(active clients)) where version 1 wrote one
+//! flag per client plus a popcount (O(population) — a non-starter for
+//! million-client federations). Version-1 files are still read; they
+//! re-encode as version 2.
 //!
 //! # Entry points
 //!
@@ -77,10 +83,12 @@ pub use crate::wire::{Decoder, Encoder, PersistError, PersistResult};
 /// The 8-byte file magic ("MHFL checkpoint, line 1 of the format family").
 pub const MAGIC: [u8; 8] = *b"MHFLCKP1";
 
-/// The newest on-disk format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The newest on-disk format version this build reads and writes. Version 1
+/// (dense in-flight map) is still decoded for back-compatibility.
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Every section of a version-1 checkpoint, in canonical file order.
+/// Every section of a checkpoint, in canonical file order (identical in
+/// format versions 1 and 2).
 const SECTIONS: [(u8, &str); 9] = [
     (1, "config"),
     (2, "algorithm"),
@@ -316,7 +324,7 @@ fn encode_config_section(checkpoint: &Checkpoint) -> Vec<u8> {
     let mut e = Encoder::new();
     put_config(&mut e, &checkpoint.config);
     e.put_str(&checkpoint.algorithm_name);
-    e.put_usize(checkpoint.in_flight.len());
+    e.put_usize(checkpoint.num_clients);
     e.into_bytes()
 }
 
@@ -329,7 +337,7 @@ pub fn config_fingerprint(checkpoint: &Checkpoint) -> u64 {
     fnv64(&encode_config_section(checkpoint))
 }
 
-/// Encodes a [`Checkpoint`] into the version-1 binary format.
+/// Encodes a [`Checkpoint`] into the version-2 binary format.
 ///
 /// Encoding is canonical: equal checkpoints yield equal bytes (the arrival
 /// heap is already stored in canonical pop order by
@@ -364,11 +372,12 @@ pub fn encode_checkpoint(checkpoint: &Checkpoint) -> Vec<u8> {
         e.put_u64(checkpoint.seq);
         e.put_bool(checkpoint.started);
         e.put_bool(checkpoint.finished);
+        // Sparse in-flight set: a sorted id list, O(active clients) bytes
+        // regardless of population size.
         e.put_usize(checkpoint.in_flight.len());
-        for &flag in &checkpoint.in_flight {
-            e.put_bool(flag);
+        for &id in &checkpoint.in_flight {
+            e.put_usize(id);
         }
-        e.put_usize(checkpoint.in_flight_count);
         e.put_usize(checkpoint.idle_advances);
         e.put_f64(checkpoint.sync_round_end);
         e.put_usize(checkpoint.sync_expected);
@@ -434,9 +443,9 @@ pub fn encode_checkpoint(checkpoint: &Checkpoint) -> Vec<u8> {
     out.into_bytes()
 }
 
-/// Decodes a version-1 checkpoint from bytes, verifying the magic, format
-/// version, every section checksum and the configuration fingerprint before
-/// reconstructing any state.
+/// Decodes a checkpoint from bytes (format version 1 or 2), verifying the
+/// magic, format version, every section checksum and the configuration
+/// fingerprint before reconstructing any state.
 ///
 /// # Errors
 /// Every corruption mode maps to a typed [`PersistError`]; this function
@@ -454,10 +463,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
         found.copy_from_slice(magic);
         return Err(PersistError::BadMagic { found });
     }
-    let version = frame.take_u32()?;
-    if version != FORMAT_VERSION {
+    let format_version = frame.take_u32()?;
+    if format_version == 0 || format_version > FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
-            found: version,
+            found: format_version,
             supported: FORMAT_VERSION,
         });
     }
@@ -467,7 +476,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
         return Err(PersistError::Malformed {
             section: "header",
             detail: format!(
-                "version-1 checkpoints have {} sections, file declares {section_count}",
+                "checkpoints have {} sections, file declares {section_count}",
                 SECTIONS.len()
             ),
         });
@@ -559,20 +568,64 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
     let seq = d.take_u64()?;
     let started = d.take_bool()?;
     let finished = d.take_bool()?;
-    let in_flight_len = d.take_len(1)?;
-    if in_flight_len != num_clients {
-        return Err(PersistError::Malformed {
-            section: "driver",
-            detail: format!(
-                "in-flight map covers {in_flight_len} clients, config section says {num_clients}"
-            ),
-        });
-    }
-    let mut in_flight = Vec::with_capacity(in_flight_len);
-    for _ in 0..in_flight_len {
-        in_flight.push(d.take_bool()?);
-    }
-    let in_flight_count = d.take_usize()?;
+    let in_flight = if format_version == 1 {
+        // Version 1: one flag per client plus a redundant popcount.
+        let in_flight_len = d.take_len(1)?;
+        if in_flight_len != num_clients {
+            return Err(PersistError::Malformed {
+                section: "driver",
+                detail: format!(
+                    "in-flight map covers {in_flight_len} clients, config section says {num_clients}"
+                ),
+            });
+        }
+        let mut flags = Vec::with_capacity(in_flight_len);
+        for _ in 0..in_flight_len {
+            flags.push(d.take_bool()?);
+        }
+        let in_flight_count = d.take_usize()?;
+        let ids: Vec<usize> = flags
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &set)| set.then_some(id))
+            .collect();
+        if ids.len() != in_flight_count {
+            return Err(PersistError::Malformed {
+                section: "driver",
+                detail: format!(
+                    "in-flight count {in_flight_count} does not match {} set flags",
+                    ids.len()
+                ),
+            });
+        }
+        ids
+    } else {
+        // Version 2: a sorted sparse id list.
+        let count = d.take_len(8)?;
+        if count > num_clients {
+            return Err(PersistError::Malformed {
+                section: "driver",
+                detail: format!("{count} clients in flight out of {num_clients}"),
+            });
+        }
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            ids.push(d.take_usize()?);
+        }
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PersistError::Malformed {
+                section: "driver",
+                detail: "in-flight ids are not strictly ascending".into(),
+            });
+        }
+        if ids.last().is_some_and(|&last| last >= num_clients) {
+            return Err(PersistError::Malformed {
+                section: "driver",
+                detail: format!("in-flight id out of range for {num_clients} clients"),
+            });
+        }
+        ids
+    };
     let idle_advances = d.take_usize()?;
     let sync_round_end = d.take_f64()?;
     let sync_expected = d.take_usize()?;
@@ -622,8 +675,8 @@ pub fn decode_checkpoint(bytes: &[u8]) -> PersistResult<Checkpoint> {
         seq,
         started,
         finished,
+        num_clients,
         in_flight,
-        in_flight_count,
         arrivals,
         buffer,
         pending_stats,

@@ -25,10 +25,108 @@
 //!
 //! [`RoundCost`]: mhfl_device::RoundCost
 
+use std::sync::OnceLock;
+
 use mhfl_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
 use crate::FederationContext;
+
+/// An ordered set of dispatch candidates — the clients the asynchronous
+/// engine could launch right now, in ascending id order.
+///
+/// Abstracting the candidate set behind a trait lets the engine expose its
+/// free list without materialising a population-sized `Vec` on every refill:
+/// the engine's implementation answers [`nth`](CandidatePool::nth) in
+/// O(in-flight) by walking the (small, sorted) busy set, so dispatching from
+/// a million-client population costs O(active), not O(population).
+pub trait CandidatePool {
+    /// Number of candidates.
+    fn len(&self) -> usize;
+
+    /// Whether there are no candidates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th smallest candidate id. Callers guarantee `k < len()`.
+    fn nth(&self, k: usize) -> usize;
+
+    /// Whether `client` is a candidate.
+    fn contains(&self, client: usize) -> bool;
+
+    /// All candidates in ascending order. Policies should prefer
+    /// [`nth`](CandidatePool::nth)/[`contains`](CandidatePool::contains);
+    /// a full iteration is O(population) and only justified as a fallback.
+    fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_>;
+}
+
+/// A [`CandidatePool`] view over an explicit ascending slice of ids.
+pub struct Candidates<'a>(pub &'a [usize]);
+
+impl CandidatePool for Candidates<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn nth(&self, k: usize) -> usize {
+        self.0[k]
+    }
+
+    fn contains(&self, client: usize) -> bool {
+        self.0.binary_search(&client).is_ok()
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        Box::new(self.0.iter().copied())
+    }
+}
+
+/// Bounded rejection sampling over a gated candidate pool: draw uniformly,
+/// keep the first draw the gate accepts. For an always-open gate this is
+/// exactly one uniform draw — bit-identical RNG consumption to indexing an
+/// eligible-client `Vec`, which is what keeps the async golden digests
+/// stable — and for trace-gated policies it stays O(attempts) instead of
+/// scanning the population. If every attempt lands on a gated-off client
+/// (availability well below 1/64), fall back to an exact uniform draw over
+/// the accepted subset.
+fn pick_gated(
+    pool: &dyn CandidatePool,
+    rng: &mut SeededRng,
+    mut open: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    const ATTEMPTS: usize = 64;
+    let n = pool.len();
+    if n == 0 {
+        return None;
+    }
+    for _ in 0..ATTEMPTS {
+        let candidate = pool.nth(rng.index(n));
+        if open(candidate) {
+            return Some(candidate);
+        }
+    }
+    let accepted: Vec<usize> = pool.iter().filter(|&c| open(c)).collect();
+    if accepted.is_empty() {
+        None
+    } else {
+        Some(accepted[rng.index(accepted.len())])
+    }
+}
+
+/// Samples `count` distinct clients uniformly from `0..n`, ascending.
+///
+/// Small populations keep the full-shuffle path every golden digest is
+/// pinned against; sparse selections (count ≪ n, the million-client case)
+/// switch to Floyd's algorithm, which is O(count) time and memory instead
+/// of O(n).
+fn sample_clients(rng: &mut SeededRng, n: usize, count: usize) -> Vec<usize> {
+    if count.saturating_mul(64) >= n {
+        rng.choose_indices(n, count)
+    } else {
+        rng.sample_indices(n, count)
+    }
+}
 
 /// The outcome of one scheduling decision.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,21 +168,24 @@ pub trait ClientScheduler: Send + Sync {
     }
 
     /// Asynchronous dispatch: picks the next client to launch at `now` from
-    /// `eligible` (the available clients not currently in flight, in
-    /// ascending index order). The default picks uniformly at random;
-    /// cost-sensitive policies override it.
+    /// `pool` (the clients not currently in flight, in ascending id order —
+    /// *not* pre-filtered by availability; the default gates through
+    /// [`is_available`](ClientScheduler::is_available) itself).
+    ///
+    /// The default is uniform rejection sampling ([`pick_gated`]): for
+    /// always-available policies that is a single uniform draw over the free
+    /// set — the same draw the engine historically made over a materialised
+    /// eligible `Vec`, so existing digests are preserved — and it never
+    /// scans the population unless availability is pathologically sparse.
+    /// Cost-sensitive policies override it.
     fn pick_next(
         &self,
-        _now: f64,
-        eligible: &[usize],
-        _ctx: &FederationContext,
+        now: f64,
+        pool: &dyn CandidatePool,
+        ctx: &FederationContext,
         rng: &mut SeededRng,
     ) -> Option<usize> {
-        if eligible.is_empty() {
-            None
-        } else {
-            Some(eligible[rng.index(eligible.len())])
-        }
+        pick_gated(pool, rng, |c| self.is_available(c, now, ctx))
     }
 
     /// How far the asynchronous engine advances the clock when no client is
@@ -124,7 +225,7 @@ impl ClientScheduler for UniformSampler {
         rng: &mut SeededRng,
     ) -> RoundPlan {
         let n = ctx.num_clients();
-        let clients = rng.choose_indices(n, per_round.min(n));
+        let clients = sample_clients(rng, n, per_round.min(n));
         let round_secs = max_cost_secs(ctx, &clients);
         RoundPlan {
             clients,
@@ -157,7 +258,7 @@ impl ClientScheduler for DeadlineAware {
         rng: &mut SeededRng,
     ) -> RoundPlan {
         let n = ctx.num_clients();
-        let candidates = rng.choose_indices(n, per_round.min(n));
+        let candidates = sample_clients(rng, n, per_round.min(n));
         let total = candidates.len();
         let clients: Vec<usize> = candidates
             .into_iter()
@@ -203,7 +304,7 @@ impl ClientScheduler for PowerOfChoice {
         let n = ctx.num_clients();
         let per_round = per_round.min(n);
         let pool = (per_round * self.factor.max(1)).min(n);
-        let mut candidates = rng.choose_indices(n, pool);
+        let mut candidates = sample_clients(rng, n, pool);
         // Fastest first; ties broken by client index for determinism.
         candidates.sort_by(|&a, &b| {
             let ca = ctx.assignment(a).cost.total_secs();
@@ -234,11 +335,42 @@ impl ClientScheduler for PowerOfChoice {
 /// client *actually* uploads are reported per update by
 /// [`ClientPayload::payload_bytes`](crate::ClientPayload::payload_bytes)
 /// and land in the telemetry this policy is trying to minimise.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct BandwidthAware {
     /// Over-sampling factor for the synchronous candidate pool (`factor ×
     /// per_round`); values below 2 degenerate towards uniform sampling.
     pub factor: usize,
+    /// All clients ranked by (estimated upload seconds, id), computed once
+    /// per session on first async dispatch. Upload costs are static for the
+    /// lifetime of a context, so each `pick_next` is then a walk down the
+    /// ranking — no re-sort, no allocation per refill.
+    ranking: OnceLock<Vec<usize>>,
+}
+
+impl BandwidthAware {
+    /// Creates the policy with the given over-sampling factor.
+    pub fn new(factor: usize) -> Self {
+        BandwidthAware {
+            factor,
+            ranking: OnceLock::new(),
+        }
+    }
+
+    fn ranking(&self, ctx: &FederationContext) -> &[usize] {
+        self.ranking.get_or_init(|| {
+            // Derive each client's upload cost exactly once (lazy contexts
+            // derive assignments on demand), then sort the index.
+            let mut costs: Vec<(f64, usize)> = (0..ctx.num_clients())
+                .map(|c| (upload_secs(ctx, c), c))
+                .collect();
+            costs.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("upload times are finite")
+                    .then(a.1.cmp(&b.1))
+            });
+            costs.into_iter().map(|(_, c)| c).collect()
+        })
+    }
 }
 
 /// Estimated upload seconds of a client: payload bytes over uplink.
@@ -280,19 +412,21 @@ impl ClientScheduler for BandwidthAware {
         }
     }
 
+    /// Walks the precomputed (upload cost, id) ranking and dispatches the
+    /// first client still in the pool — the same client the old
+    /// min-by-upload scan picked, found in O(dispatched-prefix) with no
+    /// per-refill allocation and no RNG consumption.
     fn pick_next(
         &self,
         _now: f64,
-        eligible: &[usize],
+        pool: &dyn CandidatePool,
         ctx: &FederationContext,
         _rng: &mut SeededRng,
     ) -> Option<usize> {
-        eligible.iter().copied().min_by(|&a, &b| {
-            upload_secs(ctx, a)
-                .partial_cmp(&upload_secs(ctx, b))
-                .expect("upload times are finite")
-                .then(a.cmp(&b))
-        })
+        self.ranking(ctx)
+            .iter()
+            .copied()
+            .find(|&c| pool.contains(c))
     }
 }
 
@@ -547,7 +681,7 @@ impl Schedule {
             Schedule::Uniform => Box::new(UniformSampler),
             Schedule::DeadlineAware { deadline_secs } => Box::new(DeadlineAware { deadline_secs }),
             Schedule::FastestOfK { factor } => Box::new(PowerOfChoice { factor }),
-            Schedule::BandwidthAware { factor } => Box::new(BandwidthAware { factor }),
+            Schedule::BandwidthAware { factor } => Box::new(BandwidthAware::new(factor)),
             Schedule::AvailabilityTrace {
                 period_secs,
                 online_fraction,
@@ -718,7 +852,7 @@ mod tests {
     #[test]
     fn bandwidth_aware_prefers_cheap_uploads() {
         let ctx = context(16);
-        let scheduler = BandwidthAware { factor: 4 };
+        let scheduler = BandwidthAware::new(4);
         let mut rng = SeededRng::new(5);
         let plan = scheduler.plan_round(1, 4, 0.0, &ctx, &mut rng);
         assert_eq!(plan.clients.len(), 4);
@@ -733,15 +867,30 @@ mod tests {
             mean_selected <= mean_all,
             "selected mean upload {mean_selected}s vs population {mean_all}s"
         );
-        // Async dispatch picks the globally cheapest eligible upload.
+        // Async dispatch picks the globally cheapest eligible upload,
+        // without consuming any randomness.
         let eligible: Vec<usize> = (0..16).collect();
+        let before = rng.snapshot();
         let picked = scheduler
-            .pick_next(0.0, &eligible, &ctx, &mut rng)
+            .pick_next(0.0, &Candidates(&eligible), &ctx, &mut rng)
             .expect("eligible non-empty");
+        assert_eq!(rng.snapshot(), before, "ranked dispatch is RNG-free");
         assert!(eligible
             .iter()
             .all(|&c| upload_secs(&ctx, picked) <= upload_secs(&ctx, c)));
-        assert!(scheduler.pick_next(0.0, &[], &ctx, &mut rng).is_none());
+        // With the cheapest clients busy, the walk lands on the cheapest
+        // remaining one.
+        let rest: Vec<usize> = eligible.iter().copied().filter(|&c| c != picked).collect();
+        let second = scheduler
+            .pick_next(0.0, &Candidates(&rest), &ctx, &mut rng)
+            .expect("still non-empty");
+        assert_ne!(second, picked);
+        assert!(rest
+            .iter()
+            .all(|&c| upload_secs(&ctx, second) <= upload_secs(&ctx, c)));
+        assert!(scheduler
+            .pick_next(0.0, &Candidates(&[]), &ctx, &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -906,10 +1055,69 @@ mod tests {
     }
 
     #[test]
+    fn default_pick_next_is_one_uniform_draw_over_the_free_set() {
+        // The digest contract: for always-available policies, pick_next
+        // must consume exactly one uniform draw over the free set — the
+        // same draw the engine historically made over a materialised
+        // eligible Vec.
+        let ctx = context(12);
+        let free: Vec<usize> = (0..12).collect();
+        let mut a = SeededRng::new(77);
+        let mut b = SeededRng::new(77);
+        let picked = UniformSampler.pick_next(0.0, &Candidates(&free), &ctx, &mut a);
+        let expected = free[b.index(free.len())];
+        assert_eq!(picked, Some(expected));
+        assert_eq!(a.snapshot(), b.snapshot(), "exactly one draw consumed");
+    }
+
+    #[test]
+    fn default_pick_next_gates_on_availability() {
+        let ctx = context(12);
+        let trace = AvailabilityTrace {
+            period_secs: 100.0,
+            online_fraction: 0.5,
+        };
+        let free: Vec<usize> = (0..12).collect();
+        let mut rng = SeededRng::new(6);
+        let mut picked_any = false;
+        for round in 0..30 {
+            let now = round as f64 * 100.0;
+            if let Some(c) = trace.pick_next(now, &Candidates(&free), &ctx, &mut rng) {
+                assert!(trace.is_available(c, now, &ctx), "picked offline client");
+                picked_any = true;
+            }
+        }
+        assert!(picked_any, "half-online trace never yielded a client");
+        // Nobody online → None, even though the pool is non-empty.
+        let dark = AvailabilityTrace {
+            period_secs: 100.0,
+            online_fraction: 0.0,
+        };
+        assert!(dark
+            .pick_next(0.0, &Candidates(&free), &ctx, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn sparse_sampling_matches_target_count_at_scale() {
+        // Floyd branch: huge population, tiny selection — O(count) work.
+        let mut rng = SeededRng::new(11);
+        let picked = sample_clients(&mut rng, 1_000_000, 8);
+        assert_eq!(picked.len(), 8);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]));
+        assert!(picked.iter().all(|&c| c < 1_000_000));
+        // Dense branch is byte-for-byte the legacy shuffle (golden digests
+        // are pinned against it).
+        let mut a = SeededRng::new(12);
+        let mut b = SeededRng::new(12);
+        assert_eq!(sample_clients(&mut a, 10, 4), b.choose_indices(10, 4));
+    }
+
+    #[test]
     fn new_policies_clamp_per_round_to_population() {
         let ctx = context(5);
         let mut rng = SeededRng::new(9);
-        let bw = BandwidthAware { factor: 3 }.plan_round(1, 40, 0.0, &ctx, &mut rng);
+        let bw = BandwidthAware::new(3).plan_round(1, 40, 0.0, &ctx, &mut rng);
         assert_eq!(bw.clients.len(), 5);
         let trace = AvailabilityTrace {
             period_secs: 50.0,

@@ -40,6 +40,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::observer::Observer;
 use crate::parallel::{ClientRunner, InProcessRunner};
+use crate::schedule::CandidatePool;
+use crate::store::ClientSet;
 use crate::{
     AlgorithmState, ClientRoundStat, ClientScheduler, ClientUpdate, EngineConfig, Execution,
     FederationContext, FlAlgorithm, FlEngine, FlError, FlResult, MetricsReport, RoundRecord,
@@ -216,6 +218,45 @@ enum DriveMode {
     },
 }
 
+/// The asynchronous engine's dispatch candidates: every client not currently
+/// in flight, viewed through [`CandidatePool`] without ever materialising
+/// the free list. [`nth`](CandidatePool::nth) walks the sorted busy set —
+/// O(in-flight), which is bounded by the concurrency slots, never by the
+/// population — so refilling a slot in a million-client federation costs the
+/// same as in a ten-client one.
+struct FreePool<'a> {
+    num_clients: usize,
+    busy: &'a ClientSet,
+}
+
+impl CandidatePool for FreePool<'_> {
+    fn len(&self) -> usize {
+        self.num_clients - self.busy.len()
+    }
+
+    fn nth(&self, k: usize) -> usize {
+        // The k-th free id: every busy id at or below the running answer
+        // shifts it up by one. Busy ids are sorted ascending, so one pass.
+        let mut id = k;
+        for b in self.busy.iter() {
+            if b <= id {
+                id += 1;
+            } else {
+                break;
+            }
+        }
+        id
+    }
+
+    fn contains(&self, client: usize) -> bool {
+        client < self.num_clients && !self.busy.contains(client)
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        Box::new((0..self.num_clients).filter(|&c| !self.busy.contains(c)))
+    }
+}
+
 impl DriveMode {
     /// The driver parameters a configuration implies — the single place
     /// slot sizing and flush thresholds are derived, so fresh and restored
@@ -295,8 +336,12 @@ pub struct Checkpoint {
     pub(crate) seq: u64,
     pub(crate) started: bool,
     pub(crate) finished: bool,
-    pub(crate) in_flight: Vec<bool>,
-    pub(crate) in_flight_count: usize,
+    /// Population size the run was taken from (the in-flight set is sparse,
+    /// so it no longer implies the client count).
+    pub(crate) num_clients: usize,
+    /// Clients in flight at capture, as a sorted id list — O(active), not
+    /// O(population), so million-client checkpoints stay small.
+    pub(crate) in_flight: Vec<usize>,
     pub(crate) arrivals: Vec<Arrival>,
     pub(crate) buffer: Vec<Buffered>,
     pub(crate) pending_stats: Vec<ClientRoundStat>,
@@ -380,8 +425,7 @@ pub struct Session<'a> {
     seq: u64,
     started: bool,
     finished: bool,
-    in_flight: Vec<bool>,
-    in_flight_count: usize,
+    in_flight: ClientSet,
     arrivals: BinaryHeap<Arrival>,
     buffer: Vec<Buffered>,
     pending_stats: Vec<ClientRoundStat>,
@@ -424,8 +468,7 @@ impl<'a> Session<'a> {
             seq: 0,
             started: false,
             finished: false,
-            in_flight: vec![false; num_clients],
-            in_flight_count: 0,
+            in_flight: ClientSet::new(),
             arrivals: BinaryHeap::new(),
             buffer: Vec::new(),
             pending_stats: Vec::new(),
@@ -596,8 +639,8 @@ impl<'a> Session<'a> {
             seq: self.seq,
             started: self.started,
             finished: self.finished,
-            in_flight: self.in_flight.clone(),
-            in_flight_count: self.in_flight_count,
+            num_clients: self.ctx.num_clients(),
+            in_flight: self.in_flight.as_slice().to_vec(),
             arrivals,
             buffer: self.buffer.clone(),
             pending_stats: self.pending_stats.clone(),
@@ -634,10 +677,10 @@ impl<'a> Session<'a> {
                 algorithm.name()
             )));
         }
-        if ctx.num_clients() != checkpoint.in_flight.len() {
+        if ctx.num_clients() != checkpoint.num_clients {
             return Err(FlError::InvalidConfig(format!(
                 "checkpoint covers {} clients but the context has {}",
-                checkpoint.in_flight.len(),
+                checkpoint.num_clients,
                 ctx.num_clients()
             )));
         }
@@ -670,8 +713,7 @@ impl<'a> Session<'a> {
             seq: checkpoint.seq,
             started: checkpoint.started,
             finished: checkpoint.finished,
-            in_flight: checkpoint.in_flight.clone(),
-            in_flight_count: checkpoint.in_flight_count,
+            in_flight: ClientSet::from_ids(checkpoint.in_flight.clone()),
             arrivals: checkpoint.arrivals.iter().cloned().collect(),
             buffer: checkpoint.buffer.clone(),
             pending_stats: checkpoint.pending_stats.clone(),
@@ -801,7 +843,7 @@ impl<'a> Session<'a> {
                 client: update.client,
                 sim_time_secs: self.sim_time,
             });
-            self.in_flight[update.client] = true;
+            self.in_flight.insert(update.client);
             self.arrivals.push(Arrival {
                 time: self.sim_time + cost.total_secs(),
                 seq: self.seq,
@@ -811,7 +853,6 @@ impl<'a> Session<'a> {
             });
             self.seq += 1;
         }
-        self.in_flight_count += expected;
         if expected == 0 {
             // The scheduler skipped every candidate (e.g. a missed
             // deadline): the round aggregates empty and the clock still
@@ -829,19 +870,22 @@ impl<'a> Session<'a> {
         };
         let num_clients = self.ctx.num_clients();
         let mut picked = Vec::new();
-        while self.in_flight_count + picked.len() < slots {
-            let eligible: Vec<usize> = (0..num_clients)
-                .filter(|&c| {
-                    !self.in_flight[c] && self.scheduler.is_available(c, self.sim_time, self.ctx)
-                })
-                .collect();
+        while self.in_flight.len() < slots {
+            // The free set is exposed as a view over the (small) busy set —
+            // no per-refill scan or allocation proportional to the
+            // population. Availability gating happens inside the
+            // scheduler's pick.
+            let pool = FreePool {
+                num_clients,
+                busy: &self.in_flight,
+            };
             let Some(client) =
                 self.scheduler
-                    .pick_next(self.sim_time, &eligible, self.ctx, &mut self.rng)
+                    .pick_next(self.sim_time, &pool, self.ctx, &mut self.rng)
             else {
                 break;
             };
-            self.in_flight[client] = true;
+            self.in_flight.insert(client);
             picked.push(client);
         }
         if picked.is_empty() {
@@ -873,7 +917,6 @@ impl<'a> Session<'a> {
             });
             self.seq += 1;
         }
-        self.in_flight_count += launched;
         Ok(launched)
     }
 
@@ -881,8 +924,7 @@ impl<'a> Session<'a> {
     /// policy, buffer it, and flush/refill as the mode dictates.
     fn process_arrival(&mut self, arrival: Arrival) -> FlResult<()> {
         let client = arrival.update.client;
-        self.in_flight[client] = false;
-        self.in_flight_count -= 1;
+        self.in_flight.remove(client);
         let staleness = self.version - arrival.dispatched_version;
         let is_async = matches!(self.mode, DriveMode::Async { .. });
         if is_async {
@@ -1022,12 +1064,12 @@ impl<'a> Session<'a> {
     /// [`RoundRecord`] carrying the telemetry accumulated since the previous
     /// evaluation point.
     fn evaluate(&mut self, round: usize) -> FlResult<RoundRecord> {
-        let global_accuracy = self.algorithm.evaluate_global(self.ctx.data().test())?;
+        let global_accuracy = self.algorithm.evaluate_global(self.ctx.test_set())?;
         let mut per_client_accuracy = Vec::with_capacity(self.stability_sample.len());
         for &client in &self.stability_sample {
             per_client_accuracy.push(
                 self.algorithm
-                    .evaluate_client(client, self.ctx.data().test())?,
+                    .evaluate_client(client, self.ctx.test_set())?,
             );
         }
         let record = RoundRecord {
@@ -1073,7 +1115,7 @@ impl std::fmt::Debug for Session<'_> {
             .field("algorithm", &self.report.algorithm)
             .field("completed_rounds", &self.version)
             .field("sim_time_secs", &self.sim_time)
-            .field("in_flight", &self.in_flight_count)
+            .field("in_flight", &self.in_flight.len())
             .field("finished", &self.finished)
             .finish()
     }
@@ -1102,6 +1144,36 @@ mod tests {
             .map(|a| (a.time, a.seq))
             .collect();
         assert_eq!(order, vec![(1.0, 0), (1.0, 1), (3.0, 3), (5.0, 2)]);
+    }
+
+    #[test]
+    fn free_pool_indexes_kth_free_in_busy_time() {
+        let busy: ClientSet = [1usize, 2, 5].into_iter().collect();
+        let pool = FreePool {
+            num_clients: 8,
+            busy: &busy,
+        };
+        // Free ids: 0, 3, 4, 6, 7.
+        assert_eq!(pool.len(), 5);
+        assert!(!pool.is_empty());
+        let by_nth: Vec<usize> = (0..pool.len()).map(|k| pool.nth(k)).collect();
+        assert_eq!(by_nth, vec![0, 3, 4, 6, 7]);
+        assert_eq!(pool.iter().collect::<Vec<_>>(), by_nth);
+        assert!(pool.contains(0) && pool.contains(7));
+        assert!(!pool.contains(5), "busy client is not a candidate");
+        assert!(!pool.contains(8), "out of population");
+        // A sparse busy set over a huge population: nth never scans the
+        // population, only the busy ids.
+        let busy: ClientSet = (0..64).map(|i| i * 1000).collect();
+        let pool = FreePool {
+            num_clients: 1_000_000_000,
+            busy: &busy,
+        };
+        assert_eq!(pool.len(), 1_000_000_000 - 64);
+        assert_eq!(pool.nth(0), 1);
+        assert_eq!(pool.nth(998), 999);
+        assert_eq!(pool.nth(999), 1001);
+        assert_eq!(pool.nth(pool.len() - 1), 999_999_999);
     }
 
     #[test]

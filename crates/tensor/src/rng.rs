@@ -300,6 +300,34 @@ impl SeededRng {
         indices
     }
 
+    /// Chooses `count` distinct indices from `[0, n)` uniformly at random in
+    /// O(count) time and memory (Robert Floyd's sampling algorithm),
+    /// returned sorted ascending.
+    ///
+    /// The subset is uniform like [`choose_indices`](SeededRng::choose_indices)
+    /// but the two methods consume the stream differently and realise
+    /// different subsets for the same state: `choose_indices` shuffles all
+    /// `n` candidates (O(n) work — fine when `count` is a sizeable fraction
+    /// of `n`), while this never touches more than `count` of them — the
+    /// population-scale path, where `n` is millions and `count` is dozens.
+    ///
+    /// # Panics
+    /// Panics if `count > n`.
+    pub fn sample_indices(&mut self, n: usize, count: usize) -> Vec<usize> {
+        assert!(count <= n, "cannot sample {count} items from {n}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(count);
+        for j in (n - count)..n {
+            let candidate = self.index(j + 1);
+            if chosen.contains(&candidate) {
+                chosen.push(j);
+            } else {
+                chosen.push(candidate);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
     /// Samples an index according to the (non-negative, not necessarily
     /// normalised) weights. Falls back to uniform if all weights are zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
@@ -386,6 +414,39 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), 10);
         assert!(picked.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_indices_distinct_sorted_and_sparse() {
+        let mut rng = SeededRng::new(5);
+        let picked = rng.sample_indices(1_000_000_000, 20);
+        assert_eq!(picked.len(), 20);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        assert!(picked.iter().all(|&i| i < 1_000_000_000));
+        // Deterministic given the stream state.
+        let mut a = SeededRng::new(9);
+        let mut b = SeededRng::new(9);
+        assert_eq!(a.sample_indices(1 << 40, 16), b.sample_indices(1 << 40, 16));
+        // Degenerate edges.
+        assert!(rng.sample_indices(10, 0).is_empty());
+        assert_eq!(rng.sample_indices(5, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_indices_is_roughly_uniform() {
+        // Every index of a small range should be hit at a similar rate.
+        let mut rng = SeededRng::new(31);
+        let mut hits = [0usize; 10];
+        for _ in 0..2000 {
+            for i in rng.sample_indices(10, 3) {
+                hits[i] += 1;
+            }
+        }
+        // Expected 600 hits each; allow a generous band.
+        assert!(
+            hits.iter().all(|&h| (400..800).contains(&h)),
+            "hits={hits:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl FlAlgorithm for RecordingAlgorithm {
     ) -> FlResult<ClientUpdate> {
         Ok(ClientUpdate::new(
             client,
-            ctx.data().client(client).len(),
+            ctx.client_shard(client).len(),
             ClientPayload::Empty,
         ))
     }

@@ -12,11 +12,13 @@
 //!    wrong magic, future format versions and mismatched configuration
 //!    fingerprints all return *typed* `PersistError`s: decoding never
 //!    panics and never silently restores a wrong checkpoint.
-//! 3. **Format stability** — the committed fixture
-//!    `tests/fixtures/checkpoint_v1.ckpt` decodes on every run, resumes to
-//!    the pinned digest, and re-encodes byte-identically (the on-disk
-//!    analogue of `golden_digests.txt`). Re-bless after an *intentional*
-//!    format change with:
+//! 3. **Format stability** — the committed fixtures pin both generations of
+//!    the format: `tests/fixtures/checkpoint_v1.ckpt` (dense in-flight map)
+//!    must keep decoding and resuming to the pinned digest, and
+//!    `tests/fixtures/checkpoint_v2.ckpt` (sparse in-flight list) must
+//!    additionally re-encode byte-identically (the on-disk analogue of
+//!    `golden_digests.txt`). Only the current-version fixture can be
+//!    re-blessed after an *intentional* format change with:
 //!
 //!    ```text
 //!    PERSIST_BLESS=1 cargo test --test persist -- --test-threads=1
@@ -218,13 +220,20 @@ fn wrong_magic_is_rejected() {
 #[test]
 fn future_format_versions_are_rejected_not_misparsed() {
     let mut bytes = sample_bytes();
-    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
     assert!(matches!(
         Checkpoint::from_bytes(&bytes),
         Err(PersistError::UnsupportedVersion {
-            found: 2,
-            supported: 1
+            found: 3,
+            supported: 2
         })
+    ));
+    // Version 0 never existed either.
+    let mut bytes = sample_bytes();
+    bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::from_bytes(&bytes),
+        Err(PersistError::UnsupportedVersion { found: 0, .. })
     ));
 }
 
@@ -370,13 +379,70 @@ fn fixture_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
-#[test]
-fn committed_fixture_checkpoint_decodes_and_resumes_to_the_pinned_digest() {
-    let ckpt_path = fixture_dir().join("checkpoint_v1.ckpt");
-    let digest_path = fixture_dir().join("checkpoint_v1.digest");
+fn read_pinned_digest(path: &std::path::Path) -> u64 {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| panic!("{} is committed with the repo", path.display()));
+    u64::from_str_radix(raw.trim().trim_start_matches("0x"), 16).expect("pinned digest (hex)")
+}
+
+/// Decodes a committed fixture and resumes it to its pinned digest.
+fn decode_and_resume_fixture(ckpt: &str, digest: &str) -> (Vec<u8>, Checkpoint) {
+    let bytes = std::fs::read(fixture_dir().join(ckpt))
+        .unwrap_or_else(|_| panic!("tests/fixtures/{ckpt} is committed with the repo"));
+    let pinned = read_pinned_digest(&fixture_dir().join(digest));
+
+    // The fixture still decodes under today's codec...
+    let checkpoint = Checkpoint::from_bytes(&bytes).unwrap_or_else(|e| {
+        panic!(
+            "committed fixture {ckpt} no longer decodes ({e}); if the format change \
+             was intentional, bump FORMAT_VERSION and re-bless with PERSIST_BLESS=1"
+        )
+    });
+    // ... and resumes to the exact digest of the uninterrupted run.
     let spec = fixture_spec();
+    let ctx = spec.build_context().unwrap();
+    let mut algorithm = build_algorithm(spec.method);
+    let resumed: MetricsReport = Session::restore(algorithm.as_mut(), &ctx, &checkpoint)
+        .unwrap()
+        .drain()
+        .unwrap();
+    assert_eq!(
+        resumed.digest(),
+        pinned,
+        "{ckpt} resume digest moved; re-bless with PERSIST_BLESS=1 if intentional"
+    );
+    (bytes, checkpoint)
+}
+
+/// The version-1 fixture (dense in-flight map) predates the sparse driver
+/// section and can no longer be re-blessed: it is the permanent record of
+/// the old format. It must keep decoding and resuming bit-exactly, and its
+/// re-encode must be a *valid current-version* file with the same state —
+/// but not the same bytes, since encoding always writes the newest version.
+#[test]
+fn committed_v1_fixture_still_decodes_and_resumes_to_the_pinned_digest() {
+    let (bytes, checkpoint) =
+        decode_and_resume_fixture("checkpoint_v1.ckpt", "checkpoint_v1.digest");
+    let reencoded = checkpoint.to_bytes();
+    assert_ne!(
+        reencoded, bytes,
+        "a v1 file must re-encode as the current version, not byte-identically"
+    );
+    let roundtripped = Checkpoint::from_bytes(&reencoded).expect("re-encoded v1 decodes as v2");
+    assert_eq!(
+        roundtripped.to_bytes(),
+        reencoded,
+        "the upgraded encoding must itself be canonical"
+    );
+}
+
+#[test]
+fn committed_v2_fixture_decodes_resumes_and_reencodes_byte_identically() {
+    let ckpt_path = fixture_dir().join("checkpoint_v2.ckpt");
+    let digest_path = fixture_dir().join("checkpoint_v2.digest");
 
     if std::env::var("PERSIST_BLESS").is_ok_and(|v| v == "1") {
+        let spec = fixture_spec();
         let checkpoint = checkpoint_at(&spec, FIXTURE_CUT);
         std::fs::write(&ckpt_path, checkpoint.to_bytes()).unwrap();
         let digest = spec.run().unwrap().report.digest();
@@ -388,37 +454,12 @@ fn committed_fixture_checkpoint_decodes_and_resumes_to_the_pinned_digest() {
         );
     }
 
-    let bytes = std::fs::read(&ckpt_path)
-        .expect("tests/fixtures/checkpoint_v1.ckpt is committed with the repo");
-    let pinned = {
-        let raw = std::fs::read_to_string(&digest_path)
-            .expect("tests/fixtures/checkpoint_v1.digest is committed with the repo");
-        u64::from_str_radix(raw.trim().trim_start_matches("0x"), 16).expect("pinned digest (hex)")
-    };
-
-    // The fixture still decodes under today's codec...
-    let checkpoint = Checkpoint::from_bytes(&bytes).unwrap_or_else(|e| {
-        panic!(
-            "committed fixture no longer decodes ({e}); if the format change was \
-             intentional, bump FORMAT_VERSION and re-bless with PERSIST_BLESS=1"
-        )
-    });
-    // ... re-encodes byte-identically (canonical encoding is stable) ...
+    let (bytes, checkpoint) =
+        decode_and_resume_fixture("checkpoint_v2.ckpt", "checkpoint_v2.digest");
+    // Canonical encoding is stable for current-version files.
     assert_eq!(
         checkpoint.to_bytes(),
         bytes,
         "encoder output drifted from the committed fixture; re-bless if intentional"
-    );
-    // ... and resumes to the exact digest of the uninterrupted run.
-    let ctx = spec.build_context().unwrap();
-    let mut algorithm = build_algorithm(spec.method);
-    let resumed: MetricsReport = Session::restore(algorithm.as_mut(), &ctx, &checkpoint)
-        .unwrap()
-        .drain()
-        .unwrap();
-    assert_eq!(
-        resumed.digest(),
-        pinned,
-        "fixture resume digest moved; re-bless with PERSIST_BLESS=1 if intentional"
     );
 }
