@@ -11,6 +11,7 @@ use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
 use mhfl_fl::{
     AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+    RobustAggregation,
 };
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::{ParamSpec, StateDict};
@@ -24,6 +25,7 @@ pub struct SmallestHomogeneous {
     config: Option<ProxyConfig>,
     /// Scatter plans reused across rounds (see [`PlanCache`]).
     plans: PlanCache,
+    robust: RobustAggregation,
 }
 
 impl SmallestHomogeneous {
@@ -35,6 +37,7 @@ impl SmallestHomogeneous {
             global_specs: Vec::new(),
             config: None,
             plans: PlanCache::new(),
+            robust: RobustAggregation::None,
         }
     }
 
@@ -88,7 +91,7 @@ impl FlAlgorithm for SmallestHomogeneous {
         // The snapshot covers every parameter: skip the thrown-away random
         // initialisation entirely.
         let mut model = ProxyModel::from_state(cfg, &self.global_sd)?;
-        let data = ctx.client_shard(client);
+        let data = ctx.client_shard_at(client, round);
         local_train_ce(&mut model, &data, ctx.train_config(), &mut rng)?;
         Ok(ClientUpdate::new(
             client,
@@ -108,7 +111,8 @@ impl FlAlgorithm for SmallestHomogeneous {
         _ctx: &FederationContext,
     ) -> FlResult<()> {
         self.require_setup()?;
-        let mut aggregator = ServerAggregator::new(self.global_specs.clone());
+        let mut aggregator =
+            ServerAggregator::new(self.global_specs.clone()).with_robust(self.robust);
         for update in &updates {
             let ClientPayload::SubModel {
                 state, selection, ..
@@ -152,6 +156,10 @@ impl FlAlgorithm for SmallestHomogeneous {
         self.setup(ctx)?;
         self.global_sd = state.take_state("global")?;
         Ok(())
+    }
+
+    fn set_robust_aggregation(&mut self, robust: RobustAggregation) {
+        self.robust = robust;
     }
 }
 

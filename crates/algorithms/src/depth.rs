@@ -22,7 +22,7 @@ use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::evaluate_accuracy;
 use mhfl_fl::{
     AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
-    LocalTrainConfig,
+    LocalTrainConfig, RobustAggregation,
 };
 use mhfl_models::{MhflMethod, ProxyModel};
 use mhfl_nn::loss::{accuracy, cross_entropy, soft_cross_entropy};
@@ -44,6 +44,7 @@ pub struct DepthAlgorithm {
     global_specs: Vec<ParamSpec>,
     /// Gather/scatter plans reused across rounds (see [`PlanCache`]).
     plans: PlanCache,
+    robust: RobustAggregation,
 }
 
 impl DepthAlgorithm {
@@ -65,6 +66,7 @@ impl DepthAlgorithm {
             global_sd: StateDict::new(),
             global_specs: Vec::new(),
             plans: PlanCache::new(),
+            robust: RobustAggregation::None,
         }
     }
 
@@ -227,7 +229,7 @@ impl FlAlgorithm for DepthAlgorithm {
             WidthSelection::Prefix,
         )?;
         model.load_state_dict(&plan.extract(&self.global_sd)?)?;
-        let data = ctx.client_shard(client);
+        let data = ctx.client_shard_at(client, round);
         match self.method {
             MhflMethod::DepthFl => {
                 Self::local_train_depthfl(&mut model, &data, ctx.train_config(), &mut rng)?;
@@ -255,7 +257,8 @@ impl FlAlgorithm for DepthAlgorithm {
     ) -> FlResult<()> {
         self.require_setup()?;
         let previous = self.global_sd.clone();
-        let mut aggregator = ServerAggregator::new(self.global_specs.clone());
+        let mut aggregator =
+            ServerAggregator::new(self.global_specs.clone()).with_robust(self.robust);
         let mut deepest_covered = 0usize;
         for update in &updates {
             let ClientPayload::SubModel {
@@ -334,6 +337,10 @@ impl FlAlgorithm for DepthAlgorithm {
         self.setup(ctx)?;
         self.global_sd = state.take_state("global")?;
         Ok(())
+    }
+
+    fn set_robust_aggregation(&mut self, robust: RobustAggregation) {
+        self.robust = robust;
     }
 }
 

@@ -10,9 +10,11 @@
 use std::collections::BTreeMap;
 
 use mhfl_data::Dataset;
+use mhfl_fl::adversary::{clip_tensor, coordinate_median};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
 use mhfl_fl::{
     AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+    RobustAggregation,
 };
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::loss::soft_cross_entropy;
@@ -38,6 +40,7 @@ pub struct FedEt {
     /// Server ensemble predictions on the public set from the previous round.
     server_public_probs: Option<Tensor>,
     num_classes: usize,
+    robust: RobustAggregation,
 }
 
 impl FedEt {
@@ -48,6 +51,7 @@ impl FedEt {
             client_states: BTreeMap::new(),
             server_public_probs: None,
             num_classes: 0,
+            robust: RobustAggregation::None,
         }
     }
 
@@ -119,6 +123,35 @@ impl Default for FedEt {
     }
 }
 
+/// Per-coordinate median over `votes` ([rows, cols] each), clamped
+/// non-negative and renormalised so every row sums to one (uniform when a
+/// row's median mass is entirely zero).
+fn median_vote_matrix(votes: &[Tensor], rows: usize, cols: usize) -> Tensor {
+    let mut merged = vec![0.0f32; rows * cols];
+    let mut column = Vec::with_capacity(votes.len());
+    for (i, slot) in merged.iter_mut().enumerate() {
+        column.clear();
+        for vote in votes {
+            if let Some(&v) = vote.as_slice().get(i) {
+                column.push(v);
+            }
+        }
+        *slot = coordinate_median(&mut column).unwrap_or(0.0).max(0.0);
+    }
+    for row in merged.chunks_mut(cols.max(1)) {
+        let total: f32 = row.iter().sum();
+        if total > 0.0 {
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        } else {
+            let uniform = 1.0 / cols.max(1) as f32;
+            row.fill(uniform);
+        }
+    }
+    Tensor::from_vec(merged, &[rows, cols]).expect("vector length matches the shape")
+}
+
 impl FlAlgorithm for FedEt {
     fn name(&self) -> String {
         MhflMethod::FedEt.display_name().to_string()
@@ -156,7 +189,7 @@ impl FlAlgorithm for FedEt {
             )?;
         }
         // Local supervised training.
-        let data = ctx.client_shard(client);
+        let data = ctx.client_shard_at(client, round);
         local_train_ce(&mut model, &data, &cfg, &mut rng)?;
 
         // Upload direction: logits on the public set, confidence-weighted.
@@ -185,10 +218,12 @@ impl FlAlgorithm for FedEt {
         let cfg = *ctx.train_config();
         let mut weighted_probs = Tensor::zeros(&[public.len(), self.num_classes]);
         let mut total_weight = 0.0f32;
+        // Per-client vote matrices, kept only under coordinate-median.
+        let mut per_client: Vec<Tensor> = Vec::new();
 
         for update in updates {
             let client = update.client;
-            let (state, probs, confidence) = match update.payload {
+            let (state, mut probs, confidence) = match update.payload {
                 ClientPayload::PublicLogits {
                     state,
                     probs,
@@ -204,12 +239,37 @@ impl FlAlgorithm for FedEt {
             };
             self.client_states
                 .insert(client, (Self::client_config(ctx, client), state));
+            if let RobustAggregation::NormClip { max_norm } = self.robust {
+                clip_tensor(&mut probs, max_norm);
+            }
             // Stale votes (asynchronous buffered execution) are discounted
             // on top of the client's own confidence; synchronous rounds
             // always carry a staleness weight of 1.0.
             let weight = confidence * update.staleness_weight;
             weighted_probs.axpy(weight, &probs)?;
             total_weight += weight;
+            if self.robust == RobustAggregation::CoordinateMedian {
+                per_client.push(probs);
+            }
+        }
+
+        if self.robust == RobustAggregation::CoordinateMedian && !per_client.is_empty() {
+            // Robust ensembling: per-coordinate median of the client vote
+            // matrices (confidence and staleness weights deliberately
+            // ignored — the median is an order statistic). The result is
+            // clamped non-negative and row-renormalised so it remains a
+            // distribution the distillation loss can consume.
+            let ensemble = median_vote_matrix(&per_client, public.len(), self.num_classes);
+            let server = self.server_model.as_mut().expect("checked");
+            Self::distill(
+                server,
+                public.inputs(),
+                &ensemble,
+                SERVER_DISTILL_STEPS,
+                cfg.sgd,
+            )?;
+            self.server_public_probs = Some(ensemble);
+            return Ok(());
         }
 
         if total_weight > 0.0 {
@@ -288,6 +348,10 @@ impl FlAlgorithm for FedEt {
                 .insert(client, (Self::client_config(ctx, client), sd));
         }
         Ok(())
+    }
+
+    fn set_robust_aggregation(&mut self, robust: RobustAggregation) {
+        self.robust = robust;
     }
 }
 

@@ -9,9 +9,11 @@
 use std::collections::BTreeMap;
 
 use mhfl_data::Dataset;
+use mhfl_fl::adversary::{clip_tensor, coordinate_median};
 use mhfl_fl::train::evaluate_accuracy;
 use mhfl_fl::{
     AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+    RobustAggregation,
 };
 use mhfl_models::{MhflMethod, ProxyConfig, ProxyModel};
 use mhfl_nn::loss::{accuracy, cross_entropy, prototype_loss};
@@ -40,6 +42,7 @@ pub struct FedProto {
     proto_counts: Vec<f32>,
     num_classes: usize,
     ready: bool,
+    robust: RobustAggregation,
 }
 
 impl FedProto {
@@ -51,6 +54,7 @@ impl FedProto {
             proto_counts: Vec::new(),
             num_classes: 0,
             ready: false,
+            robust: RobustAggregation::None,
         }
     }
 
@@ -173,7 +177,7 @@ impl FlAlgorithm for FedProto {
         self.require_setup()?;
         let mut rng = SeededRng::new(ctx.seed()).derive((round * 10_000 + client) as u64);
         let mut model = self.build_client_model(ctx, client)?;
-        let data = ctx.client_shard(client);
+        let data = ctx.client_shard_at(client, round);
         let (sums, counts) = self.train_client(&mut model, &data, ctx, &mut rng)?;
         Ok(ClientUpdate::new(
             client,
@@ -195,6 +199,8 @@ impl FlAlgorithm for FedProto {
         self.require_setup()?;
         let mut round_sums = Tensor::zeros(&[self.num_classes, PROTO_DIM]);
         let mut round_counts = vec![0.0f32; self.num_classes];
+        // Per-client (sums, counts), kept only under coordinate-median.
+        let mut per_client: Vec<(Tensor, Vec<f32>)> = Vec::new();
         for update in updates {
             let client = update.client;
             // Under asynchronous buffered execution the engine discounts
@@ -202,7 +208,7 @@ impl FlAlgorithm for FedProto {
             // proportionally fewer "effective samples" to the prototype
             // means. Synchronous rounds always carry weight 1.0.
             let staleness_weight = update.staleness_weight;
-            let (state, sums, counts) = match update.payload {
+            let (state, mut sums, counts) = match update.payload {
                 ClientPayload::Prototypes {
                     state,
                     sums,
@@ -218,10 +224,43 @@ impl FlAlgorithm for FedProto {
             };
             self.client_states
                 .insert(client, (Self::client_config(ctx, client), state));
+            if let RobustAggregation::NormClip { max_norm } = self.robust {
+                clip_tensor(&mut sums, max_norm);
+            }
             round_sums.axpy(staleness_weight, &sums)?;
-            for (acc, c) in round_counts.iter_mut().zip(counts) {
+            for (acc, &c) in round_counts.iter_mut().zip(&counts) {
                 *acc += c * staleness_weight;
             }
+            if self.robust == RobustAggregation::CoordinateMedian {
+                per_client.push((sums, counts));
+            }
+        }
+        if self.robust == RobustAggregation::CoordinateMedian {
+            // Robust server-side aggregation: for every class a client
+            // reported, take the per-coordinate median of the client *class
+            // means* (sums / counts) — a single corrupted client cannot move
+            // the prototype when a majority of contributors is honest.
+            // Staleness weights are deliberately ignored: the median is an
+            // order statistic, not a weighted mean.
+            for class in 0..self.num_classes {
+                let contributors: Vec<&(Tensor, Vec<f32>)> = per_client
+                    .iter()
+                    .filter(|(_, counts)| counts[class] > 0.0)
+                    .collect();
+                if contributors.is_empty() {
+                    continue;
+                }
+                for j in 0..PROTO_DIM {
+                    let mut means = Vec::with_capacity(contributors.len());
+                    for (sums, counts) in &contributors {
+                        means.push(sums.at(&[class, j])? / counts[class]);
+                    }
+                    let median = coordinate_median(&mut means).expect("contributors is non-empty");
+                    self.prototypes.set(&[class, j], median)?;
+                }
+                self.proto_counts[class] += round_counts[class];
+            }
+            return Ok(());
         }
         // Server-side prototype aggregation (weighted mean over contributing
         // samples); classes unseen this round keep their previous prototype.
@@ -297,6 +336,10 @@ impl FlAlgorithm for FedProto {
                 .insert(client, (Self::client_config(ctx, client), sd));
         }
         Ok(())
+    }
+
+    fn set_robust_aggregation(&mut self, robust: RobustAggregation) {
+        self.robust = robust;
     }
 }
 

@@ -18,6 +18,7 @@ use mhfl_fl::submodel::{PlanCache, ServerAggregator, WidthSelection};
 use mhfl_fl::train::{evaluate_accuracy, local_train_ce};
 use mhfl_fl::{
     AlgorithmState, ClientPayload, ClientUpdate, FederationContext, FlAlgorithm, FlError, FlResult,
+    RobustAggregation,
 };
 use mhfl_models::{MhflMethod, ProxyModel};
 use mhfl_nn::{ParamSpec, StateDict};
@@ -36,6 +37,7 @@ pub struct WidthAlgorithm {
     global_specs: Vec<ParamSpec>,
     /// Gather/scatter plans reused across rounds (see [`PlanCache`]).
     plans: PlanCache,
+    robust: RobustAggregation,
 }
 
 impl WidthAlgorithm {
@@ -58,6 +60,7 @@ impl WidthAlgorithm {
             global_sd: StateDict::new(),
             global_specs: Vec::new(),
             plans: PlanCache::new(),
+            robust: RobustAggregation::None,
         }
     }
 
@@ -126,7 +129,7 @@ impl FlAlgorithm for WidthAlgorithm {
             self.plans
                 .for_client_specs(&self.global_specs, &model.param_specs(), selection)?;
         model.load_state_dict(&plan.extract(&self.global_sd)?)?;
-        let data = ctx.client_shard(client);
+        let data = ctx.client_shard_at(client, round);
         local_train_ce(&mut model, &data, ctx.train_config(), &mut rng)?;
         Ok(ClientUpdate::new(
             client,
@@ -145,7 +148,8 @@ impl FlAlgorithm for WidthAlgorithm {
         updates: Vec<ClientUpdate>,
         _ctx: &FederationContext,
     ) -> FlResult<()> {
-        let mut aggregator = ServerAggregator::new(self.global_specs.clone());
+        let mut aggregator =
+            ServerAggregator::new(self.global_specs.clone()).with_robust(self.robust);
         for update in &updates {
             let ClientPayload::SubModel {
                 state, selection, ..
@@ -203,6 +207,10 @@ impl FlAlgorithm for WidthAlgorithm {
         self.setup(ctx)?;
         self.global_sd = state.take_state("global")?;
         Ok(())
+    }
+
+    fn set_robust_aggregation(&mut self, robust: RobustAggregation) {
+        self.robust = robust;
     }
 }
 

@@ -3,11 +3,11 @@
 use std::sync::Arc;
 
 use mhfl_algorithms::build_algorithm;
-use mhfl_data::{DataTask, Dataset, FederatedDataset, Partition, ShardPlan};
+use mhfl_data::{DataTask, Dataset, Drift, FederatedDataset, Partition, ShardPlan};
 use mhfl_device::{ClientAssignment, ConstraintCase, CostModel, ModelPool};
 use mhfl_fl::{
-    ClientSource, EngineConfig, Execution, FederationContext, FlEngine, FlResult, LocalTrainConfig,
-    MetricsReport, Parallelism, Schedule, Staleness,
+    ClientSource, Corruption, EngineConfig, Execution, FederationContext, FlEngine, FlResult,
+    LocalTrainConfig, MetricsReport, Parallelism, RobustAggregation, Schedule, Staleness,
 };
 use mhfl_models::MhflMethod;
 use serde::{Deserialize, Serialize};
@@ -110,6 +110,18 @@ pub struct ExperimentSpec {
     /// [`MetricsReport::dropped_updates`](mhfl_fl::MetricsReport)).
     /// `None` keeps every update.
     pub max_staleness: Option<usize>,
+    /// Byzantine-client policy: seeded corruption applied to the uploads of
+    /// a fixed sub-population ([`Corruption::None`] is inert).
+    pub corruption: Corruption,
+    /// Server-side robust-aggregation counter-measure
+    /// ([`RobustAggregation::None`] preserves plain weighted averaging
+    /// bit-for-bit).
+    pub robust: RobustAggregation,
+    /// Probability in `[0, 1]` that a dispatched client silently churns
+    /// mid-round and its update never arrives (`0.0` is inert).
+    pub churn_fraction: f64,
+    /// Label/concept drift schedule over rounds ([`Drift::None`] is inert).
+    pub drift: Drift,
 }
 
 impl ExperimentSpec {
@@ -129,6 +141,10 @@ impl ExperimentSpec {
             execution: Execution::Synchronous,
             staleness: Staleness::Sqrt,
             max_staleness: None,
+            corruption: Corruption::None,
+            robust: RobustAggregation::None,
+            churn_fraction: 0.0,
+            drift: Drift::None,
         }
     }
 
@@ -194,6 +210,30 @@ impl ExperimentSpec {
         self
     }
 
+    /// Sets the byzantine-client corruption policy.
+    pub fn with_corruption(mut self, corruption: Corruption) -> Self {
+        self.corruption = corruption;
+        self
+    }
+
+    /// Sets the server-side robust-aggregation counter-measure.
+    pub fn with_robust_aggregation(mut self, robust: RobustAggregation) -> Self {
+        self.robust = robust;
+        self
+    }
+
+    /// Sets the mid-round churn probability (clamped to `[0, 1]`).
+    pub fn with_churn(mut self, fraction: f64) -> Self {
+        self.churn_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the label/concept drift schedule.
+    pub fn with_drift(mut self, drift: Drift) -> Self {
+        self.drift = drift;
+        self
+    }
+
     /// Builds the federation context this spec describes.
     ///
     /// # Errors
@@ -221,7 +261,7 @@ impl ExperimentSpec {
             self.constraint
                 .assign_clients(&pool, self.method, &devices, &CostModel::default());
         let train = LocalTrainConfig::default();
-        FederationContext::new(data, assignments, train, self.seed)
+        Ok(FederationContext::new(data, assignments, train, self.seed)?.with_drift(self.drift))
     }
 
     /// Builds a *lazy* federation context for this spec: no per-client state
@@ -266,7 +306,7 @@ impl ExperimentSpec {
             cost_model: CostModel::default(),
             seed: self.seed,
         };
-        FederationContext::lazy(
+        Ok(FederationContext::lazy(
             self.task,
             num_clients,
             test,
@@ -274,7 +314,8 @@ impl ExperimentSpec {
             Arc::new(source),
             LocalTrainConfig::default(),
             self.seed,
-        )
+        )?
+        .with_drift(self.drift))
     }
 
     /// The engine this spec runs under — the entry point for driving the
@@ -323,7 +364,11 @@ impl ExperimentSpec {
         let ctx = self.build_context()?;
         let engine = self.engine();
         let mut algorithm = build_algorithm(self.method);
-        let report = engine.run(algorithm.as_mut(), &ctx)?;
+        algorithm.set_robust_aggregation(self.robust);
+        let mut session = engine.session(algorithm.as_mut(), &ctx)?;
+        session.set_corruption(self.corruption);
+        session.set_churn(self.churn_fraction);
+        let report = session.drain()?;
         let summary = MetricSummary {
             global_accuracy: report.final_accuracy(),
             time_to_accuracy_secs: report.time_to_accuracy(self.target_accuracy),

@@ -31,10 +31,11 @@ mod report;
 pub use experiment::{
     ExperimentOutcome, ExperimentSpec, LazyClientSource, MetricSummary, RunScale,
 };
+pub use mhfl_data::Drift;
 pub use mhfl_fl::{
-    AlgorithmState, Checkpoint, CheckpointObserver, ClientRoundStat, CsvTelemetry, EarlyStop,
-    EventCounter, Execution, MetricsReport, Observer, Parallelism, PersistError, ProgressLogger,
-    RoundEvent, Schedule, Session, Staleness,
+    AlgorithmState, Checkpoint, CheckpointObserver, ClientRoundStat, Corruption, CsvTelemetry,
+    EarlyStop, EventCounter, Execution, MetricsReport, Observer, Parallelism, PersistError,
+    ProgressLogger, RobustAggregation, RoundEvent, Schedule, Session, Staleness, TraceReplay,
 };
 pub use platform::{base_family_for_task, topology_group_for_task, PlatformInventory};
 pub use report::{format_table, ComparisonRow};

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod drift;
 mod federated;
 mod lazy;
 mod partition;
@@ -29,6 +30,7 @@ mod synth;
 mod task;
 
 pub use dataset::{Batch, Dataset};
+pub use drift::{apply_drift, Drift};
 pub use federated::FederatedDataset;
 pub use lazy::ShardPlan;
 pub use partition::Partition;

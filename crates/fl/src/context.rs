@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 use std::sync::{Arc, OnceLock};
 
-use mhfl_data::{DataTask, Dataset, FederatedDataset};
+use mhfl_data::{apply_drift, DataTask, Dataset, Drift, FederatedDataset};
 use mhfl_device::ClientAssignment;
 use mhfl_nn::SgdConfig;
 use serde::{Deserialize, Serialize};
@@ -133,6 +133,10 @@ pub struct FederationContext {
     backend: Backend,
     train: LocalTrainConfig,
     seed: u64,
+    /// Distribution-shift schedule applied to training shards by
+    /// [`client_shard_at`](FederationContext::client_shard_at)
+    /// ([`Drift::None`] by default — observably inert).
+    drift: Drift,
     /// `(smallest, largest)` assignment by parameter count, computed on
     /// first use with an O(population)-time / O(1)-memory scan and cached.
     extremes: OnceLock<(ClientAssignment, ClientAssignment)>,
@@ -165,6 +169,7 @@ impl FederationContext {
             backend: Backend::Eager { data, assignments },
             train,
             seed,
+            drift: Drift::None,
             extremes: OnceLock::new(),
         })
     }
@@ -199,6 +204,7 @@ impl FederationContext {
             },
             train,
             seed,
+            drift: Drift::None,
             extremes: OnceLock::new(),
         })
     }
@@ -271,6 +277,43 @@ impl FederationContext {
                 Cow::Owned(source.client_shard(client))
             }
         }
+    }
+
+    /// The training shard of a client *as seen at round `round`*:
+    /// [`client_shard`](FederationContext::client_shard) with the context's
+    /// [`Drift`] schedule applied. With the default [`Drift::None`] (and in
+    /// epoch 0 of any schedule) this is exactly `client_shard` — same
+    /// borrow, no copy — so undrifted runs are bit-identical to the
+    /// round-oblivious accessor.
+    ///
+    /// # Panics
+    /// Panics if `client` is out of range.
+    pub fn client_shard_at(&self, client: usize, round: usize) -> Cow<'_, Dataset> {
+        let shard = self.client_shard(client);
+        match apply_drift(&shard, self.drift, self.seed, round) {
+            Some(drifted) => Cow::Owned(drifted),
+            None => shard,
+        }
+    }
+
+    /// The drift schedule training shards are viewed through.
+    pub fn drift(&self) -> Drift {
+        self.drift
+    }
+
+    /// Sets the drift schedule (default [`Drift::None`]). Drift only affects
+    /// [`client_shard_at`](FederationContext::client_shard_at) — the test
+    /// and public splits stay stationary, so metrics measure how training
+    /// under drift tracks the reference task.
+    pub fn set_drift(&mut self, drift: Drift) {
+        self.drift = drift;
+    }
+
+    /// Builder-style [`set_drift`](FederationContext::set_drift).
+    #[must_use]
+    pub fn with_drift(mut self, drift: Drift) -> Self {
+        self.set_drift(drift);
+        self
     }
 
     /// The device/model assignment of a client (by value — assignments are

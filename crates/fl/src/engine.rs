@@ -104,6 +104,16 @@ pub trait FlAlgorithm: Send + Sync {
         let _ = state;
         self.setup(ctx)
     }
+
+    /// Selects the robust-aggregation mode for the server phase (see
+    /// [`RobustAggregation`](crate::RobustAggregation)). The default ignores
+    /// the request — algorithms that support hardening override this and
+    /// honour the mode in [`aggregate`](Self::aggregate). Call before the
+    /// run starts (and again after a checkpoint restore: the mode is a
+    /// scenario knob, not part of the persisted state).
+    fn set_robust_aggregation(&mut self, robust: crate::RobustAggregation) {
+        let _ = robust;
+    }
 }
 
 /// How the engine advances rounds on the simulated clock.

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod buffered;
 mod context;
 mod engine;
@@ -67,6 +68,7 @@ pub mod train;
 mod update;
 pub mod wire;
 
+pub use adversary::{Corruption, RobustAggregation};
 pub use buffered::{staleness_weight, Staleness};
 pub use context::{ClientSource, FederationContext, LocalTrainConfig};
 pub use engine::{EngineConfig, Execution, FlAlgorithm, FlEngine};
@@ -77,7 +79,7 @@ pub use parallel::{run_clients, ClientRunner, InProcessRunner, Parallelism};
 pub use persist::{CheckpointObserver, PersistError};
 pub use schedule::{
     AvailabilityTrace, BandwidthAware, CandidatePool, Candidates, ClientScheduler, DeadlineAware,
-    DiurnalTrace, PowerOfChoice, RoundPlan, Schedule, UniformSampler,
+    DiurnalTrace, PowerOfChoice, RoundPlan, Schedule, TraceReplay, UniformSampler,
 };
 pub use session::{Checkpoint, RoundEvent, Session};
 pub use snapshot::AlgorithmState;

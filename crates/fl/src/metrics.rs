@@ -303,8 +303,21 @@ fn variance(values: &[f32]) -> f32 {
     if values.is_empty() {
         return 0.0;
     }
-    let mean = values.iter().sum::<f32>() / values.len() as f32;
-    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32
+    // Accumulate in f64: summing thousands of f32 accuracies (or any
+    // large-magnitude inputs) in f32 cancels catastrophically — the mean
+    // itself absorbs the error and the squared deviations come out wildly
+    // wrong (see the regression test below).
+    let len = values.len() as f64;
+    let mean = values.iter().map(|&v| f64::from(v)).sum::<f64>() / len;
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = f64::from(v) - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / len;
+    var as f32
 }
 
 #[cfg(test)]
@@ -387,6 +400,32 @@ mod tests {
             ((vals[0] - mean).powi(2) + (vals[1] - mean).powi(2)) / 2.0
         };
         assert!((r.stability() - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn variance_survives_large_magnitude_inputs() {
+        // Values of the form 100_000 + {0, 1, 2} have true variance 2/3
+        // regardless of the offset. The old all-f32 accumulator cancels
+        // catastrophically here: the running sum reaches ~1e11, where one
+        // f32 ULP is thousands of times larger than the per-value signal,
+        // so the mean (and with it every squared deviation) is garbage.
+        let values: Vec<f32> = (0..1_000_000).map(|i| 100_000.0 + (i % 3) as f32).collect();
+        let f32_mean = values.iter().sum::<f32>() / values.len() as f32;
+        let f32_var = values
+            .iter()
+            .map(|v| (v - f32_mean) * (v - f32_mean))
+            .sum::<f32>()
+            / values.len() as f32;
+        assert!(
+            (f32_var - 2.0 / 3.0).abs() > 0.5,
+            "old accumulator is expected to be wrong here (got {f32_var}); \
+             if this starts passing, the regression guard below is vacuous"
+        );
+        let var = variance(&values);
+        assert!(
+            (var - 2.0 / 3.0).abs() < 1e-3,
+            "f64 accumulation must recover the true variance, got {var}"
+        );
     }
 
     #[test]

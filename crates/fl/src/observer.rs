@@ -270,6 +270,8 @@ pub struct EventCounter {
     pub arrived: usize,
     /// `UpdateDropped` events seen.
     pub dropped: usize,
+    /// `ClientChurned` events seen.
+    pub churned: usize,
     /// `Aggregated` events seen.
     pub aggregated: usize,
     /// `RoundCompleted` events seen.
@@ -292,6 +294,7 @@ impl Observer for EventCounter {
             RoundEvent::ClientDispatched { .. } => self.dispatched += 1,
             RoundEvent::UpdateArrived { .. } => self.arrived += 1,
             RoundEvent::UpdateDropped { .. } => self.dropped += 1,
+            RoundEvent::ClientChurned { .. } => self.churned += 1,
             RoundEvent::Aggregated { .. } => self.aggregated += 1,
             RoundEvent::RoundCompleted { .. } => self.rounds_completed += 1,
             RoundEvent::RunCompleted { .. } => self.runs_completed += 1,

@@ -234,6 +234,18 @@ fn put_event(e: &mut Encoder, event: &RoundEvent) {
             e.put_u8(6);
             put_report(e, report);
         }
+        // Tag 7 is additive: fixtures written before churn existed contain
+        // no such events, so format v1/v2 files keep decoding unchanged.
+        RoundEvent::ClientChurned {
+            round,
+            client,
+            sim_time_secs,
+        } => {
+            e.put_u8(7);
+            e.put_usize(*round);
+            e.put_usize(*client);
+            e.put_f64(*sim_time_secs);
+        }
     }
 }
 
@@ -276,6 +288,11 @@ fn take_event(d: &mut Decoder<'_>) -> PersistResult<RoundEvent> {
         }),
         6 => Ok(RoundEvent::RunCompleted {
             report: take_report(d)?,
+        }),
+        7 => Ok(RoundEvent::ClientChurned {
+            round: d.take_usize()?,
+            client: d.take_usize()?,
+            sim_time_secs: d.take_f64()?,
         }),
         tag => Err(PersistError::Malformed {
             section: d.section(),
@@ -865,5 +882,30 @@ mod tests {
             report: MetricsReport::new("X"),
         });
         assert!(no_final.save_request().is_none());
+    }
+
+    #[test]
+    fn client_churned_event_round_trips_as_tag_7() {
+        let event = RoundEvent::ClientChurned {
+            round: 3,
+            client: 9,
+            sim_time_secs: 12.5,
+        };
+        let mut e = Encoder::new();
+        put_event(&mut e, &event);
+        let bytes = e.into_bytes();
+        // Tag 7 is additive after the seed tag set 0-6: fixtures written
+        // before churn existed never contain it, so they keep decoding.
+        assert_eq!(bytes[0], 7);
+        let mut d = Decoder::new(&bytes, "queue");
+        let decoded = take_event(&mut d).unwrap();
+        assert!(matches!(
+            decoded,
+            RoundEvent::ClientChurned {
+                round: 3,
+                client: 9,
+                sim_time_secs,
+            } if sim_time_secs == 12.5
+        ));
     }
 }

@@ -38,6 +38,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use mhfl_tensor::{RngState, SeededRng};
 use serde::{Deserialize, Serialize};
 
+use crate::adversary::Corruption;
 use crate::observer::Observer;
 use crate::parallel::{ClientRunner, InProcessRunner};
 use crate::schedule::CandidatePool;
@@ -52,6 +53,10 @@ use crate::{
 /// forever — only reachable when the availability trace keeps every client
 /// offline for this many slots in a row.
 const MAX_IDLE_ADVANCES: usize = 10_000;
+
+/// Salt for the per-dispatch churn stream, disjoint from every honest
+/// simulation stream and from the corruption salts.
+const CHURN_SALT: u64 = 0xBAD5_EED5_0000_0003;
 
 /// One typed occurrence on the simulated clock, yielded by
 /// [`Session::next_event`] in emission order.
@@ -102,6 +107,20 @@ pub enum RoundEvent {
         /// The update's staleness (strictly above the configured bound).
         staleness: usize,
     },
+    /// A dispatched client dropped out mid-round (churn): its update never
+    /// reaches the server. Distinct from [`UpdateDropped`](RoundEvent::UpdateDropped),
+    /// which is the server discarding an update that *did* arrive too stale.
+    /// Asynchronous executions refill the freed slot so the run does not
+    /// stall; synchronous rounds shrink their flush threshold by one.
+    ClientChurned {
+        /// The round the client's update would have been attributed to.
+        round: usize,
+        /// The client that dropped out.
+        client: usize,
+        /// Simulated time at which the dropout was detected (the would-be
+        /// arrival time — the server notices a straggler by its absence).
+        sim_time_secs: f64,
+    },
     /// The server folded a buffer of updates into the global state.
     Aggregated {
         /// The 1-based round that just completed aggregation.
@@ -139,6 +158,7 @@ impl RoundEvent {
             RoundEvent::ClientDispatched { .. } => "client-dispatched",
             RoundEvent::UpdateArrived { .. } => "update-arrived",
             RoundEvent::UpdateDropped { .. } => "update-dropped",
+            RoundEvent::ClientChurned { .. } => "client-churned",
             RoundEvent::Aggregated { .. } => "aggregated",
             RoundEvent::RoundCompleted { .. } => "round-completed",
             RoundEvent::RunCompleted { .. } => "run-completed",
@@ -432,6 +452,8 @@ pub struct Session<'a> {
     idle_advances: usize,
     queue: VecDeque<RoundEvent>,
     runner: Box<dyn ClientRunner + 'a>,
+    corruption: Corruption,
+    churn_fraction: f64,
     _workers: KernelWorkersGuard,
 }
 
@@ -475,6 +497,8 @@ impl<'a> Session<'a> {
             idle_advances: 0,
             queue: VecDeque::new(),
             runner: Box::new(InProcessRunner),
+            corruption: Corruption::None,
+            churn_fraction: 0.0,
             _workers: workers,
         })
     }
@@ -533,6 +557,62 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn with_client_runner(mut self, runner: Box<dyn ClientRunner + 'a>) -> Self {
         self.set_client_runner(runner);
+        self
+    }
+
+    /// Replaces the client scheduler (default: the one built from
+    /// [`Schedule`](crate::Schedule) in the engine configuration). This is
+    /// how schedulers that cannot be described by the `Copy` configuration
+    /// enum — e.g. [`TraceReplay`](crate::TraceReplay) over a recorded
+    /// availability CSV — are injected. Sessions start lazily, so swapping
+    /// before the first [`next_event`](Session::next_event) call affects the
+    /// whole run; like a custom runner, the scheduler is **not** captured by
+    /// checkpoints and must be re-injected after a restore.
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn ClientScheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Builder-style [`set_scheduler`](Session::set_scheduler).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Box<dyn ClientScheduler>) -> Self {
+        self.set_scheduler(scheduler);
+        self
+    }
+
+    /// Sets the byzantine-corruption policy applied to arriving updates
+    /// (default: [`Corruption::None`], observably inert). Corruption happens
+    /// at the arrival boundary — after staleness accounting decides the
+    /// update's fate, before it enters the aggregation buffer — so it is
+    /// identical under every [`ClientRunner`] and across checkpoint/restore
+    /// (re-inject after a restore, like a custom runner).
+    pub fn set_corruption(&mut self, corruption: Corruption) {
+        self.corruption = corruption;
+    }
+
+    /// Builder-style [`set_corruption`](Session::set_corruption).
+    #[must_use]
+    pub fn with_corruption(mut self, corruption: Corruption) -> Self {
+        self.set_corruption(corruption);
+        self
+    }
+
+    /// Sets the mid-round dropout probability (default `0.0`, observably
+    /// inert). Each dispatched update is independently lost with this
+    /// probability — the client trains, but its upload never reaches the
+    /// server: a [`RoundEvent::ClientChurned`] is emitted at the would-be
+    /// arrival time, the freed slot is refilled in asynchronous mode, and a
+    /// synchronous round's flush threshold shrinks by one so the round still
+    /// closes. The draw is a pure function of `(seed, dispatch sequence)`,
+    /// so runs are deterministic and checkpoint/restore-stable (re-inject
+    /// after a restore).
+    pub fn set_churn(&mut self, fraction: f64) {
+        self.churn_fraction = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Builder-style [`set_churn`](Session::set_churn).
+    #[must_use]
+    pub fn with_churn(mut self, fraction: f64) -> Self {
+        self.set_churn(fraction);
         self
     }
 
@@ -720,6 +800,11 @@ impl<'a> Session<'a> {
             idle_advances: checkpoint.idle_advances,
             queue: checkpoint.queue.iter().cloned().collect(),
             runner: Box::new(InProcessRunner),
+            // Scenario knobs are not part of the checkpoint codec (the
+            // committed format fixtures must keep decoding); re-inject them
+            // after a restore, like a custom runner or scheduler.
+            corruption: Corruption::None,
+            churn_fraction: 0.0,
             algorithm,
             ctx,
             _workers: workers,
@@ -934,6 +1019,33 @@ impl<'a> Session<'a> {
         }
         let round = self.version + 1;
 
+        // Mid-round churn: the client trained, but its upload is lost. The
+        // server notices at the would-be arrival time. The draw keys on the
+        // dispatch sequence number, so it is independent of every honest
+        // stream and identical across runners and restores.
+        if self.churn_fraction > 0.0
+            && SeededRng::new(self.ctx.seed() ^ CHURN_SALT)
+                .derive(arrival.seq)
+                .bernoulli(self.churn_fraction)
+        {
+            self.emit(RoundEvent::ClientChurned {
+                round,
+                client,
+                sim_time_secs: arrival.time,
+            });
+            if let DriveMode::Sync { expected, .. } = &mut self.mode {
+                // One fewer update will ever land; shrink the flush
+                // threshold so the round still closes (possibly empty, like
+                // a round whose every candidate was skipped).
+                *expected = expected.saturating_sub(1);
+                let expected = *expected;
+                if self.buffer.len() >= expected {
+                    self.flush_round()?;
+                }
+            }
+            return self.refill_after_arrival();
+        }
+
         // Per-update staleness bound (asynchronous executions only:
         // synchronous updates always have staleness zero).
         let dropped = self
@@ -955,6 +1067,13 @@ impl<'a> Session<'a> {
         let mut update = arrival.update;
         if is_async {
             update.staleness_weight = self.engine.config().staleness.weight(staleness);
+        }
+        if !self.corruption.is_none() {
+            // Byzantine corruption strikes in transit: the round key is the
+            // round the update was trained for, so replayed and restored
+            // runs corrupt bit-identically.
+            self.corruption
+                .apply(&mut update, self.ctx.seed(), arrival.dispatched_version + 1);
         }
         let stat = ClientRoundStat {
             client,
@@ -1087,7 +1206,7 @@ impl<'a> Session<'a> {
     /// an availability-gated scheduler): advance the clock to the next point
     /// where availability can change and retry.
     fn handle_idle(&mut self) -> FlResult<()> {
-        self.sim_time += self.scheduler.idle_wait_secs().max(f64::EPSILON);
+        self.sim_time = next_sim_time(self.sim_time, self.scheduler.idle_wait_secs());
         self.idle_advances += 1;
         let launched = self.dispatch_async_slots()?;
         if launched > 0 {
@@ -1098,6 +1217,19 @@ impl<'a> Session<'a> {
             self.finalize();
         }
         Ok(())
+    }
+}
+
+/// Advances `now` by `step`, guaranteeing strict progress: when `step` is so
+/// small that `now + step` rounds back to `now` (e.g. a zero idle wait once
+/// `now >= 2.0`, where an absolute `f64::EPSILON` nudge is below the ULP),
+/// steps to the next representable float instead of freezing the clock.
+fn next_sim_time(now: f64, step: f64) -> f64 {
+    let advanced = now + step;
+    if advanced > now {
+        advanced
+    } else {
+        f64::from_bits(now.to_bits() + 1)
     }
 }
 
@@ -1177,6 +1309,34 @@ mod tests {
     }
 
     #[test]
+    fn next_sim_time_always_makes_progress() {
+        // Normal case: an ordinary step just adds.
+        assert_eq!(next_sim_time(10.0, 1.5), 11.5);
+        // Regression: a zero idle wait at a large sim_time used to add an
+        // *absolute* f64::EPSILON, which rounds away once now >= 2.0 and
+        // froze the clock for MAX_IDLE_ADVANCES iterations.
+        let large = 2f64.powi(40);
+        assert_eq!(
+            large + f64::EPSILON,
+            large,
+            "precondition: old nudge is lost"
+        );
+        let nudged = next_sim_time(large, 0.0);
+        assert!(nudged > large, "clock must advance even with a zero step");
+        assert_eq!(nudged, f64::from_bits(large.to_bits() + 1));
+        // A step below the ULP of `now` is equivalent to zero.
+        let tiny = next_sim_time(large, 1e-12);
+        assert!(tiny > large);
+        // Monotone: repeated idle advances strictly increase time.
+        let mut t = 2.0;
+        for _ in 0..1000 {
+            let next = next_sim_time(t, 0.0);
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
     fn event_kinds_are_distinct_labels() {
         let kinds = [
             RoundEvent::RoundStarted {
@@ -1202,6 +1362,12 @@ mod tests {
                 client: 0,
                 sim_time_secs: 0.0,
                 staleness: 3,
+            }
+            .kind(),
+            RoundEvent::ClientChurned {
+                round: 1,
+                client: 0,
+                sim_time_secs: 0.0,
             }
             .kind(),
             RoundEvent::Aggregated {

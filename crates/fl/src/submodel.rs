@@ -30,6 +30,7 @@ use std::sync::{Arc, Mutex};
 use mhfl_nn::{AxisRole, ParamSpec, StateDict};
 use mhfl_tensor::Tensor;
 
+use crate::adversary::RobustAggregation;
 use crate::{FlError, FlResult};
 
 /// How width-scalable axes choose which global channels a sub-model keeps.
@@ -555,29 +556,64 @@ impl PlanCache {
 
 /// Accumulates heterogeneous client updates into the global coordinate space
 /// and produces the HeteroFL-style partial average.
+///
+/// With a [`RobustAggregation`] mode attached ([`with_robust`]
+/// (ServerAggregator::with_robust)) the fold hardens against byzantine
+/// contributions: norm-clipping bounds each client's joint L2 norm before
+/// the weighted scatter, and coordinate-median replaces the weighted
+/// per-coordinate mean with an unweighted per-coordinate median over the
+/// clients covering that coordinate. The default
+/// ([`RobustAggregation::None`]) is the exact pre-existing streaming path.
 #[derive(Debug, Clone)]
 pub struct ServerAggregator {
     sums: BTreeMap<String, Tensor>,
     counts: BTreeMap<String, Tensor>,
     global_specs: Vec<ParamSpec>,
+    robust: RobustAggregation,
+    /// Per-client `(sums, counts)` scatter pairs, kept only under
+    /// [`RobustAggregation::CoordinateMedian`] (the median needs every
+    /// contribution at finalize time; the mean streams).
+    per_update: Vec<(BTreeMap<String, Tensor>, BTreeMap<String, Tensor>)>,
 }
 
 impl ServerAggregator {
     /// Creates an aggregator for a global model described by `global_specs`.
     pub fn new(global_specs: Vec<ParamSpec>) -> Self {
-        let sums = global_specs
-            .iter()
-            .map(|s| (s.name.clone(), Tensor::zeros(&s.shape)))
-            .collect();
-        let counts = global_specs
-            .iter()
-            .map(|s| (s.name.clone(), Tensor::zeros(&s.shape)))
-            .collect();
+        let sums = Self::zeroed_maps(&global_specs);
+        let counts = Self::zeroed_maps(&global_specs);
         ServerAggregator {
             sums,
             counts,
             global_specs,
+            robust: RobustAggregation::None,
+            per_update: Vec::new(),
         }
+    }
+
+    /// Builder-style robust-aggregation toggle.
+    #[must_use]
+    pub fn with_robust(mut self, robust: RobustAggregation) -> Self {
+        self.robust = robust;
+        self
+    }
+
+    fn zeroed_maps(global_specs: &[ParamSpec]) -> BTreeMap<String, Tensor> {
+        global_specs
+            .iter()
+            .map(|s| (s.name.clone(), Tensor::zeros(&s.shape)))
+            .collect()
+    }
+
+    /// A clipped copy of the uploaded state when the joint L2 norm exceeds
+    /// `max_norm`, `None` when the update is already inside the ball (the
+    /// common case for honest clients — no copy, no work).
+    fn clipped(client_update: &StateDict, max_norm: f32) -> Option<StateDict> {
+        if crate::adversary::state_l2_norm(client_update) <= max_norm {
+            return None;
+        }
+        let mut clipped = client_update.clone();
+        crate::adversary::clip_state(&mut clipped, max_norm);
+        Some(clipped)
     }
 
     /// Adds one client's updated sub-model, weighted by `weight`
@@ -592,24 +628,40 @@ impl ServerAggregator {
         selection: WidthSelection,
         weight: f32,
     ) -> FlResult<()> {
-        let spec_index: BTreeMap<&str, &ParamSpec> = self
-            .global_specs
-            .iter()
-            .map(|s| (s.name.as_str(), s))
-            .collect();
-        for (name, client_tensor) in client_update.iter() {
-            let Some(spec) = spec_index.get(name.as_str()) else {
-                // Parameters the global model does not track (e.g. client-only
-                // personalisation heads) are simply skipped.
-                continue;
-            };
-            let indices = axis_indices(&spec.shape, client_tensor.dims(), &spec.roles, selection)?;
-            let sums = self.sums.get_mut(name).expect("initialised with all specs");
-            let counts = self
-                .counts
-                .get_mut(name)
-                .expect("initialised with all specs");
-            accumulate_mapped(sums, counts, client_tensor, &indices, weight)?;
+        if let RobustAggregation::NormClip { max_norm } = self.robust {
+            if let Some(clipped) = Self::clipped(client_update, max_norm) {
+                return self.add_update_plain(&clipped, selection, weight);
+            }
+        }
+        self.add_update_plain(client_update, selection, weight)
+    }
+
+    fn add_update_plain(
+        &mut self,
+        client_update: &StateDict,
+        selection: WidthSelection,
+        weight: f32,
+    ) -> FlResult<()> {
+        scatter_mapped(
+            &self.global_specs,
+            &mut self.sums,
+            &mut self.counts,
+            client_update,
+            selection,
+            weight,
+        )?;
+        if matches!(self.robust, RobustAggregation::CoordinateMedian) {
+            let mut sums = Self::zeroed_maps(&self.global_specs);
+            let mut counts = Self::zeroed_maps(&self.global_specs);
+            scatter_mapped(
+                &self.global_specs,
+                &mut sums,
+                &mut counts,
+                client_update,
+                selection,
+                1.0,
+            )?;
+            self.per_update.push((sums, counts));
         }
         Ok(())
     }
@@ -629,42 +681,32 @@ impl ServerAggregator {
         plan: &ExtractionPlan,
         weight: f32,
     ) -> FlResult<()> {
-        for entry in &plan.entries {
-            let Some(client_tensor) = client_update.get(&entry.name) else {
-                return Err(FlError::InvalidConfig(format!(
-                    "update lacks {} required by its extraction plan",
-                    entry.name
-                )));
-            };
-            if client_tensor.dims() != entry.client_dims {
-                return Err(FlError::InvalidConfig(format!(
-                    "{}: update shape {:?} does not match plan shape {:?}",
-                    entry.name,
-                    client_tensor.dims(),
-                    entry.client_dims
-                )));
+        if let RobustAggregation::NormClip { max_norm } = self.robust {
+            if let Some(clipped) = Self::clipped(client_update, max_norm) {
+                return self.add_update_with_plan_plain(&clipped, plan, weight);
             }
-            let sums = self.sums.get_mut(&entry.name).ok_or_else(|| {
-                FlError::InvalidConfig(format!("unknown parameter {}", entry.name))
-            })?;
-            if sums.dims() != entry.global_dims {
-                return Err(FlError::InvalidConfig(format!(
-                    "{}: aggregator shape {:?} does not match plan shape {:?}",
-                    entry.name,
-                    sums.dims(),
-                    entry.global_dims
-                )));
-            }
-            let counts = self
-                .counts
-                .get_mut(&entry.name)
-                .expect("initialised with all specs");
-            entry.scatter_add(
-                client_tensor.as_slice(),
-                sums.as_mut_slice(),
-                counts.as_mut_slice(),
-                weight,
-            );
+        }
+        self.add_update_with_plan_plain(client_update, plan, weight)
+    }
+
+    fn add_update_with_plan_plain(
+        &mut self,
+        client_update: &StateDict,
+        plan: &ExtractionPlan,
+        weight: f32,
+    ) -> FlResult<()> {
+        scatter_plan(
+            &mut self.sums,
+            &mut self.counts,
+            client_update,
+            plan,
+            weight,
+        )?;
+        if matches!(self.robust, RobustAggregation::CoordinateMedian) {
+            let mut sums = Self::zeroed_maps(&self.global_specs);
+            let mut counts = Self::zeroed_maps(&self.global_specs);
+            scatter_plan(&mut sums, &mut counts, client_update, plan, 1.0)?;
+            self.per_update.push((sums, counts));
         }
         Ok(())
     }
@@ -678,9 +720,13 @@ impl ServerAggregator {
     }
 
     /// Produces the new global state dict: covered entries become the
-    /// weighted average of contributions, uncovered entries keep the previous
-    /// global value.
+    /// weighted average (or, under
+    /// [`RobustAggregation::CoordinateMedian`], the per-coordinate median)
+    /// of contributions, uncovered entries keep the previous global value.
     pub fn finalize(&self, previous_global: &StateDict) -> FlResult<StateDict> {
+        if matches!(self.robust, RobustAggregation::CoordinateMedian) {
+            return self.finalize_median(previous_global);
+        }
         let mut out = StateDict::new();
         for spec in &self.global_specs {
             let prev = previous_global.require(&spec.name)?;
@@ -697,6 +743,126 @@ impl ServerAggregator {
         }
         Ok(out)
     }
+
+    /// Per-coordinate median over the clients that covered each coordinate;
+    /// coordinates nobody covered keep the previous global value. Weights
+    /// (sample counts, staleness) are deliberately ignored — a byzantine
+    /// client must not be able to buy leverage by claiming more samples.
+    fn finalize_median(&self, previous_global: &StateDict) -> FlResult<StateDict> {
+        let mut out = StateDict::new();
+        let mut scratch: Vec<f32> = Vec::with_capacity(self.per_update.len());
+        for spec in &self.global_specs {
+            let prev = previous_global.require(&spec.name)?;
+            let counts = &self.counts[&spec.name];
+            let views: Vec<(&[f32], &[f32])> = self
+                .per_update
+                .iter()
+                .map(|(s, c)| (s[&spec.name].as_slice(), c[&spec.name].as_slice()))
+                .collect();
+            let data: Vec<f32> = prev
+                .as_slice()
+                .iter()
+                .zip(counts.as_slice())
+                .enumerate()
+                .map(|(i, (&p, &c))| {
+                    if c <= 0.0 {
+                        return p;
+                    }
+                    scratch.clear();
+                    for (sums, counts) in &views {
+                        // A client covered this coordinate iff its own
+                        // scatter (unit weight) counted it.
+                        if counts[i] > 0.0 {
+                            scratch.push(sums[i] / counts[i]);
+                        }
+                    }
+                    crate::adversary::coordinate_median(&mut scratch).unwrap_or(p)
+                })
+                .collect();
+            out.insert(spec.name.clone(), Tensor::from_vec(data, &spec.shape)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Adds one state dict into `(sums, counts)` via per-element coordinate
+/// decoding — the reference scatter path of
+/// [`ServerAggregator::add_update`], parameterised over the target maps so
+/// the coordinate-median mode can scatter per-client copies through the
+/// identical arithmetic.
+fn scatter_mapped(
+    global_specs: &[ParamSpec],
+    all_sums: &mut BTreeMap<String, Tensor>,
+    all_counts: &mut BTreeMap<String, Tensor>,
+    client_update: &StateDict,
+    selection: WidthSelection,
+    weight: f32,
+) -> FlResult<()> {
+    let spec_index: BTreeMap<&str, &ParamSpec> =
+        global_specs.iter().map(|s| (s.name.as_str(), s)).collect();
+    for (name, client_tensor) in client_update.iter() {
+        let Some(spec) = spec_index.get(name.as_str()) else {
+            // Parameters the global model does not track (e.g. client-only
+            // personalisation heads) are simply skipped.
+            continue;
+        };
+        let indices = axis_indices(&spec.shape, client_tensor.dims(), &spec.roles, selection)?;
+        let sums = all_sums.get_mut(name).expect("initialised with all specs");
+        let counts = all_counts
+            .get_mut(name)
+            .expect("initialised with all specs");
+        accumulate_mapped(sums, counts, client_tensor, &indices, weight)?;
+    }
+    Ok(())
+}
+
+/// The plan-driven scatter of
+/// [`ServerAggregator::add_update_with_plan`], parameterised over the
+/// target maps (see [`scatter_mapped`]).
+fn scatter_plan(
+    all_sums: &mut BTreeMap<String, Tensor>,
+    all_counts: &mut BTreeMap<String, Tensor>,
+    client_update: &StateDict,
+    plan: &ExtractionPlan,
+    weight: f32,
+) -> FlResult<()> {
+    for entry in &plan.entries {
+        let Some(client_tensor) = client_update.get(&entry.name) else {
+            return Err(FlError::InvalidConfig(format!(
+                "update lacks {} required by its extraction plan",
+                entry.name
+            )));
+        };
+        if client_tensor.dims() != entry.client_dims {
+            return Err(FlError::InvalidConfig(format!(
+                "{}: update shape {:?} does not match plan shape {:?}",
+                entry.name,
+                client_tensor.dims(),
+                entry.client_dims
+            )));
+        }
+        let sums = all_sums
+            .get_mut(&entry.name)
+            .ok_or_else(|| FlError::InvalidConfig(format!("unknown parameter {}", entry.name)))?;
+        if sums.dims() != entry.global_dims {
+            return Err(FlError::InvalidConfig(format!(
+                "{}: aggregator shape {:?} does not match plan shape {:?}",
+                entry.name,
+                sums.dims(),
+                entry.global_dims
+            )));
+        }
+        let counts = all_counts
+            .get_mut(&entry.name)
+            .expect("initialised with all specs");
+        entry.scatter_add(
+            client_tensor.as_slice(),
+            sums.as_mut_slice(),
+            counts.as_mut_slice(),
+            weight,
+        );
+    }
+    Ok(())
 }
 
 /// Adds `weight * client` into `sums` (and `weight` into `counts`) at the

@@ -365,3 +365,69 @@ fn max_staleness_dropping_is_deterministic_and_ignored_by_sync() {
     assert_eq!(sync_bounded.digest(), sync_unbounded.digest());
     assert_eq!(sync_bounded.dropped_updates(), 0);
 }
+
+#[test]
+fn end_of_run_discards_buffered_and_in_flight_updates() {
+    // When the aggregation counter reaches `rounds`, the session finishes
+    // immediately: arrivals still sitting in the event heap (clients
+    // dispatched but not yet arrived) and anything short of a full buffer
+    // are discarded, never aggregated and never counted as dropped.
+    let ctx = context(10, 6);
+    let (rounds, buffer_size) = (5usize, 2usize);
+    let engine = FlEngine::new(async_config(rounds, buffer_size));
+    let mut alg = RecordingAlgorithm::default();
+    let mut counter = mhfl_fl::EventCounter::new();
+    let mut session = engine.session(&mut alg, &ctx).unwrap();
+    session.observe(Box::new(&mut counter));
+    let report = loop {
+        match session.next_event().unwrap() {
+            Some(mhfl_fl::RoundEvent::RunCompleted { report }) => break report,
+            Some(_) => {}
+            None => panic!("stream must end with RunCompleted"),
+        }
+    };
+    drop(session);
+
+    // Exactly `rounds` aggregations of exactly `buffer_size` updates each.
+    assert_eq!(alg.batches.len(), rounds);
+    for batch in &alg.batches {
+        assert_eq!(batch.len(), buffer_size);
+    }
+    // Every arrival the session processed was aggregated: the final flush
+    // finishes the run before any further heap entry is drained.
+    assert_eq!(counter.arrived, rounds * buffer_size);
+    assert_eq!(counter.dropped, 0);
+    assert_eq!(report.dropped_updates(), 0);
+    // Clients that were still in flight at the end were dispatched but
+    // their updates are silently discarded.
+    assert!(
+        counter.dispatched > counter.arrived,
+        "expected in-flight dispatches at the end of the run \
+         (dispatched {}, arrived {})",
+        counter.dispatched,
+        counter.arrived
+    );
+}
+
+#[test]
+fn end_of_run_discard_is_deterministic() {
+    // The discard semantics are part of the pinned behaviour: repeated runs
+    // see identical aggregation batches and identical reports.
+    let ctx = context(10, 6);
+    let run = || {
+        let mut alg = RecordingAlgorithm::default();
+        let report = FlEngine::new(async_config(5, 2))
+            .run(&mut alg, &ctx)
+            .unwrap();
+        let batches: Vec<Vec<usize>> = alg
+            .batches
+            .iter()
+            .map(|batch| batch.iter().map(|u| u.client).collect())
+            .collect();
+        (report.digest(), batches)
+    };
+    let (digest_a, batches_a) = run();
+    let (digest_b, batches_b) = run();
+    assert_eq!(digest_a, digest_b);
+    assert_eq!(batches_a, batches_b);
+}
