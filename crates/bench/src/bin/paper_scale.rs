@@ -51,7 +51,7 @@
 
 use std::time::Instant;
 
-use mhfl_bench::{arg_usize, arg_value, run_resumable, scale_from_args, RunScale};
+use mhfl_bench::{arg_usize, arg_value, has_flag, run_resumable, scale_from_args, RunScale};
 use mhfl_data::DataTask;
 use mhfl_device::ConstraintCase;
 use mhfl_fl::submodel::{
@@ -59,8 +59,16 @@ use mhfl_fl::submodel::{
 };
 use mhfl_fl::{run_clients, ClientPayload, Parallelism, Schedule};
 use mhfl_models::{InputKind, MhflMethod, ModelFamily, ProxyConfig, ProxyModel};
-use mhfl_tensor::{SeededRng, Tensor};
+use mhfl_tensor::{ArenaStats, SeededRng, Tensor, TensorArena};
 use pracmhbench_core::ExperimentSpec;
+
+/// Committed ceiling on steady-state tensor-storage allocations per warm
+/// federated round (width family, any scale). The arena serves warm-round
+/// leases from recycled buffers, so the residue is a handful of leases that
+/// outgrow the pool's byte caps plus first-touch shapes a round mints
+/// uniquely; CI's `alloc-audit` job fails if a regression pushes the
+/// measured number past this line.
+const ALLOC_CEILING_PER_ROUND: u64 = 256;
 
 /// One micro-benchmark comparison: reference vs. optimised wall-clock.
 struct Micro {
@@ -275,6 +283,66 @@ fn run_family_round(method: MhflMethod, scale: RunScale) -> FamilyRound {
         evaluate_secs,
         global_accuracy,
     }
+}
+
+/// Steady-state allocation behaviour of the tensor arena under repeated
+/// federated rounds: one warm-up round fills the pool, then the per-round
+/// counter deltas over `steady_rounds` further rounds measure what a warm
+/// round still allocates fresh.
+struct ArenaProbe {
+    counting_enabled: bool,
+    warmup_fresh_allocs: u64,
+    steady_rounds: usize,
+    fresh_allocs_per_round: u64,
+    pool_hits_per_round: u64,
+    recycled_per_round: u64,
+}
+
+fn stats_delta(after: ArenaStats, before: ArenaStats) -> ArenaStats {
+    ArenaStats {
+        fresh_allocs: after.fresh_allocs - before.fresh_allocs,
+        pool_hits: after.pool_hits - before.pool_hits,
+        recycled: after.recycled - before.recycled,
+        released: after.released - before.released,
+    }
+}
+
+fn probe_arena(scale: RunScale) -> ArenaProbe {
+    let arena = TensorArena::global();
+    let steady_rounds = 2usize;
+    eprintln!(
+        "paper_scale: arena allocation probe (1 warm-up + {steady_rounds} steady rounds, \
+         counting {})...",
+        if TensorArena::counting_enabled() {
+            "on"
+        } else {
+            "OFF — rebuild with --features alloc-count for real numbers"
+        }
+    );
+    let before_warmup = arena.stats();
+    run_family_round(MhflMethod::SHeteroFl, scale);
+    let after_warmup = arena.stats();
+    for _ in 0..steady_rounds {
+        run_family_round(MhflMethod::SHeteroFl, scale);
+    }
+    let steady = stats_delta(arena.stats(), after_warmup);
+    let probe = ArenaProbe {
+        counting_enabled: TensorArena::counting_enabled(),
+        warmup_fresh_allocs: stats_delta(after_warmup, before_warmup).fresh_allocs,
+        steady_rounds,
+        fresh_allocs_per_round: steady.fresh_allocs / steady_rounds as u64,
+        pool_hits_per_round: steady.pool_hits / steady_rounds as u64,
+        recycled_per_round: steady.recycled / steady_rounds as u64,
+    };
+    eprintln!(
+        "  warm-up round: {} fresh allocations; steady state: {}/round fresh, \
+         {}/round served from the pool (ceiling {})",
+        probe.warmup_fresh_allocs,
+        probe.fresh_allocs_per_round,
+        probe.pool_hits_per_round,
+        ALLOC_CEILING_PER_ROUND
+    );
+    probe
 }
 
 fn scale_label(scale: RunScale) -> &'static str {
@@ -566,6 +634,26 @@ fn main() {
         rounds.push(round);
     }
 
+    let probe = probe_arena(family_scale);
+    if has_flag("--alloc-audit") {
+        assert!(
+            probe.counting_enabled,
+            "--alloc-audit needs allocation counters; rebuild with \
+             `--features alloc-count`"
+        );
+        assert!(
+            probe.fresh_allocs_per_round <= ALLOC_CEILING_PER_ROUND,
+            "steady-state tensor allocations regressed: {} fresh allocations \
+             per warm round exceeds the committed ceiling of {}",
+            probe.fresh_allocs_per_round,
+            ALLOC_CEILING_PER_ROUND
+        );
+        eprintln!(
+            "paper_scale: alloc audit passed ({} <= {} fresh allocations/round)",
+            probe.fresh_allocs_per_round, ALLOC_CEILING_PER_ROUND
+        );
+    }
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"family_scale\": \"{}\",\n",
@@ -603,7 +691,36 @@ fn main() {
             if i + 1 < rounds.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"arena\": {\n");
+    json.push_str(&format!(
+        "    \"counting_enabled\": {},\n",
+        probe.counting_enabled
+    ));
+    json.push_str(&format!(
+        "    \"warmup_round_fresh_allocs\": {},\n",
+        probe.warmup_fresh_allocs
+    ));
+    json.push_str(&format!(
+        "    \"steady_rounds\": {},\n",
+        probe.steady_rounds
+    ));
+    json.push_str(&format!(
+        "    \"steady_fresh_allocs_per_round\": {},\n",
+        probe.fresh_allocs_per_round
+    ));
+    json.push_str(&format!(
+        "    \"steady_pool_hits_per_round\": {},\n",
+        probe.pool_hits_per_round
+    ));
+    json.push_str(&format!(
+        "    \"steady_recycled_per_round\": {},\n",
+        probe.recycled_per_round
+    ));
+    json.push_str(&format!(
+        "    \"alloc_ceiling_per_round\": {ALLOC_CEILING_PER_ROUND}\n"
+    ));
+    json.push_str("  }\n}\n");
     std::fs::write("BENCH_paper_scale.json", &json).expect("write BENCH_paper_scale.json");
     println!("{json}");
     eprintln!("paper_scale: wrote BENCH_paper_scale.json");

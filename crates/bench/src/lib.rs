@@ -11,6 +11,6 @@ pub mod runconfig;
 
 pub use output::{print_series, print_table, Table};
 pub use resume::{
-    arg_usize, arg_value, next_tolerating_save_failure, run_resumable, ResumableOutcome,
+    arg_usize, arg_value, has_flag, next_tolerating_save_failure, run_resumable, ResumableOutcome,
 };
 pub use runconfig::{scale_from_args, RunScale};

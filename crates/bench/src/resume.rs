@@ -24,6 +24,12 @@ pub fn arg_value(flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// `true` when `flag` appears anywhere in the process arguments (a bare
+/// boolean switch, no value).
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// Parses the value following `flag` as a `usize`, panicking with a usage
 /// message on garbage (these are operator-facing CLI flags).
 pub fn arg_usize(flag: &str) -> Option<usize> {

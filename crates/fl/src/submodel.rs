@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 use mhfl_nn::{AxisRole, ParamSpec, StateDict};
-use mhfl_tensor::Tensor;
+use mhfl_tensor::{Tensor, TensorArena};
 
 use crate::adversary::RobustAggregation;
 use crate::{FlError, FlResult};
@@ -200,7 +200,7 @@ impl PlanEntry {
             return Ok(src.clone());
         }
         let src_data = src.as_slice();
-        let mut data = Vec::with_capacity(self.client_len);
+        let mut data = TensorArena::global().lease(self.client_len);
         let tail = self.axis_offsets.last().map_or(&[][..], Vec::as_slice);
         self.for_each_base(&mut |base| {
             if self.tail_contiguous {
@@ -211,7 +211,7 @@ impl PlanEntry {
                 }
             }
         });
-        Ok(Tensor::from_vec(data, &self.client_dims)?)
+        Ok(Tensor::from_pool(data, &self.client_dims)?)
     }
 
     /// Single-pass scatter-add of a client tensor into `sums`/`counts`
@@ -383,9 +383,54 @@ impl ExtractionPlan {
 /// the cache every round after the first, and FedRolex's rolling window
 /// costs one rebuild per `(shape set, shift)`. Interior mutability keeps
 /// lookups available from the `&self` client phase across threads.
+///
+/// At capacity the cache evicts **one cold entry** by the second-chance
+/// (clock) policy: every hit marks its slot referenced, and the clock hand
+/// sweeps the insertion ring clearing referenced marks until it finds an
+/// unmarked victim. Hot per-family plans (re-requested every round) survive
+/// FedRolex streaming hundreds of one-shot rolling keys through the cache —
+/// the failure mode of the previous wipe-everything-at-cap policy.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<u64, CachedPlan>>,
+    plans: Mutex<PlanMap>,
+}
+
+/// The guarded state of a [`PlanCache`]: the slots plus the clock-eviction
+/// bookkeeping. `ring` holds every cached key in insertion order and
+/// `hand` is the clock position, so eviction is deterministic given the
+/// request sequence (iterating a bare `HashMap` for a victim would not be).
+#[derive(Debug, Default)]
+struct PlanMap {
+    slots: HashMap<u64, CachedPlan>,
+    ring: Vec<u64>,
+    hand: usize,
+}
+
+impl PlanMap {
+    /// Inserts a new slot, evicting one cold entry first when at capacity.
+    fn insert(&mut self, key: u64, slot: CachedPlan) {
+        if self.slots.len() >= PLAN_CACHE_CAP && !self.ring.is_empty() {
+            // Second chance: clear referenced marks under the hand until an
+            // unreferenced victim appears (at most two sweeps), then reuse
+            // its ring position for the new key.
+            loop {
+                let candidate = self.ring[self.hand];
+                let entry = self.slots.get_mut(&candidate).expect("ring tracks slots");
+                if entry.referenced {
+                    entry.referenced = false;
+                    self.hand = (self.hand + 1) % self.ring.len();
+                } else {
+                    self.slots.remove(&candidate);
+                    self.ring[self.hand] = key;
+                    self.hand = (self.hand + 1) % self.ring.len();
+                    break;
+                }
+            }
+        } else {
+            self.ring.push(key);
+        }
+        self.slots.insert(key, slot);
+    }
 }
 
 /// One cache slot: the plan plus the exact request it was built for, so a
@@ -396,6 +441,9 @@ struct CachedPlan {
     /// Canonically ordered client `(name, shape)` pairs.
     shapes: Vec<(String, Vec<usize>)>,
     plan: Arc<ExtractionPlan>,
+    /// Set on every hit, cleared when the clock hand sweeps past; an entry
+    /// survives one full sweep after its last hit.
+    referenced: bool,
 }
 
 impl CachedPlan {
@@ -474,8 +522,15 @@ impl PlanCache {
         shapes.sort_unstable_by_key(|(name, _)| *name);
         let key = Self::key(global_specs, shapes.iter().copied(), selection);
         let mut collision = false;
-        if let Some(slot) = self.plans.lock().expect("plan cache lock").get(&key) {
+        if let Some(slot) = self
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .slots
+            .get_mut(&key)
+        {
             if slot.matches(shapes, selection) {
+                slot.referenced = true;
                 return Ok(Arc::clone(&slot.plan));
             }
             // A 64-bit fingerprint collision between two distinct requests
@@ -490,11 +545,7 @@ impl PlanCache {
             selection,
         )?);
         if !collision {
-            let mut cache = self.plans.lock().expect("plan cache lock");
-            if cache.len() >= PLAN_CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert(
+            self.plans.lock().expect("plan cache lock").insert(
                 key,
                 CachedPlan {
                     selection,
@@ -503,6 +554,7 @@ impl PlanCache {
                         .map(|(name, dims)| (name.to_string(), dims.to_vec()))
                         .collect(),
                     plan: Arc::clone(&plan),
+                    referenced: false,
                 },
             );
         }
@@ -545,7 +597,7 @@ impl PlanCache {
 
     /// Number of cached plans (for tests and telemetry).
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        self.plans.lock().expect("plan cache lock").slots.len()
     }
 
     /// `true` when no plan has been cached yet.
@@ -728,18 +780,20 @@ impl ServerAggregator {
             return self.finalize_median(previous_global);
         }
         let mut out = StateDict::new();
+        let arena = TensorArena::global();
         for spec in &self.global_specs {
             let prev = previous_global.require(&spec.name)?;
             let sums = &self.sums[&spec.name];
             let counts = &self.counts[&spec.name];
-            let data: Vec<f32> = prev
-                .as_slice()
-                .iter()
-                .zip(sums.as_slice())
-                .zip(counts.as_slice())
-                .map(|((&p, &s), &c)| if c > 0.0 { s / c } else { p })
-                .collect();
-            out.insert(spec.name.clone(), Tensor::from_vec(data, &spec.shape)?);
+            let mut data = arena.lease(prev.len());
+            data.extend(
+                prev.as_slice()
+                    .iter()
+                    .zip(sums.as_slice())
+                    .zip(counts.as_slice())
+                    .map(|((&p, &s), &c)| if c > 0.0 { s / c } else { p }),
+            );
+            out.insert(spec.name.clone(), Tensor::from_pool(data, &spec.shape)?);
         }
         Ok(out)
     }
@@ -750,7 +804,8 @@ impl ServerAggregator {
     /// client must not be able to buy leverage by claiming more samples.
     fn finalize_median(&self, previous_global: &StateDict) -> FlResult<StateDict> {
         let mut out = StateDict::new();
-        let mut scratch: Vec<f32> = Vec::with_capacity(self.per_update.len());
+        let arena = TensorArena::global();
+        let mut scratch = arena.lease(self.per_update.len());
         for spec in &self.global_specs {
             let prev = previous_global.require(&spec.name)?;
             let counts = &self.counts[&spec.name];
@@ -759,28 +814,30 @@ impl ServerAggregator {
                 .iter()
                 .map(|(s, c)| (s[&spec.name].as_slice(), c[&spec.name].as_slice()))
                 .collect();
-            let data: Vec<f32> = prev
-                .as_slice()
-                .iter()
-                .zip(counts.as_slice())
-                .enumerate()
-                .map(|(i, (&p, &c))| {
-                    if c <= 0.0 {
-                        return p;
-                    }
-                    scratch.clear();
-                    for (sums, counts) in &views {
-                        // A client covered this coordinate iff its own
-                        // scatter (unit weight) counted it.
-                        if counts[i] > 0.0 {
-                            scratch.push(sums[i] / counts[i]);
+            let mut data = arena.lease(prev.len());
+            data.extend(
+                prev.as_slice()
+                    .iter()
+                    .zip(counts.as_slice())
+                    .enumerate()
+                    .map(|(i, (&p, &c))| {
+                        if c <= 0.0 {
+                            return p;
                         }
-                    }
-                    crate::adversary::coordinate_median(&mut scratch).unwrap_or(p)
-                })
-                .collect();
-            out.insert(spec.name.clone(), Tensor::from_vec(data, &spec.shape)?);
+                        scratch.clear();
+                        for (sums, counts) in &views {
+                            // A client covered this coordinate iff its own
+                            // scatter (unit weight) counted it.
+                            if counts[i] > 0.0 {
+                                scratch.push(sums[i] / counts[i]);
+                            }
+                        }
+                        crate::adversary::coordinate_median(&mut scratch).unwrap_or(p)
+                    }),
+            );
+            out.insert(spec.name.clone(), Tensor::from_pool(data, &spec.shape)?);
         }
+        arena.recycle(scratch);
         Ok(out)
     }
 }
@@ -1236,27 +1293,23 @@ mod tests {
             .unwrap();
         let reference_sub = reference.extract(&global.state_dict()).unwrap();
 
-        // Stream well past the cap. The policy is clear-at-cap: the insert
-        // that would make the map exceed PLAN_CACHE_CAP wipes it first, so
-        // occupancy is deterministic in the number of distinct inserts.
+        // Stream well past the cap. The policy is second-chance: an insert
+        // at the cap evicts exactly one cold entry, so the cache fills to
+        // PLAN_CACHE_CAP and then holds there forever.
         let rounds = 3 * PLAN_CACHE_CAP + 7;
         for shift in 0..rounds {
             cache
                 .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift })
                 .unwrap();
-            assert!(
-                cache.len() <= PLAN_CACHE_CAP,
-                "cache grew past the cap at shift {shift}: {}",
-                cache.len()
-            );
             assert_eq!(
                 cache.len(),
-                shift % PLAN_CACHE_CAP + 1,
-                "clear-at-cap occupancy must be deterministic (shift {shift})"
+                (shift + 1).min(PLAN_CACHE_CAP),
+                "second-chance occupancy must be deterministic (shift {shift})"
             );
         }
 
-        // shift 0 was evicted by the first wipe: re-requesting it must
+        // shift 0 was touched once early and never again, so three full
+        // laps of the clock hand have evicted it: re-requesting it must
         // transparently rebuild a distinct Arc with identical behaviour.
         let len_before = cache.len();
         let rebuilt = cache
@@ -1266,7 +1319,11 @@ mod tests {
             !Arc::ptr_eq(&reference, &rebuilt),
             "shift 0 should have been evicted and rebuilt, not retained"
         );
-        assert_eq!(cache.len(), len_before + 1, "the rebuild is re-cached");
+        assert_eq!(
+            cache.len(),
+            len_before,
+            "an at-cap insert evicts one entry, so occupancy stays put"
+        );
         assert_eq!(
             rebuilt.extract(&global.state_dict()).unwrap(),
             reference_sub,
@@ -1277,6 +1334,54 @@ mod tests {
             .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
             .unwrap();
         assert!(Arc::ptr_eq(&rebuilt, &hit));
+    }
+
+    #[test]
+    fn plan_cache_keeps_a_hot_key_across_eviction_cycles() {
+        // The production access pattern is one hot plan (the dominant client
+        // shape) amid a stream of one-shot rolling shifts. Second-chance
+        // eviction must keep the hot plan cached: each re-request marks its
+        // slot referenced, so the clock hand spares it and evicts a cold
+        // one-shot entry instead.
+        let global = ProxyModel::new(cifar_cfg()).unwrap();
+        let specs = global.param_specs();
+        let client_specs = ProxyModel::new(cifar_cfg().with_width(0.5))
+            .unwrap()
+            .param_specs();
+        let cache = PlanCache::new();
+        let hot = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
+            .unwrap();
+
+        // Three full eviction laps of cold keys, re-touching the hot key
+        // often enough (well under once per lap) to keep it referenced.
+        let rounds = 3 * PLAN_CACHE_CAP;
+        for round in 0..rounds {
+            cache
+                .for_client_specs(
+                    &specs,
+                    &client_specs,
+                    WidthSelection::Rolling { shift: round + 1 },
+                )
+                .unwrap();
+            if round % (PLAN_CACHE_CAP / 4) == 0 {
+                let again = cache
+                    .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
+                    .unwrap();
+                assert!(
+                    Arc::ptr_eq(&hot, &again),
+                    "hot plan evicted at round {round} despite steady re-use"
+                );
+            }
+            assert!(cache.len() <= PLAN_CACHE_CAP);
+        }
+        let survivor = cache
+            .for_client_specs(&specs, &client_specs, WidthSelection::Rolling { shift: 0 })
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&hot, &survivor),
+            "the hot plan must survive full eviction cycles"
+        );
     }
 
     #[test]

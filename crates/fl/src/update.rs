@@ -129,7 +129,66 @@ impl ClientUpdate {
 
     /// The FedAvg-style aggregation weight of this update (at least one
     /// sample), discounted by the engine-assigned staleness weight.
+    ///
+    /// The product is formed in `f64` and rounded once at the end. Sample
+    /// counts above 2^24 are not exactly representable in `f32`, so the
+    /// old `n as f32 * w` path rounded twice — first the count, then the
+    /// product — drifting up to a full ulp for plausible dataset sizes
+    /// (~1e7 samples). Counts below 2^24 produce bit-identical results
+    /// either way, which is why the golden digests did not move.
     pub fn weight(&self) -> f32 {
-        self.num_samples.max(1) as f32 * self.staleness_weight
+        (self.num_samples.max(1) as f64 * f64::from(self.staleness_weight)) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(num_samples: usize, staleness_weight: f32) -> ClientUpdate {
+        ClientUpdate {
+            client: 0,
+            num_samples,
+            payload: ClientPayload::Empty,
+            staleness_weight,
+        }
+    }
+
+    #[test]
+    fn weight_is_single_rounded_at_large_sample_counts() {
+        // 2^24 + 1 is the first integer f32 cannot represent: the old
+        // `n as f32 * w` path rounded the count before multiplying, landing
+        // on a different f32 than the exact product. Verify the f64 path
+        // disagrees with double rounding exactly where it should.
+        for (n, w) in [(16_777_217usize, 0.1f32), (99_999_999, 0.3)] {
+            let exact = (n as f64 * f64::from(w)) as f32;
+            let double_rounded = n as f32 * w;
+            assert_ne!(
+                exact, double_rounded,
+                "constants no longer expose double rounding (n={n}, w={w})"
+            );
+            assert_eq!(update(n, w).weight(), exact);
+        }
+    }
+
+    #[test]
+    fn weight_matches_f32_arithmetic_below_the_mantissa_limit() {
+        // Every count below 2^24 is exact in f32, and a product of two
+        // 24-bit mantissas fits in f64's 53, so both orders of rounding
+        // agree bit-for-bit — the digests of every committed scenario are
+        // built from counts in this regime.
+        for (n, w) in [
+            (1usize, 1.0f32),
+            (480, 0.7),
+            (16_777_215, 0.333),
+            (1_000_000, 0.125),
+        ] {
+            assert_eq!(update(n, w).weight(), n as f32 * w);
+        }
+    }
+
+    #[test]
+    fn weight_floors_at_one_sample() {
+        assert_eq!(update(0, 0.5).weight(), 0.5);
     }
 }

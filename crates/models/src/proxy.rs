@@ -325,6 +325,13 @@ impl ProxyModel {
 
     /// Builds the model with every parameter zero-filled (no random draws).
     ///
+    /// Parameter storage is leased from the process-wide
+    /// [`TensorArena`](mhfl_tensor::TensorArena) (the zero-init RNG makes
+    /// every [`Tensor::randn`](mhfl_tensor::Tensor::randn) call resolve to
+    /// an arena-leased zero buffer), so rebuilding client models round
+    /// after round recycles the previous round's buffers instead of
+    /// allocating.
+    ///
     /// Used when the parameters will be overwritten wholesale immediately
     /// after construction — e.g. loading an extracted sub-model whose plan
     /// needs the model's [`param_specs`](ProxyModel::param_specs) first —

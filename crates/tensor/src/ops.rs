@@ -1,12 +1,14 @@
 //! Arithmetic, linear algebra and reduction operations on [`Tensor`].
 
+use crate::arena::TensorArena;
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
     /// Applies a function to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.as_slice().iter().map(|&x| f(x)).collect();
-        Tensor::from_vec(data, self.dims()).expect("map preserves shape")
+        let mut data = TensorArena::global().lease(self.len());
+        data.extend(self.as_slice().iter().map(|&x| f(x)));
+        Tensor::from_pool(data, self.dims()).expect("map preserves shape")
     }
 
     /// Applies a function to every element in place.
@@ -26,13 +28,14 @@ impl Tensor {
                 op: "zip_with",
             });
         }
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(rhs.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Tensor::from_vec(data, self.dims())
+        let mut data = TensorArena::global().lease(self.len());
+        data.extend(
+            self.as_slice()
+                .iter()
+                .zip(rhs.as_slice())
+                .map(|(&a, &b)| f(a, b)),
+        );
+        Tensor::from_pool(data, self.dims())
     }
 
     /// Elementwise addition.
@@ -164,9 +167,9 @@ impl Tensor {
                 op: "matmul",
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = TensorArena::global().lease_zeroed(m * n);
         crate::kernels::matmul(self.as_slice(), rhs.as_slice(), m, k, n, &mut out);
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pool(out, &[m, n])
     }
 
     /// The retained naive reference kernel: `ikj` loop order, one pass, no
@@ -188,7 +191,7 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = TensorArena::global().lease_zeroed(m * n);
         // ikj loop order keeps the inner loop contiguous over both `b` and `out`.
         for i in 0..m {
             for kk in 0..k {
@@ -203,7 +206,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pool(out, &[m, n])
     }
 
     /// Transpose-aware product `self × rhsᵀ`: `[m, k] x [n, k] -> [m, n]`,
@@ -223,9 +226,9 @@ impl Tensor {
                 op: "matmul_nt",
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = TensorArena::global().lease_zeroed(m * n);
         crate::kernels::matmul_nt(self.as_slice(), rhs.as_slice(), m, k, n, &mut out);
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pool(out, &[m, n])
     }
 
     /// Transpose-aware product `selfᵀ × rhs`: `[k, m] x [k, n] -> [m, n]`,
@@ -245,9 +248,9 @@ impl Tensor {
                 op: "matmul_tn",
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = TensorArena::global().lease_zeroed(m * n);
         crate::kernels::matmul_tn(self.as_slice(), rhs.as_slice(), m, k, n, &mut out);
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pool(out, &[m, n])
     }
 
     /// Transpose of a rank-2 tensor.
@@ -264,13 +267,13 @@ impl Tensor {
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let src = self.as_slice();
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = TensorArena::global().lease_zeroed(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 out[c * rows + r] = src[r * cols + c];
             }
         }
-        Tensor::from_vec(out, &[cols, rows])
+        Tensor::from_pool(out, &[cols, rows])
     }
 
     /// Sum of all elements.
@@ -324,10 +327,13 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let data: Vec<f32> = (0..rows)
-            .map(|r| self.as_slice()[r * cols..(r + 1) * cols].iter().sum())
-            .collect();
-        Tensor::from_vec(data, &[rows])
+        let mut data = TensorArena::global().lease(rows);
+        data.extend((0..rows).map(|r| {
+            self.as_slice()[r * cols..(r + 1) * cols]
+                .iter()
+                .sum::<f32>()
+        }));
+        Tensor::from_pool(data, &[rows])
     }
 
     /// Per-column sums of a rank-2 tensor. Each column is accumulated in
@@ -346,14 +352,14 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let mut data = vec![0.0f32; cols];
+        let mut data = TensorArena::global().lease_zeroed(cols);
         for r in 0..rows {
             let row = &self.as_slice()[r * cols..(r + 1) * cols];
             for (acc, value) in data.iter_mut().zip(row) {
                 *acc += value;
             }
         }
-        Tensor::from_vec(data, &[cols])
+        Tensor::from_pool(data, &[cols])
     }
 
     /// Per-column means of a rank-2 tensor.
@@ -372,7 +378,7 @@ impl Tensor {
         if rows == 0 {
             return Err(TensorError::Empty("col_means"));
         }
-        let mut data = vec![0.0f32; cols];
+        let mut data = TensorArena::global().lease_zeroed(cols);
         for r in 0..rows {
             let row = &self.as_slice()[r * cols..(r + 1) * cols];
             for (acc, value) in data.iter_mut().zip(row) {
@@ -380,7 +386,7 @@ impl Tensor {
             }
         }
         data.iter_mut().for_each(|x| *x /= rows as f32);
-        Tensor::from_vec(data, &[cols])
+        Tensor::from_pool(data, &[cols])
     }
 
     /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
@@ -396,17 +402,23 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; rows * cols];
+        let arena = TensorArena::global();
+        let mut out = arena.lease_zeroed(rows * cols);
+        // One leased scratch row reused across all rows instead of a fresh
+        // `exps` vector per row.
+        let mut exps = arena.lease(cols);
         for r in 0..rows {
             let row = &self.as_slice()[r * cols..(r + 1) * cols];
             let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&x| (x - maxv).exp()).collect();
+            exps.clear();
+            exps.extend(row.iter().map(|&x| (x - maxv).exp()));
             let denom: f32 = exps.iter().sum::<f32>().max(f32::EPSILON);
             for c in 0..cols {
                 out[r * cols + c] = exps[c] / denom;
             }
         }
-        Tensor::from_vec(out, &[rows, cols])
+        arena.recycle(exps);
+        Tensor::from_pool(out, &[rows, cols])
     }
 
     /// Row-wise argmax of a rank-2 tensor (predicted class per sample).

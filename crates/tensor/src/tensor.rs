@@ -2,7 +2,70 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::TensorArena;
 use crate::{Result, SeededRng, Shape, TensorError};
+
+/// The owned buffer behind a tensor, with a pool-recycling drop path.
+///
+/// `Storage` is a thin wrapper over `Vec<f32>` whose `Drop` hands the buffer
+/// back to the process-wide [`TensorArena`] instead of freeing it, and whose
+/// `Clone` leases the copy's buffer from the same pool. Everything else
+/// derefs through to the vector, so the rest of the crate reads and writes
+/// storage exactly as it did when the field was a plain `Vec<f32>`.
+#[derive(Default)]
+struct Storage {
+    data: Vec<f32>,
+}
+
+impl Storage {
+    fn new(data: Vec<f32>) -> Self {
+        Storage { data }
+    }
+
+    /// Moves the buffer out, leaving an empty vec for the no-op drop.
+    fn take(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        crate::arena::recycle_storage(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        let mut buf = TensorArena::global().lease(self.data.len());
+        buf.extend_from_slice(&self.data);
+        Storage { data: buf }
+    }
+}
+
+impl PartialEq for Storage {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.data.fmt(f)
+    }
+}
+
+impl std::ops::Deref for Storage {
+    type Target = Vec<f32>;
+    fn deref(&self) -> &Vec<f32> {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for Storage {
+    fn deref_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.data
+    }
+}
 
 /// A dense, row-major, `f32` n-dimensional array.
 ///
@@ -20,7 +83,7 @@ use crate::{Result, SeededRng, Shape, TensorError};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Storage,
 }
 
 impl Tensor {
@@ -37,24 +100,52 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: Storage::new(data),
+        })
+    }
+
+    /// Creates a tensor from an arena-leased buffer (see
+    /// [`TensorArena::lease`]). Functionally identical to
+    /// [`Tensor::from_vec`] — every tensor recycles its storage on drop —
+    /// but states the pooled provenance at the call site, which is how the
+    /// hot paths document that they allocate nothing in steady state.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` is not the
+    /// product of `dims`.
+    pub fn from_pool(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        Tensor::from_vec(data, dims)
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
+        let mut data = TensorArena::global().lease(1);
+        data.push(value);
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: Storage::new(data),
         }
     }
 
-    /// Creates a tensor filled with zeros.
+    /// Creates a tensor filled with zeros, with storage leased from the
+    /// process-wide [`TensorArena`].
     pub fn zeros(dims: &[usize]) -> Self {
+        Tensor::zeroed_in(TensorArena::global(), dims)
+    }
+
+    /// Creates a zero-filled tensor whose storage is leased from `arena`.
+    ///
+    /// Recycled buffers are re-zeroed before reuse, so this is
+    /// indistinguishable from a fresh allocation — stale pool contents can
+    /// never leak into a new tensor.
+    pub fn zeroed_in(arena: &TensorArena, dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
         Tensor {
             shape,
-            data: vec![0.0; len],
+            data: Storage::new(arena.lease_zeroed(len)),
         }
     }
 
@@ -67,9 +158,11 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
+        let mut data = TensorArena::global().lease(len);
+        data.resize(len, value);
         Tensor {
             shape,
-            data: vec![value; len],
+            data: Storage::new(data),
         }
     }
 
@@ -88,8 +181,12 @@ impl Tensor {
             return Tensor::zeros(dims);
         }
         let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|_| rng.normal(0.0, std)).collect();
-        Tensor { shape, data }
+        let mut data = TensorArena::global().lease(shape.len());
+        data.extend((0..shape.len()).map(|_| rng.normal(0.0, std)));
+        Tensor {
+            shape,
+            data: Storage::new(data),
+        }
     }
 
     /// Creates a tensor with entries drawn uniformly from `[low, high)`.
@@ -98,8 +195,12 @@ impl Tensor {
             return Tensor::zeros(dims);
         }
         let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|_| rng.uniform(low, high)).collect();
-        Tensor { shape, data }
+        let mut data = TensorArena::global().lease(shape.len());
+        data.extend((0..shape.len()).map(|_| rng.uniform(low, high)));
+        Tensor {
+            shape,
+            data: Storage::new(data),
+        }
     }
 
     /// Kaiming/He initialisation for a weight of shape `[fan_out, fan_in, ...]`.
@@ -144,8 +245,12 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns its underlying buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    ///
+    /// The buffer leaves the arena's custody: it is the caller's to keep,
+    /// and the caller may hand it back via [`TensorArena::recycle`] (or by
+    /// rewrapping it with [`Tensor::from_pool`]) when done.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        self.data.take()
     }
 
     /// Reads the element at a multi-dimensional index.
@@ -180,7 +285,7 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: target,
-            data: self.data.clone(),
+            data: self.data.clone(), // Storage::clone leases from the pool
         })
     }
 
@@ -203,8 +308,9 @@ impl Tensor {
         }
         let inner: usize = self.dims()[1..].iter().product();
         let start = index * inner;
-        let data = self.data[start..start + inner].to_vec();
-        Tensor::from_vec(data, &self.dims()[1..])
+        let mut data = TensorArena::global().lease(inner);
+        data.extend_from_slice(&self.data[start..start + inner]);
+        Tensor::from_pool(data, &self.dims()[1..])
     }
 
     /// Stacks rank-`k` tensors of identical shape into a rank-`k+1` tensor
@@ -214,7 +320,7 @@ impl Tensor {
     /// Returns an error if `parts` is empty or the shapes differ.
     pub fn stack(parts: &[Tensor]) -> Result<Tensor> {
         let first = parts.first().ok_or(TensorError::Empty("stack"))?;
-        let mut data = Vec::with_capacity(first.len() * parts.len());
+        let mut data = TensorArena::global().lease(first.len() * parts.len());
         for p in parts {
             if p.shape != first.shape {
                 return Err(TensorError::ShapeMismatch {
@@ -248,7 +354,7 @@ impl Tensor {
         }
         let outer = self.dims()[0];
         let inner: usize = self.dims()[1..].iter().product();
-        let mut data = Vec::with_capacity(indices.len() * inner);
+        let mut data = TensorArena::global().lease(indices.len() * inner);
         for &i in indices {
             if i >= outer {
                 return Err(TensorError::IndexOutOfBounds {
@@ -276,7 +382,7 @@ impl Tensor {
             });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let mut data = Vec::with_capacity(rows * indices.len());
+        let mut data = TensorArena::global().lease(rows * indices.len());
         for r in 0..rows {
             for &c in indices {
                 if c >= cols {
@@ -314,7 +420,7 @@ impl Tensor {
         }
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(outer * indices.len() * inner);
+        let mut data = TensorArena::global().lease(outer * indices.len() * inner);
         for o in 0..outer {
             for &i in indices {
                 let start = (o * axis_len + i) * inner;
@@ -387,7 +493,7 @@ impl Tensor {
         let first = parts.first().ok_or(TensorError::Empty("concat_axis0"))?;
         let tail = &first.dims()[1..];
         let mut rows = 0;
-        let mut data = Vec::new();
+        let mut data = TensorArena::global().lease(parts.iter().map(Tensor::len).sum());
         for p in parts {
             if p.rank() == 0 || &p.dims()[1..] != tail {
                 return Err(TensorError::ShapeMismatch {

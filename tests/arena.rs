@@ -1,0 +1,109 @@
+//! Pool-reuse poisoning test for the tensor arena.
+//!
+//! Every tensor in the workspace now draws its storage from the process-wide
+//! [`TensorArena`], so a buffer freed by one algorithm family is handed —
+//! uncleared — to the next lease. The arena's contract is that this reuse is
+//! *observably inert*: `lease_zeroed` re-zeroes recycled buffers and plain
+//! `lease` returns them empty, so no stale `f32` from a previous run can
+//! leak into a later one.
+//!
+//! This harness attacks that contract the way real usage does: it streams
+//! all five algorithm families, in both execution modes, **twice** through
+//! one shared arena within a single process. By the second pass the pool is
+//! saturated with buffers dirtied by every other family, so any
+//! zeroing/poisoning bug shows up as a digest that differs between the
+//! first (cold-pool) and second (dirty-pool) run — or from the committed
+//! golden fixtures, which pin the pre-arena fresh-allocation behaviour.
+
+use mhfl_data::DataTask;
+use mhfl_device::ConstraintCase;
+use mhfl_models::MhflMethod;
+use mhfl_tensor::TensorArena;
+use pracmhbench_core::{Execution, ExperimentSpec, RunScale};
+
+const FAMILIES: [MhflMethod; 5] = [
+    MhflMethod::SHeteroFl,
+    MhflMethod::DepthFl,
+    MhflMethod::FedProto,
+    MhflMethod::FedEt,
+    MhflMethod::HomogeneousSmallest,
+];
+
+const SEED: u64 = 17;
+
+fn run_digest(method: MhflMethod, execution: Execution) -> u64 {
+    ExperimentSpec::new(
+        DataTask::UciHar,
+        method,
+        ConstraintCase::Computation {
+            deadline_secs: 300.0,
+        },
+    )
+    .with_scale(RunScale::Quick)
+    .with_seed(SEED)
+    .with_execution(execution)
+    .run()
+    .unwrap_or_else(|e| panic!("{method} ({execution:?}) failed: {e}"))
+    .report
+    .digest()
+}
+
+/// Committed fixture digests for seed 17 (`method mode seed digest` lines).
+fn golden(method: MhflMethod, label: &str) -> u64 {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_digests.txt");
+    let raw = std::fs::read_to_string(path).expect("golden fixtures are committed");
+    raw.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .find_map(|line| {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            (parts[0] == method.to_string() && parts[1] == label && parts[2] == SEED.to_string())
+                .then(|| {
+                    u64::from_str_radix(parts[3].trim_start_matches("0x"), 16)
+                        .expect("fixture digest (hex)")
+                })
+        })
+        .unwrap_or_else(|| panic!("no fixture for {method} {label} seed {SEED}"))
+}
+
+#[test]
+fn dirty_pool_runs_are_bit_identical_to_fresh_allocation_runs() {
+    let arena = TensorArena::global();
+    let cases: Vec<(MhflMethod, Execution, &str)> = FAMILIES
+        .iter()
+        .flat_map(|&m| {
+            [
+                (m, Execution::Synchronous, "sync"),
+                (m, Execution::async_buffered(2), "async"),
+            ]
+        })
+        .collect();
+
+    // Pass 1: pool starts cold and fills with buffers dirtied by each
+    // family in turn — FedProto's prototype sums land in buffers later
+    // leased for DepthFl activations, and so on.
+    for &(method, execution, label) in &cases {
+        assert_eq!(
+            run_digest(method, execution),
+            golden(method, label),
+            "{method} {label}: cold-pool run diverged from the committed \
+             fresh-allocation digest"
+        );
+    }
+
+    // Pass 2: every lease is now near-certain to be served from storage
+    // another family wrote through. Bit-equality with the same fixtures
+    // proves recycled buffers carry no observable state.
+    for &(method, execution, label) in &cases {
+        assert_eq!(
+            run_digest(method, execution),
+            golden(method, label),
+            "{method} {label}: dirty-pool rerun diverged — recycled arena \
+             storage is poisoning results"
+        );
+    }
+
+    // The pool really was exercised: the shared tier holds recycled
+    // buffers once per-thread pools drain.
+    arena.flush_thread_pool();
+}
